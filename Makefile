@@ -1,0 +1,37 @@
+# Developer conveniences; everything is plain `go` underneath.
+
+.PHONY: all build test race bench results quick-results examples clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/wire/ ./internal/netsim/ ./internal/chord/
+
+# One testing.B benchmark per paper table/figure, plus package micro-benches.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate the paper's full evaluation (~2 min) with CSV series.
+results:
+	mkdir -p results
+	go run ./cmd/topobench -run all -scale full -csv results/full | tee results/full_output.txt
+
+quick-results:
+	go run ./cmd/topobench -run all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/nearestpeer
+	go run ./examples/cdn
+	go run ./examples/qos
+	go run ./examples/wirecluster
+
+clean:
+	rm -rf results

@@ -1,0 +1,184 @@
+// Command overlayd runs one wire node: a TCP daemon that serves soft-state
+// shards and landmark pings, and can publish itself and query for its
+// nearest peer.
+//
+// A minimal three-terminal demo (the first two double as landmarks):
+//
+//	overlayd -listen 127.0.0.1:7001 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -landmarks 127.0.0.1:7001,127.0.0.1:7002
+//	overlayd -listen 127.0.0.1:7002 -peers ...same... -landmarks ...same...
+//	overlayd -listen 127.0.0.1:7003 -peers ...same... -landmarks ...same... -publish -query
+//
+// With -publish the node measures its landmark vector, derives its
+// landmark number, and stores its record at the owning peer; with -query
+// it then asks the soft-state for its physically nearest peer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gsso/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "overlayd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("overlayd", flag.ContinueOnError)
+	var (
+		demo      = fs.Int("demo", 0, "spin an n-node local demo cluster, run the full flow, exit")
+		listen    = fs.String("listen", "127.0.0.1:0", "address to listen on")
+		peersCSV  = fs.String("peers", "", "comma-separated full peer list (including self)")
+		lmCSV     = fs.String("landmarks", "", "comma-separated landmark addresses")
+		ttl       = fs.Duration("ttl", time.Minute, "soft-state record TTL")
+		maxRTT    = fs.Float64("max-rtt", 100, "RTT (ms) mapped to the far grid edge")
+		indexDims = fs.Int("index-dims", 3, "landmark vector components fed to the curve")
+		bits      = fs.Int("bits", 5, "grid bits per curve dimension")
+		pings     = fs.Int("pings", 3, "pings per landmark measurement")
+		budget    = fs.Int("budget", 5, "RTT probes per nearest-peer query")
+		publish   = fs.Bool("publish", false, "publish this node's record after startup")
+		refresh   = fs.Duration("refresh", 0, "republish interval (0 = ttl/3; only with -publish)")
+		query     = fs.Bool("query", false, "query for the nearest peer after publishing")
+		oneshot   = fs.Bool("oneshot", false, "exit after publish/query instead of serving")
+		timeout   = fs.Duration("timeout", 2*time.Second, "per-request network timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *demo > 0 {
+		return runDemo(*demo, *ttl, *timeout, out)
+	}
+	if *lmCSV == "" {
+		return fmt.Errorf("need -landmarks")
+	}
+	cfg := wire.SpaceConfig{
+		Landmarks:  splitCSV(*lmCSV),
+		IndexDims:  *indexDims,
+		BitsPerDim: *bits,
+		MaxRTTMs:   *maxRTT,
+	}
+	node, err := wire.NewNode(*listen, cfg, splitCSV(*peersCSV), *ttl)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Fprintf(out, "overlayd: listening on %s (%d landmarks, %d peers)\n",
+		node.Addr(), len(cfg.Landmarks), len(splitCSV(*peersCSV)))
+
+	if *publish {
+		rec, err := node.Publish(*pings, *timeout)
+		if err != nil {
+			return fmt.Errorf("publish: %w", err)
+		}
+		fmt.Fprintf(out, "overlayd: published number=%d vector=%.3v -> owner %s\n",
+			rec.Number, rec.Vector, node.OwnerOf(rec.Number))
+		if !*oneshot {
+			node.StartRefresh(*refresh, *pings, *timeout)
+		}
+	}
+	if *query {
+		addr, rtt, err := node.FindNearest(*budget, *timeout)
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+		fmt.Fprintf(out, "overlayd: nearest peer %s at %v\n", addr, rtt)
+	}
+	if *oneshot {
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(out, "overlayd: shutting down")
+	return nil
+}
+
+// runDemo spins n nodes on ephemeral localhost ports (the first three, or
+// fewer, double as landmarks), publishes everyone's record, and asks each
+// node for its nearest peer — the whole zero-to-aha flow in one command.
+func runDemo(n int, ttl, timeout time.Duration, out io.Writer) error {
+	if n < 2 {
+		return fmt.Errorf("demo needs at least 2 nodes, got %d", n)
+	}
+	// First pass: reserve addresses.
+	boot := make([]*wire.Node, n)
+	addrs := make([]string, n)
+	stub := wire.SpaceConfig{Landmarks: []string{"boot"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	for i := range boot {
+		node, err := wire.NewNode("127.0.0.1:0", stub, nil, ttl)
+		if err != nil {
+			return err
+		}
+		boot[i] = node
+		addrs[i] = node.Addr()
+	}
+	for _, b := range boot {
+		if err := b.Close(); err != nil {
+			return err
+		}
+	}
+	// Second pass: the real cluster.
+	lmCount := 3
+	if lmCount > n {
+		lmCount = n
+	}
+	cfg := wire.SpaceConfig{
+		Landmarks:  addrs[:lmCount],
+		IndexDims:  3,
+		BitsPerDim: 5,
+		MaxRTTMs:   50,
+	}
+	nodes := make([]*wire.Node, n)
+	for i := range nodes {
+		node, err := wire.NewNode(addrs[i], cfg, addrs, ttl)
+		if err != nil {
+			return err
+		}
+		nodes[i] = node
+		defer node.Close()
+	}
+	fmt.Fprintf(out, "overlayd demo: %d nodes up, %d landmarks\n", n, lmCount)
+	for _, node := range nodes {
+		rec, err := node.Publish(2, timeout)
+		if err != nil {
+			return fmt.Errorf("publish %s: %w", node.Addr(), err)
+		}
+		fmt.Fprintf(out, "  %s published number=%d -> owner %s\n",
+			node.Addr(), rec.Number, node.OwnerOf(rec.Number))
+	}
+	for _, node := range nodes {
+		addr, rtt, err := node.FindNearest(3, timeout)
+		if err != nil {
+			fmt.Fprintf(out, "  %s: no nearest peer found (%v)\n", node.Addr(), err)
+			continue
+		}
+		fmt.Fprintf(out, "  %s -> nearest %s at %v\n", node.Addr(), addr, rtt)
+	}
+	fmt.Fprintln(out, "overlayd demo: done")
+	return nil
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

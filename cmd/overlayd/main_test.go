@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"gsso/internal/wire"
+)
+
+func TestSplitCSV(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"a", 1},
+		{"a,b,c", 3},
+		{" a , b ", 2},
+		{"a,,b", 2},
+	}
+	for _, tc := range cases {
+		if got := splitCSV(tc.in); len(got) != tc.want {
+			t.Fatalf("splitCSV(%q) = %v, want %d entries", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRequiresLandmarks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-oneshot"}, &buf); err == nil {
+		t.Fatal("missing -landmarks accepted")
+	}
+}
+
+func TestOneshotStartup(t *testing.T) {
+	// A landmark node to ping, started directly.
+	lm, err := wire.NewNode("127.0.0.1:0", wire.SpaceConfig{
+		Landmarks: []string{"self"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50,
+	}, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lm.Close()
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-listen", "127.0.0.1:0",
+		"-landmarks", lm.Addr(),
+		"-oneshot",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "listening on") {
+		t.Fatalf("startup banner missing:\n%s", buf.String())
+	}
+}
+
+func TestOneshotPublishQuery(t *testing.T) {
+	// Two helper nodes: both landmarks, one of them also the peer that
+	// will host records and be discovered as nearest.
+	cfgStub := wire.SpaceConfig{Landmarks: []string{"x"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	a, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Publish b's record manually so the query finds someone.
+	cfg := wire.SpaceConfig{Landmarks: []string{a.Addr(), b.Addr()}, IndexDims: 2, BitsPerDim: 4, MaxRTTMs: 50}
+	peers := []string{a.Addr(), b.Addr()}
+	helper, err := wire.NewNode("127.0.0.1:0", cfg, peers, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// helper is not in peers, so its record lands on a or b; it stays
+	// alive so the query's RTT probe of it succeeds.
+	defer helper.Close()
+	if _, err := helper.Publish(1, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-listen", "127.0.0.1:0",
+		"-peers", strings.Join(peers, ","),
+		"-landmarks", strings.Join([]string{a.Addr(), b.Addr()}, ","),
+		"-publish", "-query", "-oneshot",
+		"-timeout", "2s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "published number=") {
+		t.Fatalf("publish line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "nearest peer") {
+		t.Fatalf("query line missing:\n%s", out)
+	}
+}
+
+func TestDemoMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-demo", "4", "-timeout", "2s"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4 nodes up") || !strings.Contains(out, "demo: done") {
+		t.Fatalf("demo output wrong:\n%s", out)
+	}
+	if strings.Count(out, "published number=") != 4 {
+		t.Fatalf("expected 4 publishes:\n%s", out)
+	}
+}
+
+func TestDemoTooSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-demo", "1"}, &buf); err == nil {
+		t.Fatal("demo with 1 node accepted")
+	}
+}

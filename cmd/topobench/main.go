@@ -1,0 +1,119 @@
+// Command topobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	topobench -list
+//	topobench -run fig14                 # one experiment, quick scale
+//	topobench -run all -scale full       # the whole evaluation, paper scale
+//	topobench -run fig16 -csv out/       # also write CSV series
+//
+// Quick scale shrinks the topologies and overlays ~10x so the full suite
+// finishes in seconds; full scale reproduces the paper's ~10k-host
+// topologies and 4096-member overlays.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gsso/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("topobench", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list experiments and exit")
+		runID  = fs.String("run", "", "experiment id to run, or 'all'")
+		scale  = fs.String("scale", "quick", "quick or full")
+		seed   = fs.Uint64("seed", 1, "root random seed")
+		csvDir = fs.String("csv", "", "directory to also write per-table CSV files")
+		plot   = fs.Bool("plot", false, "also render numeric tables as ASCII charts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(out, "%-11s %-16s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return nil
+	}
+	if *runID == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -run <id|all> or -list")
+	}
+
+	var sc experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.Quick(*seed)
+	case "full":
+		sc = experiment.Full(*seed)
+	default:
+		return fmt.Errorf("unknown scale %q (quick|full)", *scale)
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+
+	var todo []experiment.Experiment
+	if *runID == "all" {
+		todo = experiment.All()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			e, ok := experiment.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		tables, err := e.Run(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(out); err != nil {
+				return err
+			}
+			if *plot {
+				if err := experiment.Plot(t, out, 64, 16); err != nil {
+					return err
+				}
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, t *experiment.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig2", "fig16", "tab1", "ext-chord", "ext-tacan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNoArgsFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("expected error with no arguments")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestUnknownScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "tab2", "-scale", "giant"}, &buf); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "tab2,figB"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tab2") || !strings.Contains(out, "figB") {
+		t.Fatalf("output missing tables:\n%s", out)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "tab2", "-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "tab2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "parameter,") {
+		t.Fatalf("csv header wrong: %q", string(data[:40]))
+	}
+}

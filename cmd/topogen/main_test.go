@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestGenerateLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "tsk-large", "-scale", "0.1", "-samples", "200"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"transit domains:", "total hosts:", "latency all pairs:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateSmallManual(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "tsk-small", "-latency", "manual", "-scale", "0.1", "-samples", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "latency=manual") {
+		t.Fatalf("manual latency not reflected:\n%s", buf.String())
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "mesh"}, &buf); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestUnknownLatency(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-latency", "quantum"}, &buf); err == nil {
+		t.Fatal("unknown latency accepted")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{"-kind", "tsk-large", "-scale", "0.1", "-seed", "5", "-samples", "100"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/topo.dot"
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "tsk-large", "-scale", "0.05", "-samples", "50", "-dot", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "graph topology {") {
+		t.Fatalf("dot file malformed: %q", string(data[:30]))
+	}
+}

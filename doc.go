@@ -1,0 +1,31 @@
+// Package gsso is a Go reproduction of "Building Topology-Aware Overlays
+// Using Global Soft-State" (Xu, Tang, Zhang — ICDCS 2003): DHT overlays
+// that exploit physical network proximity by (1) generating proximity
+// information with hybrid landmark clustering + RTT measurement, (2)
+// storing that information on the overlay itself as global soft-state
+// placed by landmark number through a Hilbert space-filling curve, and
+// (3) maintaining it with publish/subscribe notifications instead of
+// polling.
+//
+// The implementation lives under internal/, one package per subsystem:
+//
+//	topology   GT-ITM-style transit-stub topologies, O(1) latency queries
+//	netsim     virtual clock, RTT probe metering, latency churn
+//	can        the CAN DHT (zones, greedy routing, join/depart)
+//	ecan       eCAN expressway routing (high-order zones, O(log N) hops)
+//	chord      a compact Chord ring (the appendix's alternative host)
+//	pastry     a compact Pastry (prefix tables + leaf sets, same Selector)
+//	hilbert    d-dimensional Hilbert curve (Skilling's algorithm)
+//	landmark   landmark vectors, orderings, landmark numbers
+//	softstate  the global soft-state store (region maps, condensing, TTL)
+//	pubsub     subscriptions and notifications over the soft-state
+//	proximity  nearest-neighbor search: ERS, landmark-only, hybrid
+//	loadbal    §6: capacity/load-aware neighbor selection
+//	core       the assembled system behind one API
+//	experiment one generator per table and figure of the paper
+//	wire       the proximity subsystem over real TCP
+//
+// Start with examples/quickstart, or regenerate the paper's evaluation
+// with cmd/topobench. bench_test.go in this directory holds one
+// testing.B benchmark per table and figure.
+package gsso

@@ -1,0 +1,3 @@
+module gsso
+
+go 1.23

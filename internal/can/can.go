@@ -1,0 +1,702 @@
+// Package can implements CAN (content-addressable network), the DHT that
+// partitions a d-dimensional Cartesian unit torus into zones, one per
+// member (Ratnasamy et al., SIGCOMM 2001).
+//
+// Zones arise from recursive binary midpoint splits with the split
+// dimension cycling (depth mod d), so every zone is identified by its
+// split path — the sequence of left/right choices from the root. Path
+// prefixes are exactly the paper's "high-order zones" (and the analogue of
+// Pastry's nodeId prefixes); package ecan builds its expressway routing on
+// top of them.
+//
+// Overlays are not safe for concurrent mutation; concurrent readers are
+// fine once construction settles.
+package can
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+// MaxDepth bounds the split-tree depth so zone paths fit in a uint64.
+const MaxDepth = 64
+
+// Point is a location in the unit cube [0,1)^d.
+type Point []float64
+
+// Valid reports whether the point has dimension d with all coordinates in
+// [0, 1).
+func (p Point) Valid(d int) bool {
+	if len(p) != d {
+		return false
+	}
+	for _, x := range p {
+		if x < 0 || x >= 1 || math.IsNaN(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomPoint draws a uniform point in [0,1)^d.
+func RandomPoint(d int, rng *simrand.Source) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+// Path identifies a zone (or region) of the split tree: the first Len bits
+// of Bits, most significant decision first (bit i is Bits>>(63-i)&1).
+type Path struct {
+	Bits uint64
+	Len  int
+}
+
+// child extends the path by one decision bit.
+func (p Path) child(bit int) Path {
+	return Path{Bits: p.Bits | uint64(bit)<<(63-p.Len), Len: p.Len + 1}
+}
+
+// Bit returns decision i (0-based from the root).
+func (p Path) Bit(i int) int { return int(p.Bits>>(63-i)) & 1 }
+
+// HasPrefix reports whether q is a prefix of p.
+func (p Path) HasPrefix(q Path) bool {
+	if q.Len > p.Len {
+		return false
+	}
+	if q.Len == 0 {
+		return true
+	}
+	mask := ^uint64(0) << (64 - q.Len)
+	return p.Bits&mask == q.Bits&mask
+}
+
+// CommonPrefixLen returns the number of leading decisions p and q share.
+func (p Path) CommonPrefixLen(q Path) int {
+	n := p.Len
+	if q.Len < n {
+		n = q.Len
+	}
+	for i := 0; i < n; i++ {
+		if p.Bit(i) != q.Bit(i) {
+			return i
+		}
+	}
+	return n
+}
+
+// Prefix returns the first n decisions of p.
+func (p Path) Prefix(n int) Path {
+	if n >= p.Len {
+		return p
+	}
+	mask := ^uint64(0)
+	if n < 64 {
+		mask <<= 64 - n
+	}
+	return Path{Bits: p.Bits & mask, Len: n}
+}
+
+// String renders the path as a bit string, e.g. "0110".
+func (p Path) String() string {
+	buf := make([]byte, p.Len)
+	for i := 0; i < p.Len; i++ {
+		buf[i] = byte('0' + p.Bit(i))
+	}
+	return string(buf)
+}
+
+// Member is an overlay node: a participant host that owns one leaf zone.
+type Member struct {
+	// Host is the physical host the member runs on.
+	Host topology.NodeID
+	// JoinPoint is the random point the member routed to at join time.
+	JoinPoint Point
+
+	leaf *zone
+}
+
+// Path returns the member's current zone path.
+func (m *Member) Path() Path { return m.leaf.path }
+
+// ZoneLo returns a copy of the member zone's lower corner.
+func (m *Member) ZoneLo() Point { return append(Point(nil), m.leaf.lo...) }
+
+// ZoneHi returns a copy of the member zone's upper corner.
+func (m *Member) ZoneHi() Point { return append(Point(nil), m.leaf.hi...) }
+
+// Volume returns the member zone's volume (fraction of the whole space).
+func (m *Member) Volume() float64 { return m.leaf.volume() }
+
+// ZoneCenter returns the center point of the member's zone; it always lies
+// strictly inside the zone, making it a valid routing target for the zone.
+func (m *Member) ZoneCenter() Point {
+	c := make(Point, len(m.leaf.lo))
+	for k := range c {
+		c[k] = (m.leaf.lo[k] + m.leaf.hi[k]) / 2
+	}
+	return c
+}
+
+// Depth returns the member zone's split depth.
+func (m *Member) Depth() int { return m.leaf.path.Len }
+
+// Neighbors returns the member's CAN neighbors (zones abutting its zone in
+// exactly one dimension and overlapping in all others). Fresh slice.
+func (m *Member) Neighbors() []*Member {
+	out := make([]*Member, 0, len(m.leaf.neighbors))
+	for nb := range m.leaf.neighbors {
+		out = append(out, nb.member)
+	}
+	return out
+}
+
+// NeighborCount returns the size of the member's neighbor set.
+func (m *Member) NeighborCount() int { return len(m.leaf.neighbors) }
+
+// Contains reports whether the member's zone contains p.
+func (m *Member) Contains(p Point) bool { return m.leaf.contains(p) }
+
+// String implements fmt.Stringer.
+func (m *Member) String() string {
+	return fmt.Sprintf("member{host=%d zone=%s}", m.Host, m.leaf.path)
+}
+
+// zone is a node of the binary split tree. Internal zones have exactly two
+// children; leaf zones have a member (nil only for an empty overlay root).
+type zone struct {
+	path     Path
+	lo, hi   Point
+	splitDim int // dimension split at this node (internal zones)
+	children [2]*zone
+	member   *Member
+	// neighbors is maintained for leaves only.
+	neighbors map[*zone]struct{}
+}
+
+func (z *zone) isLeaf() bool { return z.children[0] == nil }
+
+func (z *zone) contains(p Point) bool {
+	for k := range p {
+		if p[k] < z.lo[k] || p[k] >= z.hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (z *zone) volume() float64 {
+	v := 1.0
+	for k := range z.lo {
+		v *= z.hi[k] - z.lo[k]
+	}
+	return v
+}
+
+// Overlay is a CAN over [0,1)^dim.
+type Overlay struct {
+	dim     int
+	root    *zone
+	members map[*Member]struct{}
+}
+
+// New returns an empty CAN of the given dimensionality.
+func New(dim int) (*Overlay, error) {
+	if dim < 1 || dim > 16 {
+		return nil, fmt.Errorf("can: dim = %d, need in [1,16]", dim)
+	}
+	lo := make(Point, dim)
+	hi := make(Point, dim)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return &Overlay{
+		dim:     dim,
+		root:    &zone{lo: lo, hi: hi, neighbors: map[*zone]struct{}{}},
+		members: make(map[*Member]struct{}),
+	}, nil
+}
+
+// Dim returns the overlay dimensionality.
+func (o *Overlay) Dim() int { return o.dim }
+
+// Size returns the number of members.
+func (o *Overlay) Size() int { return len(o.members) }
+
+// Members returns all members ordered by zone path (a canonical,
+// deterministic order: leaf paths are unique). Fresh slice.
+//
+// Determinism here is load-bearing: experiments draw "random member"
+// samples by index into this slice, so iteration-order randomness of the
+// internal map must not leak into results.
+func (o *Overlay) Members() []*Member {
+	out := make([]*Member, 0, len(o.members))
+	for m := range o.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].leaf.path, out[j].leaf.path
+		if a.Bits != b.Bits {
+			return a.Bits < b.Bits
+		}
+		return a.Len < b.Len
+	})
+	return out
+}
+
+// leafAt descends to the leaf zone containing p.
+func (o *Overlay) leafAt(p Point) *zone {
+	z := o.root
+	for !z.isLeaf() {
+		mid := (z.lo[z.splitDim] + z.hi[z.splitDim]) / 2
+		if p[z.splitDim] < mid {
+			z = z.children[0]
+		} else {
+			z = z.children[1]
+		}
+	}
+	return z
+}
+
+// Lookup returns the member owning the zone that contains p, or nil for an
+// empty overlay or an invalid point.
+func (o *Overlay) Lookup(p Point) *Member {
+	if !p.Valid(o.dim) {
+		return nil
+	}
+	return o.leafAt(p).member
+}
+
+// PathOf returns the path of the leaf zone containing p.
+func (o *Overlay) PathOf(p Point) (Path, error) {
+	if !p.Valid(o.dim) {
+		return Path{}, fmt.Errorf("can: invalid point %v for dim %d", p, o.dim)
+	}
+	return o.leafAt(p).path, nil
+}
+
+// Join adds a member for host at point p: the leaf zone containing p is
+// split, the new member takes the half containing p, and the previous
+// owner keeps the other half (the CAN join protocol).
+func (o *Overlay) Join(host topology.NodeID, p Point) (*Member, error) {
+	if !p.Valid(o.dim) {
+		return nil, fmt.Errorf("can: invalid join point %v for dim %d", p, o.dim)
+	}
+	m := &Member{Host: host, JoinPoint: append(Point(nil), p...)}
+	leaf := o.leafAt(p)
+	if leaf.member == nil {
+		// First member adopts the whole space.
+		leaf.member = m
+		m.leaf = leaf
+		o.members[m] = struct{}{}
+		return m, nil
+	}
+	if leaf.path.Len >= MaxDepth {
+		return nil, fmt.Errorf("can: split depth limit %d reached", MaxDepth)
+	}
+	left, right := o.split(leaf)
+	old := leaf.member
+	leaf.member = nil
+	newSide := left
+	oldSide := right
+	if !left.contains(p) {
+		newSide, oldSide = right, left
+	}
+	newSide.member = m
+	m.leaf = newSide
+	oldSide.member = old
+	old.leaf = oldSide
+	o.members[m] = struct{}{}
+	return m, nil
+}
+
+// JoinRandom joins host at a uniformly random point.
+func (o *Overlay) JoinRandom(host topology.NodeID, rng *simrand.Source) (*Member, error) {
+	return o.Join(host, RandomPoint(o.dim, rng))
+}
+
+// split turns leaf into an internal zone with two children along dimension
+// depth mod d, rewiring neighbor sets locally.
+func (o *Overlay) split(leaf *zone) (left, right *zone) {
+	k := leaf.path.Len % o.dim
+	mid := (leaf.lo[k] + leaf.hi[k]) / 2
+
+	mk := func(bit int, lo, hi Point) *zone {
+		return &zone{
+			path:      leaf.path.child(bit),
+			lo:        lo,
+			hi:        hi,
+			neighbors: make(map[*zone]struct{}, len(leaf.neighbors)+1),
+		}
+	}
+	lhi := append(Point(nil), leaf.hi...)
+	lhi[k] = mid
+	rlo := append(Point(nil), leaf.lo...)
+	rlo[k] = mid
+	left = mk(0, leaf.lo, lhi)
+	right = mk(1, rlo, leaf.hi)
+
+	leaf.splitDim = k
+	leaf.children[0] = left
+	leaf.children[1] = right
+
+	// The halves neighbor each other.
+	left.neighbors[right] = struct{}{}
+	right.neighbors[left] = struct{}{}
+	// Redistribute the old neighbors.
+	for nb := range leaf.neighbors {
+		delete(nb.neighbors, leaf)
+		if adjacent(left, nb) {
+			left.neighbors[nb] = struct{}{}
+			nb.neighbors[left] = struct{}{}
+		}
+		if adjacent(right, nb) {
+			right.neighbors[nb] = struct{}{}
+			nb.neighbors[right] = struct{}{}
+		}
+	}
+	leaf.neighbors = nil
+	return left, right
+}
+
+// Depart removes member m, handing its zone over per the CAN departure
+// protocol: if the sibling zone is a leaf the sibling's owner takes over
+// the merged parent; otherwise the owner of one of a pair of sibling
+// leaves inside the sibling subtree is relocated into m's zone and its old
+// zone merges with its sibling.
+func (o *Overlay) Depart(m *Member) error {
+	if _, ok := o.members[m]; !ok {
+		return errors.New("can: departing member is not in the overlay")
+	}
+	delete(o.members, m)
+	leaf := m.leaf
+	m.leaf = nil
+	if leaf == o.root {
+		leaf.member = nil // overlay now empty
+		return nil
+	}
+	parent := o.parentOf(leaf)
+	sibling := parent.children[0]
+	if sibling == leaf {
+		sibling = parent.children[1]
+	}
+	if sibling.isLeaf() {
+		o.mergeChildren(parent, sibling.member)
+		return nil
+	}
+	// Relocate the owner of one leaf of a deepest sibling-leaf pair.
+	pairParent := deepestLeafPair(sibling)
+	mover := pairParent.children[0].member
+	o.mergeChildren(pairParent, pairParent.children[1].member)
+	leaf.member = mover
+	mover.leaf = leaf
+	return nil
+}
+
+// parentOf walks from the root to find the parent of z (z != root).
+func (o *Overlay) parentOf(z *zone) *zone {
+	cur := o.root
+	for {
+		next := cur.children[z.path.Bit(cur.path.Len)]
+		if next == z {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// deepestLeafPair returns an internal zone both of whose children are
+// leaves, found by walking toward internal children.
+func deepestLeafPair(z *zone) *zone {
+	for {
+		if !z.children[0].isLeaf() {
+			z = z.children[0]
+			continue
+		}
+		if !z.children[1].isLeaf() {
+			z = z.children[1]
+			continue
+		}
+		return z
+	}
+}
+
+// mergeChildren collapses parent's two leaf children into parent, which
+// becomes a leaf owned by survivor (the other child's member is the
+// caller's to relocate or discard).
+func (o *Overlay) mergeChildren(parent *zone, survivor *Member) {
+	left, right := parent.children[0], parent.children[1]
+	parent.children[0], parent.children[1] = nil, nil
+	parent.member = survivor
+	survivor.leaf = parent
+	parent.neighbors = make(map[*zone]struct{}, len(left.neighbors)+len(right.neighbors))
+	for _, child := range []*zone{left, right} {
+		for nb := range child.neighbors {
+			delete(nb.neighbors, child)
+			if nb == left || nb == right {
+				continue
+			}
+			if adjacent(parent, nb) {
+				parent.neighbors[nb] = struct{}{}
+				nb.neighbors[parent] = struct{}{}
+			}
+		}
+	}
+}
+
+// adjacent reports CAN adjacency on the torus: the zones abut in exactly
+// one dimension and their spans overlap (with nonzero measure) in every
+// other dimension.
+func adjacent(a, b *zone) bool {
+	touch := false
+	for k := range a.lo {
+		overlap := a.lo[k] < b.hi[k] && b.lo[k] < a.hi[k]
+		if overlap {
+			continue
+		}
+		abut := a.hi[k] == b.lo[k] || b.hi[k] == a.lo[k] ||
+			(a.lo[k] == 0 && b.hi[k] == 1) || (b.lo[k] == 0 && a.hi[k] == 1)
+		if !abut || touch {
+			return false
+		}
+		touch = true
+	}
+	return touch
+}
+
+// torusDist returns the torus distance from coordinate x to the interval
+// [lo, hi) along one axis.
+func torusDist(x, lo, hi float64) float64 {
+	if x >= lo && x < hi {
+		return 0
+	}
+	dLo := math.Abs(x - lo)
+	if w := 1 - dLo; w < dLo {
+		dLo = w
+	}
+	dHi := math.Abs(x - hi)
+	if w := 1 - dHi; w < dHi {
+		dHi = w
+	}
+	if dLo < dHi {
+		return dLo
+	}
+	return dHi
+}
+
+// boxDist returns the squared torus distance from point p to zone z.
+func boxDist(z *zone, p Point) float64 {
+	sum := 0.0
+	for k := range p {
+		d := torusDist(p[k], z.lo[k], z.hi[k])
+		sum += d * d
+	}
+	return sum
+}
+
+// Route performs greedy CAN routing from member "from" to the owner of
+// point p, forwarding at each step to the unvisited neighbor whose zone is
+// closest to p on the torus. It returns the member path including both
+// endpoints. Routing fails only if greedy forwarding exhausts all
+// neighbors (which cannot happen on a complete zone partition, but is
+// guarded to keep the API total).
+func (o *Overlay) Route(from *Member, p Point) ([]*Member, error) {
+	if from == nil || from.leaf == nil {
+		return nil, errors.New("can: route from a non-member")
+	}
+	if !p.Valid(o.dim) {
+		return nil, fmt.Errorf("can: invalid target point %v for dim %d", p, o.dim)
+	}
+	cur := from.leaf
+	path := []*Member{from}
+	visited := map[*zone]struct{}{cur: {}}
+	for !cur.contains(p) {
+		var best *zone
+		bestD := math.Inf(1)
+		for nb := range cur.neighbors {
+			if _, seen := visited[nb]; seen {
+				continue
+			}
+			if d := boxDist(nb, p); d < bestD {
+				best, bestD = nb, d
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("can: greedy routing stuck after %d hops", len(path)-1)
+		}
+		cur = best
+		visited[cur] = struct{}{}
+		path = append(path, cur.member)
+	}
+	return path, nil
+}
+
+// MembersUnder returns every member whose zone lies in the region named by
+// prefix. An empty prefix returns all members. If the prefix descends below
+// a leaf (the tree does not branch that deep there), the leaf's member is
+// returned: its zone contains the whole region.
+func (o *Overlay) MembersUnder(prefix Path) []*Member {
+	z := o.root
+	for z.path.Len < prefix.Len {
+		if z.isLeaf() {
+			if z.member == nil {
+				return nil
+			}
+			return []*Member{z.member}
+		}
+		z = z.children[prefix.Bit(z.path.Len)]
+	}
+	if !z.path.HasPrefix(prefix) {
+		return nil
+	}
+	var out []*Member
+	var walk func(*zone)
+	walk = func(z *zone) {
+		if z.isLeaf() {
+			if z.member != nil {
+				out = append(out, z.member)
+			}
+			return
+		}
+		walk(z.children[0])
+		walk(z.children[1])
+	}
+	walk(z)
+	return out
+}
+
+// LeafAlong descends the split tree following the bits of path; if the
+// tree is deeper than the path, descent continues through 0-children. The
+// returned member owns the leaf zone that contains (or is contained by)
+// the region the path names. Returns nil only for an empty overlay.
+func (o *Overlay) LeafAlong(path Path) *Member {
+	z := o.root
+	for !z.isLeaf() {
+		bit := 0
+		if z.path.Len < path.Len {
+			bit = path.Bit(z.path.Len)
+		}
+		z = z.children[bit]
+	}
+	return z.member
+}
+
+// RegionIndex returns a map from every zone path in the split tree (leaves
+// and internal regions alike) to the members whose zones lie inside it.
+// The index is a snapshot: joins and departures after the call are not
+// reflected. Member slices within the index must not be modified.
+func (o *Overlay) RegionIndex() map[Path][]*Member {
+	idx := make(map[Path][]*Member)
+	var walk func(z *zone) []*Member
+	walk = func(z *zone) []*Member {
+		if z.isLeaf() {
+			if z.member == nil {
+				return nil
+			}
+			ms := []*Member{z.member}
+			idx[z.path] = ms
+			return ms
+		}
+		left := walk(z.children[0])
+		right := walk(z.children[1])
+		ms := make([]*Member, 0, len(left)+len(right))
+		ms = append(ms, left...)
+		ms = append(ms, right...)
+		idx[z.path] = ms
+		return ms
+	}
+	walk(o.root)
+	return idx
+}
+
+// LeafPaths returns the paths of all leaf zones (diagnostics and tests).
+func (o *Overlay) LeafPaths() []Path {
+	var out []Path
+	var walk func(*zone)
+	walk = func(z *zone) {
+		if z.isLeaf() {
+			out = append(out, z.path)
+			return
+		}
+		walk(z.children[0])
+		walk(z.children[1])
+	}
+	walk(o.root)
+	return out
+}
+
+// CheckInvariants exhaustively validates the overlay structure: leaf zones
+// tile the space, neighbor sets are symmetric and geometrically exact, and
+// member/leaf links are consistent. O(n^2); intended for tests.
+func (o *Overlay) CheckInvariants() error {
+	var leaves []*zone
+	var walk func(*zone) error
+	walk = func(z *zone) error {
+		if z.isLeaf() {
+			if z.member == nil && z != o.root {
+				return fmt.Errorf("leaf %s has no member", z.path)
+			}
+			if z.member != nil && z.member.leaf != z {
+				return fmt.Errorf("leaf %s member back-link broken", z.path)
+			}
+			leaves = append(leaves, z)
+			return nil
+		}
+		if z.neighbors != nil {
+			return fmt.Errorf("internal zone %s retains neighbor set", z.path)
+		}
+		for _, c := range z.children {
+			if c == nil {
+				return fmt.Errorf("internal zone %s has nil child", z.path)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(o.root); err != nil {
+		return err
+	}
+	vol := 0.0
+	for _, z := range leaves {
+		vol += z.volume()
+	}
+	if math.Abs(vol-1) > 1e-9 {
+		return fmt.Errorf("leaf volumes sum to %v, want 1", vol)
+	}
+	for i, a := range leaves {
+		for j, b := range leaves {
+			if i == j {
+				continue
+			}
+			_, isNb := a.neighbors[b]
+			_, isNbBack := b.neighbors[a]
+			if isNb != isNbBack {
+				return fmt.Errorf("asymmetric neighbor sets between %s and %s", a.path, b.path)
+			}
+			if want := adjacent(a, b); want != isNb {
+				return fmt.Errorf("neighbor set of %s wrong about %s: have %v, want %v",
+					a.path, b.path, isNb, want)
+			}
+		}
+	}
+	count := 0
+	for _, z := range leaves {
+		if z.member != nil {
+			count++
+		}
+	}
+	if count != len(o.members) {
+		return fmt.Errorf("member count mismatch: %d leaves vs %d registered", count, len(o.members))
+	}
+	return nil
+}

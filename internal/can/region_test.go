@@ -1,0 +1,104 @@
+package can
+
+import (
+	"testing"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+func buildOverlay(t *testing.T, dim, n int, seed uint64) *Overlay {
+	t.Helper()
+	o, err := New(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(seed)
+	for i := 0; i < n; i++ {
+		if _, err := o.JoinRandom(topology.NodeID(i), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestRegionIndexMatchesMembersUnder(t *testing.T) {
+	o := buildOverlay(t, 2, 48, 10)
+	idx := o.RegionIndex()
+	if len(idx[Path{}]) != 48 {
+		t.Fatalf("root region holds %d members", len(idx[Path{}]))
+	}
+	for path, members := range idx {
+		direct := o.MembersUnder(path)
+		if len(direct) != len(members) {
+			t.Fatalf("region %s: index %d members, MembersUnder %d", path, len(members), len(direct))
+		}
+		seen := map[*Member]bool{}
+		for _, m := range members {
+			seen[m] = true
+			if !m.Path().HasPrefix(path) {
+				t.Fatalf("region %s contains member with path %s", path, m.Path())
+			}
+		}
+		for _, m := range direct {
+			if !seen[m] {
+				t.Fatalf("region %s: MembersUnder found member missing from index", path)
+			}
+		}
+	}
+	// Tree-node count: 2n-1 regions for n leaves.
+	if len(idx) != 2*48-1 {
+		t.Fatalf("index holds %d regions, want %d", len(idx), 2*48-1)
+	}
+}
+
+func TestRegionIndexEmptyOverlay(t *testing.T) {
+	o, _ := New(2)
+	idx := o.RegionIndex()
+	if len(idx) != 0 {
+		t.Fatalf("empty overlay index has %d regions", len(idx))
+	}
+}
+
+func TestMembersUnderBelowLeaf(t *testing.T) {
+	o := buildOverlay(t, 2, 8, 11)
+	// Take some leaf and extend its path: the leaf's member covers it.
+	m := o.Members()[0]
+	deep := m.Path().child(0).child(1).child(0)
+	got := o.MembersUnder(deep)
+	if len(got) != 1 || got[0] != m {
+		t.Fatalf("below-leaf region returned %v, want [%v]", got, m)
+	}
+}
+
+func TestZoneCenterInsideZone(t *testing.T) {
+	o := buildOverlay(t, 3, 40, 12)
+	for _, m := range o.Members() {
+		c := m.ZoneCenter()
+		if !m.Contains(c) {
+			t.Fatalf("center %v outside zone of %v", c, m)
+		}
+		if o.Lookup(c) != m {
+			t.Fatal("Lookup(center) is not the member itself")
+		}
+	}
+}
+
+func TestRegionIndexPartitionAtEachLevel(t *testing.T) {
+	o := buildOverlay(t, 2, 32, 13)
+	idx := o.RegionIndex()
+	// For every internal region, children partition the member set.
+	for path, members := range idx {
+		l, okL := idx[path.child(0)]
+		r, okR := idx[path.child(1)]
+		if !okL && !okR {
+			continue // leaf
+		}
+		if !okL || !okR {
+			t.Fatalf("region %s has exactly one child region", path)
+		}
+		if len(l)+len(r) != len(members) {
+			t.Fatalf("region %s: %d members but children hold %d+%d", path, len(members), len(l), len(r))
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package chord implements a compact Chord ring (Stoica et al., SIGCOMM
+// 2001): consistent hashing on an m-bit identifier circle with finger
+// tables for O(log N) lookups.
+//
+// The paper's appendix notes the global soft-state design is
+// overlay-agnostic: "in the case of Chord, we can simply use the landmark
+// number as the key to store the information ... on a node whose ID is
+// equal to or greater than the landmark number". This package provides
+// that substrate: Put stores items at the successor of their key, and
+// Collect gathers the items nearest a key along the ring — exactly the
+// condensed-map lookup, with ring distance standing in for the eCAN
+// placement geometry.
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+// ID is a position on the identifier circle. The ring is always modulo
+// 2^bits; IDs must stay below 1<<bits.
+type ID uint64
+
+// Item is a stored key/value pair.
+type Item struct {
+	Key   ID
+	Value interface{}
+}
+
+// Node is one ring participant.
+type Node struct {
+	ID   ID
+	Host topology.NodeID
+
+	succ    *Node
+	pred    *Node
+	fingers []*Node
+	items   []Item // sorted by Key
+}
+
+// Successor returns the node's ring successor (valid after Build).
+func (n *Node) Successor() *Node { return n.succ }
+
+// Predecessor returns the node's ring predecessor (valid after Build).
+func (n *Node) Predecessor() *Node { return n.pred }
+
+// Items returns the node's stored items (fresh slice).
+func (n *Node) Items() []Item { return append([]Item(nil), n.items...) }
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return fmt.Sprintf("chord{id=%d host=%d}", n.ID, n.Host) }
+
+// Ring is a Chord identifier circle with all membership known to the
+// simulator; Build computes successors and finger tables in one shot
+// (the steady state the iterative join/stabilize protocol converges to).
+type Ring struct {
+	bits  int
+	mod   ID
+	nodes []*Node // sorted by ID
+	built bool
+}
+
+// NewRing returns an empty ring over 2^bits identifiers, 8 <= bits <= 63.
+func NewRing(bits int) (*Ring, error) {
+	if bits < 8 || bits > 63 {
+		return nil, fmt.Errorf("chord: bits = %d, need in [8,63]", bits)
+	}
+	return &Ring{bits: bits, mod: 1 << uint(bits)}, nil
+}
+
+// Bits returns the identifier width.
+func (r *Ring) Bits() int { return r.bits }
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the nodes in ID order (fresh slice).
+func (r *Ring) Nodes() []*Node { return append([]*Node(nil), r.nodes...) }
+
+// Join adds a node with the given ID. Duplicate IDs are rejected (pick
+// random IDs wide enough that collisions don't occur). Build must run
+// before lookups.
+func (r *Ring) Join(host topology.NodeID, id ID) (*Node, error) {
+	if id >= r.mod {
+		return nil, fmt.Errorf("chord: id %d out of ring (bits=%d)", id, r.bits)
+	}
+	i := sort.Search(len(r.nodes), func(k int) bool { return r.nodes[k].ID >= id })
+	if i < len(r.nodes) && r.nodes[i].ID == id {
+		return nil, fmt.Errorf("chord: id %d already taken", id)
+	}
+	n := &Node{ID: id, Host: host}
+	r.nodes = append(r.nodes, nil)
+	copy(r.nodes[i+1:], r.nodes[i:])
+	r.nodes[i] = n
+	r.built = false
+	return n, nil
+}
+
+// JoinRandom joins host at a random unoccupied ID.
+func (r *Ring) JoinRandom(host topology.NodeID, rng *simrand.Source) (*Node, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		id := ID(rng.Uint64()) & (r.mod - 1)
+		n, err := r.Join(host, id)
+		if err == nil {
+			return n, nil
+		}
+	}
+	return nil, errors.New("chord: could not find a free id")
+}
+
+// Build computes successor, predecessor and finger tables for every node.
+func (r *Ring) Build() error {
+	if len(r.nodes) == 0 {
+		return errors.New("chord: empty ring")
+	}
+	n := len(r.nodes)
+	for i, node := range r.nodes {
+		node.succ = r.nodes[(i+1)%n]
+		node.pred = r.nodes[(i-1+n)%n]
+		node.fingers = make([]*Node, r.bits)
+		for f := 0; f < r.bits; f++ {
+			start := (node.ID + 1<<uint(f)) & (r.mod - 1)
+			node.fingers[f] = r.Successor(start)
+		}
+	}
+	r.built = true
+	return nil
+}
+
+// Successor returns the first node whose ID is >= id, wrapping at the top
+// of the ring. Nil on an empty ring.
+func (r *Ring) Successor(id ID) *Node {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	i := sort.Search(len(r.nodes), func(k int) bool { return r.nodes[k].ID >= id })
+	if i == len(r.nodes) {
+		i = 0
+	}
+	return r.nodes[i]
+}
+
+// inOpenClosed reports whether x lies in the ring interval (a, b].
+func inOpenClosed(x, a, b ID) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	if a > b {
+		return x > a || x <= b
+	}
+	return true // a == b: full circle
+}
+
+// inOpen reports whether x lies in the ring interval (a, b).
+func inOpen(x, a, b ID) bool {
+	if a < b {
+		return x > a && x < b
+	}
+	if a > b {
+		return x > a || x < b
+	}
+	return x != a
+}
+
+// Lookup routes from "from" to the owner of key using finger tables,
+// returning the hop path including both endpoints.
+func (r *Ring) Lookup(from *Node, key ID) ([]*Node, error) {
+	if !r.built {
+		return nil, errors.New("chord: ring not built")
+	}
+	if from == nil {
+		return nil, errors.New("chord: lookup from nil node")
+	}
+	if key >= r.mod {
+		return nil, fmt.Errorf("chord: key %d out of ring", key)
+	}
+	cur := from
+	path := []*Node{from}
+	for len(path) <= len(r.nodes)+1 {
+		if inOpenClosed(key, cur.pred.ID, cur.ID) {
+			return path, nil // cur owns key
+		}
+		if inOpenClosed(key, cur.ID, cur.succ.ID) {
+			path = append(path, cur.succ)
+			return path, nil
+		}
+		next := cur.closestPrecedingFinger(key)
+		if next == cur {
+			next = cur.succ
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return nil, errors.New("chord: lookup did not converge")
+}
+
+// closestPrecedingFinger returns the highest finger strictly between the
+// node and the key, or the node itself when none qualifies.
+func (n *Node) closestPrecedingFinger(key ID) *Node {
+	for f := len(n.fingers) - 1; f >= 0; f-- {
+		if fn := n.fingers[f]; fn != nil && inOpen(fn.ID, n.ID, key) {
+			return fn
+		}
+	}
+	return n
+}
+
+// Put stores value under key at the key's successor node.
+func (r *Ring) Put(key ID, value interface{}) error {
+	if key >= r.mod {
+		return fmt.Errorf("chord: key %d out of ring", key)
+	}
+	owner := r.Successor(key)
+	if owner == nil {
+		return errors.New("chord: empty ring")
+	}
+	i := sort.Search(len(owner.items), func(k int) bool { return owner.items[k].Key >= key })
+	owner.items = append(owner.items, Item{})
+	copy(owner.items[i+1:], owner.items[i:])
+	owner.items[i] = Item{Key: key, Value: value}
+	return nil
+}
+
+// CollectCost reports the ring hops a Collect spent walking node to node.
+type CollectCost struct {
+	NodesVisited int
+}
+
+// Collect gathers up to max items whose keys are nearest to key in ring
+// distance, walking outward from the key's successor in both directions
+// (the Chord analogue of the condensed-map curve expansion). budget bounds
+// how many nodes may be visited.
+func (r *Ring) Collect(key ID, max, budget int) ([]Item, CollectCost, error) {
+	if key >= r.mod {
+		return nil, CollectCost{}, fmt.Errorf("chord: key %d out of ring", key)
+	}
+	if len(r.nodes) == 0 || max < 1 {
+		return nil, CollectCost{}, nil
+	}
+	var items []Item
+	cost := CollectCost{}
+	fwd := r.Successor(key)
+	bwd := fwd.pred
+	visited := map[*Node]struct{}{}
+	visit := func(n *Node) {
+		if _, seen := visited[n]; seen {
+			return
+		}
+		visited[n] = struct{}{}
+		cost.NodesVisited++
+		items = append(items, n.items...)
+	}
+	for len(items) < max && cost.NodesVisited < budget && len(visited) < len(r.nodes) {
+		visit(fwd)
+		if len(items) >= max || cost.NodesVisited >= budget {
+			break
+		}
+		visit(bwd)
+		fwd = fwd.succ
+		bwd = bwd.pred
+	}
+	// Rank by ring distance to the key.
+	dist := func(k ID) ID {
+		d := (k - key) & (r.mod - 1)
+		if alt := (key - k) & (r.mod - 1); alt < d {
+			d = alt
+		}
+		return d
+	}
+	sort.Slice(items, func(a, b int) bool {
+		da, db := dist(items[a].Key), dist(items[b].Key)
+		if da != db {
+			return da < db
+		}
+		return items[a].Key < items[b].Key
+	})
+	if len(items) > max {
+		items = items[:max]
+	}
+	return items, cost, nil
+}

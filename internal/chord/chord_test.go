@@ -1,0 +1,325 @@
+package chord
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+func buildRing(t testing.TB, n int, seed uint64) *Ring {
+	t.Helper()
+	r, err := NewRing(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(seed)
+	for i := 0; i < n; i++ {
+		if _, err := r.JoinRandom(topology.NodeID(i), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(7); err == nil {
+		t.Fatal("bits 7 accepted")
+	}
+	if _, err := NewRing(64); err == nil {
+		t.Fatal("bits 64 accepted")
+	}
+	r, err := NewRing(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bits() != 16 || r.Len() != 0 {
+		t.Fatal("fresh ring wrong")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	r, _ := NewRing(8)
+	if _, err := r.Join(1, 256); err == nil {
+		t.Fatal("out-of-ring ID accepted")
+	}
+	if _, err := r.Join(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join(2, 10); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestBuildEmptyRing(t *testing.T) {
+	r, _ := NewRing(16)
+	if err := r.Build(); err == nil {
+		t.Fatal("empty ring built")
+	}
+}
+
+func TestSuccessorPredecessorCycle(t *testing.T) {
+	r := buildRing(t, 50, 1)
+	nodes := r.Nodes()
+	for i, n := range nodes {
+		want := nodes[(i+1)%len(nodes)]
+		if n.Successor() != want {
+			t.Fatalf("node %d successor wrong", i)
+		}
+		if want.Predecessor() != n {
+			t.Fatalf("node %d predecessor wrong", i)
+		}
+	}
+}
+
+func TestSuccessorOfKey(t *testing.T) {
+	r, _ := NewRing(8)
+	r.Join(1, 10)
+	r.Join(2, 100)
+	r.Join(3, 200)
+	r.Build()
+	cases := []struct {
+		key  ID
+		want ID
+	}{
+		{5, 10}, {10, 10}, {11, 100}, {150, 200}, {201, 10}, {255, 10},
+	}
+	for _, tc := range cases {
+		if got := r.Successor(tc.key); got.ID != tc.want {
+			t.Fatalf("Successor(%d) = %d, want %d", tc.key, got.ID, tc.want)
+		}
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	r := buildRing(t, 100, 2)
+	rng := simrand.New(3)
+	nodes := r.Nodes()
+	for trial := 0; trial < 200; trial++ {
+		from := nodes[rng.Intn(len(nodes))]
+		key := ID(rng.Uint64()) & (1<<32 - 1)
+		path, err := r.Lookup(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := path[len(path)-1]
+		if want := r.Successor(key); owner != want {
+			t.Fatalf("Lookup(%d) ended at %v, want %v", key, owner, want)
+		}
+		if path[0] != from {
+			t.Fatal("path does not start at source")
+		}
+	}
+}
+
+func TestLookupLogarithmicHops(t *testing.T) {
+	r := buildRing(t, 256, 4)
+	rng := simrand.New(5)
+	nodes := r.Nodes()
+	total := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		from := nodes[rng.Intn(len(nodes))]
+		key := ID(rng.Uint64()) & (1<<32 - 1)
+		path, err := r.Lookup(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(path) - 1
+	}
+	avg := float64(total) / trials
+	bound := 2 * math.Log2(256)
+	t.Logf("avg hops at N=256: %.2f (log2 N = 8)", avg)
+	if avg > bound {
+		t.Fatalf("avg hops %.2f exceeds 2 log2 N = %.2f", avg, bound)
+	}
+}
+
+func TestLookupValidation(t *testing.T) {
+	r := buildRing(t, 10, 6)
+	if _, err := r.Lookup(nil, 5); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := r.Lookup(r.Nodes()[0], 1<<33); err == nil {
+		t.Fatal("out-of-ring key accepted")
+	}
+	unbuilt, _ := NewRing(16)
+	unbuilt.Join(1, 5)
+	n := unbuilt.Nodes()[0]
+	if _, err := unbuilt.Lookup(n, 3); err == nil {
+		t.Fatal("lookup on unbuilt ring accepted")
+	}
+}
+
+func TestPutStoresAtSuccessor(t *testing.T) {
+	r, _ := NewRing(8)
+	r.Join(1, 10)
+	r.Join(2, 100)
+	r.Build()
+	if err := r.Put(50, "v"); err != nil {
+		t.Fatal(err)
+	}
+	n100 := r.Successor(100)
+	if len(n100.Items()) != 1 || n100.Items()[0].Key != 50 {
+		t.Fatalf("item not at successor: %v", n100.Items())
+	}
+	if err := r.Put(300, "v"); err == nil {
+		t.Fatal("out-of-ring key accepted")
+	}
+	// Items returns a copy.
+	items := n100.Items()
+	items[0].Key = 99
+	if n100.Items()[0].Key != 50 {
+		t.Fatal("Items leaked internal slice")
+	}
+}
+
+func TestPutKeepsItemsSorted(t *testing.T) {
+	r, _ := NewRing(8)
+	r.Join(1, 200)
+	r.Build()
+	for _, k := range []ID{50, 10, 30, 20, 40} {
+		if err := r.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items := r.Nodes()[0].Items()
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Key > items[i].Key {
+			t.Fatalf("items unsorted: %v", items)
+		}
+	}
+}
+
+func TestCollectNearestByRingDistance(t *testing.T) {
+	r := buildRing(t, 64, 7)
+	rng := simrand.New(8)
+	// Store 200 items at random keys.
+	keys := make([]ID, 200)
+	for i := range keys {
+		keys[i] = ID(rng.Uint64()) & (1<<32 - 1)
+		if err := r.Put(keys[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := ID(rng.Uint64()) & (1<<32 - 1)
+	items, cost, err := r.Collect(query, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 10 {
+		t.Fatalf("collected %d items", len(items))
+	}
+	if cost.NodesVisited == 0 {
+		t.Fatal("no nodes visited")
+	}
+	// Result sorted by ring distance.
+	mod := ID(1) << 32
+	dist := func(k ID) ID {
+		d := (k - query) & (mod - 1)
+		if alt := (query - k) & (mod - 1); alt < d {
+			d = alt
+		}
+		return d
+	}
+	for i := 1; i < len(items); i++ {
+		if dist(items[i-1].Key) > dist(items[i].Key) {
+			t.Fatal("items not sorted by ring distance")
+		}
+	}
+}
+
+func TestCollectExhaustiveFindsGlobalNearest(t *testing.T) {
+	r := buildRing(t, 32, 9)
+	rng := simrand.New(10)
+	keys := make([]ID, 100)
+	for i := range keys {
+		keys[i] = ID(rng.Uint64()) & (1<<32 - 1)
+		if err := r.Put(keys[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := ID(12345678)
+	items, _, err := r.Collect(query, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := ID(1) << 32
+	dist := func(k ID) ID {
+		d := (k - query) & (mod - 1)
+		if alt := (query - k) & (mod - 1); alt < d {
+			d = alt
+		}
+		return d
+	}
+	bestDist := dist(keys[0])
+	for _, k := range keys[1:] {
+		if d := dist(k); d < bestDist {
+			bestDist = d
+		}
+	}
+	if dist(items[0].Key) != bestDist {
+		t.Fatalf("Collect missed the globally nearest key: got dist %d, want %d",
+			dist(items[0].Key), bestDist)
+	}
+}
+
+func TestCollectBudget(t *testing.T) {
+	r := buildRing(t, 64, 11)
+	// No items stored: exhausts budget without gathering anything.
+	items, cost, err := r.Collect(1, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 0 {
+		t.Fatal("items from empty ring storage")
+	}
+	if cost.NodesVisited > 7 {
+		t.Fatalf("budget exceeded: %d", cost.NodesVisited)
+	}
+	if _, _, err := r.Collect(1<<33, 5, 7); err == nil {
+		t.Fatal("out-of-ring key accepted")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	// (10, 20]
+	if !inOpenClosed(15, 10, 20) || !inOpenClosed(20, 10, 20) || inOpenClosed(10, 10, 20) {
+		t.Fatal("inOpenClosed basic")
+	}
+	// Wrapping (200, 20]
+	if !inOpenClosed(250, 200, 20) || !inOpenClosed(5, 200, 20) || inOpenClosed(100, 200, 20) {
+		t.Fatal("inOpenClosed wrap")
+	}
+	// Full circle (a == b): everything is inside.
+	if !inOpenClosed(123, 50, 50) {
+		t.Fatal("inOpenClosed full circle")
+	}
+	// inOpen
+	if inOpen(10, 10, 20) || inOpen(20, 10, 20) || !inOpen(15, 10, 20) {
+		t.Fatal("inOpen basic")
+	}
+	if !inOpen(5, 200, 20) || inOpen(200, 200, 20) {
+		t.Fatal("inOpen wrap")
+	}
+	if inOpen(50, 50, 50) || !inOpen(51, 50, 50) {
+		t.Fatal("inOpen full circle")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := buildRing(b, 1024, 1)
+	nodes := r.Nodes()
+	rng := simrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := nodes[i%len(nodes)]
+		if _, err := r.Lookup(from, ID(rng.Uint64())&(1<<32-1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

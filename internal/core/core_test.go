@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/can"
+	"gsso/internal/pubsub"
+	"gsso/internal/softstate"
+)
+
+func newSystem(t testing.TB, opts ...Option) *System {
+	t.Helper()
+	base := []Option{WithSeed(1), WithTopologyScale(0.15), WithOverlaySize(96), WithLandmarks(6)}
+	sys, err := New(append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(WithOverlaySize(1)); err == nil {
+		t.Fatal("overlay size 1 accepted")
+	}
+	if _, err := New(WithProbeBudget(0)); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	if _, err := New(WithTopology("nonsense")); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+}
+
+func TestNewAssemblesEverything(t *testing.T) {
+	sys := newSystem(t)
+	st := sys.Stats()
+	if st.Members != 96 || st.Landmarks != 6 || st.Hosts == 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.TotalEntries == 0 {
+		t.Fatal("no soft-state published")
+	}
+	if sys.Net() == nil || sys.Env() == nil || sys.Overlay() == nil ||
+		sys.Store() == nil || sys.Bus() == nil || sys.Space() == nil {
+		t.Fatal("nil accessor")
+	}
+	if len(sys.Members()) != 96 {
+		t.Fatal("Members() wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := newSystem(t)
+	b := newSystem(t)
+	ma := a.Members()
+	mb := b.Members()
+	// Same seed: same member hosts (set-wise).
+	setA := map[int32]bool{}
+	for _, m := range ma {
+		setA[int32(m.Host)] = true
+	}
+	for _, m := range mb {
+		if !setA[int32(m.Host)] {
+			t.Fatal("different member hosts across identical systems")
+		}
+	}
+}
+
+func TestRouteTo(t *testing.T) {
+	sys := newSystem(t)
+	members := sys.Members()
+	rng := sys.RNG("test")
+	for i := 0; i < 50; i++ {
+		src := members[rng.Intn(len(members))]
+		dst := members[rng.Intn(len(members))]
+		r, err := sys.RouteTo(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Path[0] != src || r.Path[len(r.Path)-1] != dst {
+			t.Fatal("route endpoints wrong")
+		}
+		if src.Host != dst.Host && r.Stretch < 1 {
+			t.Fatalf("stretch %v below 1", r.Stretch)
+		}
+		if r.Hops != len(r.Path)-1 {
+			t.Fatal("hop count inconsistent")
+		}
+	}
+	if _, err := sys.RouteTo(nil, members[0]); err == nil {
+		t.Fatal("nil src accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	sys := newSystem(t)
+	p := can.Point{0.3, 0.7}
+	m := sys.Lookup(p)
+	if m == nil || !m.Contains(p) {
+		t.Fatal("lookup broken")
+	}
+}
+
+func TestNearestMember(t *testing.T) {
+	sys := newSystem(t)
+	members := sys.Members()
+	hosts := make([]int32, 0, len(members))
+	for _, m := range members {
+		hosts = append(hosts, int32(m.Host))
+	}
+	res, err := sys.NearestMember(members[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Member == nil || res.Member == members[0] {
+		t.Fatal("bad nearest member")
+	}
+	if res.Probes == 0 || math.IsInf(res.RTTMs, 1) {
+		t.Fatal("no probing happened")
+	}
+	// Sanity: the result should be closer than the median member.
+	q := members[0].Host
+	var rtts []float64
+	for _, m := range members[1:] {
+		rtts = append(rtts, sys.Net().RTT(q, m.Host))
+	}
+	worse := 0
+	for _, r := range rtts {
+		if r > res.RTTMs {
+			worse++
+		}
+	}
+	if worse < len(rtts)/2 {
+		t.Fatalf("nearest result is worse than median: beat only %d/%d", worse, len(rtts))
+	}
+	if _, err := sys.NearestMember(nil); err == nil {
+		t.Fatal("nil member accepted")
+	}
+}
+
+func TestNearestToHost(t *testing.T) {
+	sys := newSystem(t)
+	memberHosts := map[int32]bool{}
+	for _, m := range sys.Members() {
+		memberHosts[int32(m.Host)] = true
+	}
+	// Pick a stub host outside the overlay.
+	var outside int32 = -1
+	for _, h := range sys.Net().StubHosts() {
+		if !memberHosts[int32(h)] {
+			outside = int32(h)
+			break
+		}
+	}
+	if outside < 0 {
+		t.Skip("no outside host")
+	}
+	res, err := sys.NearestToHost(sys.Net().StubHosts()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Member == nil {
+		t.Fatal("no member found")
+	}
+}
+
+func TestOnCloserCandidateAndReselect(t *testing.T) {
+	sys := newSystem(t)
+	members := sys.Members()
+	m := members[0]
+	fired := 0
+	sub, err := sys.OnCloserCandidate(m, 0, func(pubsub.Notification) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-publishing a node in m's region with currentBest=+Inf fires.
+	region := m.Path().Prefix(sys.Overlay().DigitLen())
+	for _, other := range members[1:] {
+		if other.Path().HasPrefix(region) {
+			if err := sys.Store().PublishMeasured(other); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if fired == 0 {
+		t.Fatal("closer-candidate subscription never fired")
+	}
+	sub.SetCurrentBest(0)
+	sys.Reselect(m) // must not panic; next route rebuilds entries
+	if _, err := sys.RouteTo(m, members[1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnOverloadAndPublishLoad(t *testing.T) {
+	sys := newSystem(t)
+	members := sys.Members()
+	watcher := members[0]
+	region := watcher.Path().Prefix(sys.Overlay().DigitLen())
+	var watched *can.Member
+	for _, m := range members[1:] {
+		if m.Path().HasPrefix(region) {
+			watched = m
+			break
+		}
+	}
+	if watched == nil {
+		t.Skip("no watchable member in region")
+	}
+	if err := sys.Store().PublishMeasured(watched, softstate.WithCapacity(8)); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	if _, err := sys.OnOverload(watcher, watched, 0.75, func(pubsub.Notification) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	sys.PublishLoad(watched, 2) // 25%
+	if fired != 0 {
+		t.Fatal("fired below threshold")
+	}
+	sys.PublishLoad(watched, 7) // 87.5%
+	if fired == 0 {
+		t.Fatal("did not fire above threshold")
+	}
+}
+
+func TestStatsProbeCounting(t *testing.T) {
+	sys := newSystem(t)
+	before := sys.Stats().Probes
+	if _, err := sys.NearestMember(sys.Members()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().Probes <= before {
+		t.Fatal("nearest query did not meter probes")
+	}
+}
+
+func TestTopRegionsCoverSpace(t *testing.T) {
+	sys := newSystem(t)
+	regions := sys.topRegions()
+	if len(regions) != 4 { // 2^dim with dim=2
+		t.Fatalf("top regions = %d", len(regions))
+	}
+	total := 0
+	for _, r := range regions {
+		total += len(sys.Overlay().RegionMembers(r))
+	}
+	if total != len(sys.Members()) {
+		t.Fatalf("top regions cover %d of %d members", total, len(sys.Members()))
+	}
+}

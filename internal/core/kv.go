@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"hash/fnv"
+
+	"gsso/internal/can"
+)
+
+// The DHT face of the system: string keys hash to points in the CAN's
+// Cartesian space, the point's zone owner stores the value, and reads
+// route to the same owner. This is the "administration-free and
+// fault-tolerant storage space that maps keys to values" the paper's
+// first sentence promises — with the topology-aware routing underneath
+// making each hop short.
+
+// keyPoint hashes a key to a point in the unit cube, one independent
+// hash per dimension. FNV-1a's high bits avalanche poorly on short keys,
+// so a SplitMix64 finalizer spreads the digest before scaling.
+func (s *System) keyPoint(key string) can.Point {
+	dim := s.overlay.CAN().Dim()
+	p := make(can.Point, dim)
+	for d := 0; d < dim; d++ {
+		h := fnv.New64a()
+		h.Write([]byte{byte(d)})
+		h.Write([]byte(key))
+		x := h.Sum64()
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		p[d] = float64(x>>11) / (1 << 53)
+	}
+	return p
+}
+
+// PutResult reports where a Put landed and what the write cost.
+type PutResult struct {
+	Owner     *can.Member
+	Hops      int
+	LatencyMs float64
+}
+
+// Put stores value under key at the owner of the key's point, routing
+// from the given member (any member can serve as the access point). The
+// value is copied.
+func (s *System) Put(from *can.Member, key string, value []byte) (PutResult, error) {
+	if from == nil {
+		return PutResult{}, errors.New("core: nil access member")
+	}
+	point := s.keyPoint(key)
+	res, err := s.overlay.Route(from, point)
+	if err != nil {
+		return PutResult{}, err
+	}
+	owner := res.Members[len(res.Members)-1]
+	if s.kv == nil {
+		s.kv = make(map[*can.Member]map[string][]byte)
+	}
+	shard := s.kv[owner]
+	if shard == nil {
+		shard = make(map[string][]byte)
+		s.kv[owner] = shard
+	}
+	shard[key] = append([]byte(nil), value...)
+	s.env.CountMessages("kv-put", 1)
+	return PutResult{Owner: owner, Hops: res.Hops(), LatencyMs: res.Latency(s.env)}, nil
+}
+
+// GetResult reports a Get and its cost.
+type GetResult struct {
+	Value     []byte
+	Found     bool
+	Owner     *can.Member
+	Hops      int
+	LatencyMs float64
+}
+
+// Get routes from the given member to the key's owner and returns the
+// stored value (copied), if any.
+func (s *System) Get(from *can.Member, key string) (GetResult, error) {
+	if from == nil {
+		return GetResult{}, errors.New("core: nil access member")
+	}
+	point := s.keyPoint(key)
+	res, err := s.overlay.Route(from, point)
+	if err != nil {
+		return GetResult{}, err
+	}
+	owner := res.Members[len(res.Members)-1]
+	s.env.CountMessages("kv-get", 1)
+	out := GetResult{Owner: owner, Hops: res.Hops(), LatencyMs: res.Latency(s.env)}
+	if shard, ok := s.kv[owner]; ok {
+		if v, ok := shard[key]; ok {
+			out.Value = append([]byte(nil), v...)
+			out.Found = true
+		}
+	}
+	return out, nil
+}
+
+// KeysAt returns how many keys a member currently stores.
+func (s *System) KeysAt(m *can.Member) int { return len(s.kv[m]) }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	sys := newSystem(t)
+	members := sys.Members()
+	put, err := sys.Put(members[0], "alpha", []byte("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if put.Owner == nil {
+		t.Fatal("no owner")
+	}
+	// Read from a different access point: same owner, same value.
+	got, err := sys.Get(members[len(members)-1], "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || !bytes.Equal(got.Value, []byte("beta")) {
+		t.Fatalf("Get = %+v", got)
+	}
+	if got.Owner != put.Owner {
+		t.Fatal("reads and writes disagree on the owner")
+	}
+	if sys.KeysAt(put.Owner) != 1 {
+		t.Fatalf("KeysAt = %d", sys.KeysAt(put.Owner))
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	sys := newSystem(t)
+	got, err := sys.Get(sys.Members()[0], "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Found || got.Value != nil {
+		t.Fatalf("missing key found: %+v", got)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	sys := newSystem(t)
+	m := sys.Members()[0]
+	if _, err := sys.Put(m, "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Put(m, "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Get(m, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Value) != "v2" {
+		t.Fatalf("value = %q", got.Value)
+	}
+}
+
+func TestPutGetValidation(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := sys.Put(nil, "k", nil); err == nil {
+		t.Fatal("nil access member accepted for Put")
+	}
+	if _, err := sys.Get(nil, "k"); err == nil {
+		t.Fatal("nil access member accepted for Get")
+	}
+}
+
+func TestValueIsCopied(t *testing.T) {
+	sys := newSystem(t)
+	m := sys.Members()[0]
+	val := []byte("mutable")
+	if _, err := sys.Put(m, "k", val); err != nil {
+		t.Fatal(err)
+	}
+	val[0] = 'X'
+	got, _ := sys.Get(m, "k")
+	if string(got.Value) != "mutable" {
+		t.Fatal("Put did not copy the value")
+	}
+	got.Value[0] = 'Y'
+	again, _ := sys.Get(m, "k")
+	if string(again.Value) != "mutable" {
+		t.Fatal("Get did not copy the value")
+	}
+}
+
+func TestKeysDistributeAcrossOwners(t *testing.T) {
+	sys := newSystem(t)
+	m := sys.Members()[0]
+	owners := map[interface{}]int{}
+	for i := 0; i < 200; i++ {
+		res, err := sys.Put(m, fmt.Sprintf("key-%d", i), []byte("v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners[res.Owner]++
+	}
+	if len(owners) < 20 {
+		t.Fatalf("200 keys landed on only %d owners", len(owners))
+	}
+	// Message accounting.
+	if sys.Env().Messages("kv-put") != 200 {
+		t.Fatalf("kv-put messages = %d", sys.Env().Messages("kv-put"))
+	}
+}
+
+func TestPutGetCostIsTopologyAware(t *testing.T) {
+	// With the soft-state selector installed, the average KV access path
+	// should be cheap relative to random selection; sanity check the cost
+	// fields are populated and consistent.
+	sys := newSystem(t)
+	m := sys.Members()[0]
+	res, err := sys.Put(m, "expensive?", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops > 0 && res.LatencyMs <= 0 {
+		t.Fatalf("hops %d but latency %v", res.Hops, res.LatencyMs)
+	}
+}

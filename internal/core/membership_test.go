@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"gsso/internal/topology"
+)
+
+func TestJoinHost(t *testing.T) {
+	sys := newSystem(t)
+	before := len(sys.Members())
+	memberHosts := map[topology.NodeID]bool{}
+	for _, m := range sys.Members() {
+		memberHosts[m.Host] = true
+	}
+	var newcomer topology.NodeID = topology.None
+	for _, h := range sys.Net().StubHosts() {
+		if !memberHosts[h] {
+			newcomer = h
+			break
+		}
+	}
+	if newcomer == topology.None {
+		t.Skip("no spare host")
+	}
+	m, nearest, err := sys.JoinHost(newcomer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Members()) != before+1 {
+		t.Fatalf("member count %d, want %d", len(sys.Members()), before+1)
+	}
+	if m.Host != newcomer {
+		t.Fatal("member on wrong host")
+	}
+	if nearest.Member == nil {
+		t.Fatal("join did not discover a nearest neighbor")
+	}
+	// The newcomer published: its vector is known and it is routable.
+	if sys.Store().Vector(m) == nil {
+		t.Fatal("newcomer unpublished")
+	}
+	r, err := sys.RouteTo(sys.Members()[0], m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Path[len(r.Path)-1] != m {
+		t.Fatal("route to newcomer failed")
+	}
+	// Overlay invariants survived the join.
+	if err := sys.Overlay().CAN().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepartMember(t *testing.T) {
+	sys := newSystem(t)
+	members := sys.Members()
+	before := len(members)
+	victim := members[3]
+	if err := sys.DepartMember(victim); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Members()) != before-1 {
+		t.Fatal("member not removed")
+	}
+	if sys.Store().Vector(victim) != nil {
+		t.Fatal("soft-state not withdrawn")
+	}
+	if err := sys.Overlay().CAN().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Routing still works across the survivors.
+	survivors := sys.Members()
+	r, err := sys.RouteTo(survivors[0], survivors[len(survivors)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hops < 0 {
+		t.Fatal("bad route")
+	}
+	if err := sys.DepartMember(nil); err == nil {
+		t.Fatal("nil member departed")
+	}
+}
+
+func TestJoinDepartChurn(t *testing.T) {
+	sys := newSystem(t)
+	memberHosts := map[topology.NodeID]bool{}
+	for _, m := range sys.Members() {
+		memberHosts[m.Host] = true
+	}
+	var spares []topology.NodeID
+	for _, h := range sys.Net().StubHosts() {
+		if !memberHosts[h] {
+			spares = append(spares, h)
+		}
+		if len(spares) == 8 {
+			break
+		}
+	}
+	rng := sys.RNG("churn")
+	for i, h := range spares {
+		if _, _, err := sys.JoinHost(h); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		members := sys.Members()
+		if err := sys.DepartMember(members[rng.Intn(len(members))]); err != nil {
+			t.Fatalf("depart %d: %v", i, err)
+		}
+	}
+	if err := sys.Overlay().CAN().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// End-to-end still healthy.
+	members := sys.Members()
+	if _, err := sys.RouteTo(members[0], members[len(members)/2]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// TestAllExperimentsRunAtQuickScale executes every registered experiment
+// end to end: tables must be non-empty, render cleanly, and every cell
+// that looks like a stretch must be >= 1. This is the coverage backstop
+// for the figures whose shapes are asserted in detail elsewhere.
+func TestAllExperimentsRunAtQuickScale(t *testing.T) {
+	sc := quickScale()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("table %s empty", tb.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("table %s ragged row %v", tb.ID, row)
+					}
+				}
+				var buf bytes.Buffer
+				if err := tb.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := tb.WriteCSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := Plot(tb, &buf, 40, 10); err != nil {
+					t.Fatal(err)
+				}
+				// Stretch columns never dip below 1.
+				for c, name := range tb.Columns {
+					if name != "stretch" && name != "nearest-neighbor stretch" {
+						continue
+					}
+					for r, row := range tb.Rows {
+						v, err := strconv.ParseFloat(row[c], 64)
+						if err != nil {
+							continue
+						}
+						if v < 1 {
+							t.Fatalf("table %s row %d: stretch %v < 1", tb.ID, r, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}

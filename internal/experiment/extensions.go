@@ -1,0 +1,440 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"gsso/internal/can"
+	"gsso/internal/chord"
+	"gsso/internal/ecan"
+	"gsso/internal/landmark"
+	"gsso/internal/loadbal"
+	"gsso/internal/netsim"
+	"gsso/internal/proximity"
+	"gsso/internal/pubsub"
+	"gsso/internal/simrand"
+	"gsso/internal/softstate"
+	"gsso/internal/topology"
+)
+
+// RunExtLoad is the §6 ablation: capacity-aware neighbor selection trades
+// a little stretch for a large reduction in peak utilization. Sweeps the
+// load-penalty knob alpha with feedback rounds (route -> publish loads ->
+// re-select).
+func RunExtLoad(sc Scale) ([]*Table, error) {
+	net, err := buildNet(TSKLarge, LatManual, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ext-load",
+		Title:   "Load-aware neighbor selection (§6): stretch vs peak utilization",
+		Columns: []string{"alpha", "stretch", "max util", "mean util"},
+	}
+	for _, alpha := range []float64{0, 0.5, 1, 2, 4} {
+		st, err := buildStack(net, sc, stackConfig{
+			overlayN:  sc.OverlayN,
+			landmarks: sc.Landmarks,
+			label:     fmt.Sprintf("extload/a%v", alpha),
+		})
+		if err != nil {
+			return nil, err
+		}
+		members := st.overlay.CAN().Members()
+		caps := loadbal.AssignHeterogeneousCapacities(members, 0.2, 20*float64(sc.OverlayN)/64, 2*float64(sc.OverlayN)/64, st.rng.Split("caps"))
+		if err := st.store.PublishAll(func(m *can.Member) []softstate.PublishOption {
+			return []softstate.PublishOption{softstate.WithCapacity(caps[m])}
+		}); err != nil {
+			return nil, err
+		}
+		sel, err := loadbal.NewSelector(st.store, sc.RTTs, alpha,
+			ecan.RandomSelector{RNG: st.rng.Split("fb")})
+		if err != nil {
+			return nil, err
+		}
+		st.overlay.SetSelector(sel)
+		loads := map[*can.Member]float64{}
+		var rep loadbal.Report
+		for round := 0; round < 3; round++ {
+			rep, err = loadbal.RunTraffic(st.overlay, st.env, caps, loads,
+				sc.QueriesFor(sc.OverlayN)/2, st.rng.Split(fmt.Sprintf("traffic%d", round)))
+			if err != nil {
+				return nil, err
+			}
+			for m, l := range loads {
+				st.store.UpdateLoad(m, l)
+			}
+			for _, m := range members {
+				st.overlay.InvalidateEntries(m)
+			}
+		}
+		t.AddRowf(alpha, rep.MeanStretch, rep.MaxUtilization, rep.MeanUtilization)
+	}
+	t.Note("alpha=0 is pure proximity selection; growing alpha repels load from saturated nodes")
+	t.Note("expected shape: max utilization falls with alpha at a modest stretch cost")
+	return []*Table{t}, nil
+}
+
+// RunExtPubSub compares the three maintenance modes of §5.2 under
+// drifting network conditions (epoch-jittered latencies): reactive
+// (stale tables), periodic polling (full re-selection every epoch), and
+// demand-driven publish/subscribe (re-selection only where the soft-state
+// reports better candidates).
+func RunExtPubSub(sc Scale) ([]*Table, error) {
+	net, err := buildNet(TSKLarge, LatGTITM, sc)
+	if err != nil {
+		return nil, err
+	}
+	const epochs = 4
+	const period = netsim.Time(1000)
+	type outcome struct {
+		firstStretch, lastStretch float64
+		messages                  int64
+		// refreshProbes are the landmark re-measurements of the periodic
+		// soft-state refresh (paid identically by poll and pubsub);
+		// selectProbes are the neighbor-selection RTTs — the cost the
+		// maintenance policy actually controls.
+		refreshProbes int64
+		selectProbes  int64
+	}
+	run := func(policy string) (outcome, error) {
+		// The same label for every policy: identical topology, overlay
+		// geometry, landmark set and jitter, so the policies differ only
+		// in maintenance behaviour.
+		st, err := buildStack(net, sc, stackConfig{
+			overlayN:  sc.OverlayN / 2, // churn experiment: keep it nimble
+			landmarks: sc.Landmarks,
+			label:     "extpubsub",
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		// Per-node (access-link) churn: each epoch 10% of nodes congest,
+		// inflating paths through them up to 4x. Re-selection can route
+		// around a congested node; the interesting question is what each
+		// maintenance policy pays to find out which nodes those are. The
+		// landmark hosts are exempt — congested coordinate infrastructure
+		// would distort everyone's position uniformly, a separate failure
+		// mode deployments guard against with redundant landmarks.
+		exempt := make(map[topology.NodeID]struct{})
+		for _, lm := range st.space.Set().Nodes() {
+			exempt[lm] = struct{}{}
+		}
+		st.env.SetPerturbation(netsim.NodeJitter{
+			Seed: sc.Seed, Amplitude: 3, Period: period, Fraction: 0.1, Exempt: exempt,
+		})
+		members := st.overlay.CAN().Members()
+		sel, err := softstate.NewSelector(st.store, sc.RTTs,
+			ecan.RandomSelector{RNG: st.rng.Split("fb")})
+		if err != nil {
+			return outcome{}, err
+		}
+		st.overlay.SetSelector(sel)
+		pairs := samplePairs(st.overlay, sc.QueriesFor(sc.OverlayN/2), st.rng.Split("pairs"))
+
+		// Pub/sub wiring (only used by the pubsub policy): every member
+		// watches each routing entry its routing has actually selected —
+		// at every row — with a NeighborDegraded condition: "my selected
+		// neighbor's landmark position drifted away from me", which is
+		// exactly the event latency churn produces (§5.2's demand-driven
+		// re-selection; the CloserCandidate condition matters under
+		// membership growth and is exercised by the pubsub package tests
+		// and the core API instead). relMargin filters drifts below 15%
+		// so noise doesn't renotify.
+		const relMargin = 0.15
+		notified := map[*can.Member]bool{}
+		watchers := map[*can.Member][]*pubsub.Subscription{}
+		var bus *pubsub.Bus
+		if policy == "pubsub" {
+			bus, err = pubsub.NewBus(st.store, st.env)
+			if err != nil {
+				return outcome{}, err
+			}
+		}
+		d := st.overlay.DigitLen()
+		digitRegion := func(m *can.Member, row, digit int) can.Path {
+			region := m.Path().Prefix(row * d)
+			for b := d - 1; b >= 0; b-- {
+				bit := uint64((digit >> uint(b)) & 1)
+				region = can.Path{Bits: region.Bits | bit<<(63-region.Len), Len: region.Len + 1}
+			}
+			return region
+		}
+		digitOf := func(m *can.Member, row int) int {
+			v := 0
+			for b := 0; b < d; b++ {
+				bit := 0
+				if i := row*d + b; i < m.Depth() {
+					bit = m.Path().Bit(i)
+				}
+				v = v<<1 | bit
+			}
+			return v
+		}
+		rewire := func(m *can.Member) error {
+			for _, s := range watchers[m] {
+				bus.Unsubscribe(s)
+			}
+			watchers[m] = nil
+			vec := st.store.Vector(m)
+			if vec == nil {
+				return nil
+			}
+			notify := func(pubsub.Notification) { notified[m] = true }
+			rows := (m.Depth() + d - 1) / d
+			for row := 0; row < rows; row++ {
+				myDigit := digitOf(m, row)
+				for digit := 0; digit < 1<<uint(d); digit++ {
+					if digit == myDigit {
+						continue
+					}
+					// Watch only entries routing has actually selected;
+					// forcing selection here would spend probes on entries
+					// no route uses.
+					entry := st.overlay.CachedEntry(m, row, digit)
+					if entry == nil {
+						continue
+					}
+					evec := st.store.Vector(entry)
+					if evec == nil {
+						continue
+					}
+					cur := landmark.Distance(evec, vec)
+					degraded, err := bus.Subscribe(m, digitRegion(m, row, digit),
+						pubsub.Condition{Kind: pubsub.NeighborDegraded, Member: entry, Margin: relMargin*cur + 1e-9}, notify)
+					if err != nil {
+						return err
+					}
+					degraded.SetCurrentBest(cur)
+					watchers[m] = append(watchers[m], degraded)
+				}
+			}
+			return nil
+		}
+
+		st.env.ResetMessages()
+		st.env.ResetProbes()
+		out := outcome{}
+		for epoch := 0; epoch < epochs; epoch++ {
+			if epoch > 0 {
+				st.env.Clock().Advance(period)
+				switch policy {
+				case "stale":
+					// Reactive: nothing moves until an entry is found dead.
+				case "poll":
+					pre := st.env.Probes()
+					if err := st.store.PublishAll(nil); err != nil {
+						return outcome{}, err
+					}
+					out.refreshProbes += st.env.Probes() - pre
+					for _, m := range members {
+						st.overlay.InvalidateEntries(m)
+					}
+				case "pubsub":
+					// The soft-state refresh happens anyway (TTL); the bus
+					// turns refreshes into per-slot invalidations.
+					for k := range notified {
+						delete(notified, k)
+					}
+					pre := st.env.Probes()
+					if err := st.store.PublishAll(nil); err != nil {
+						return outcome{}, err
+					}
+					out.refreshProbes += st.env.Probes() - pre
+					for m := range notified {
+						// A notification is the cue that this member's
+						// neighborhood moved; refresh its table.
+						st.overlay.InvalidateEntries(m)
+					}
+				}
+			}
+			s, err := meanStretch(st.overlay, st.env, pairs)
+			if err != nil {
+				return outcome{}, err
+			}
+			if epoch == 0 {
+				out.firstStretch = s
+			}
+			out.lastStretch = s
+			if policy == "pubsub" {
+				// (Re)subscribe against the entries selected this epoch:
+				// epoch 0 wires everyone, later epochs rewire only the
+				// members whose tables changed.
+				var targets []*can.Member
+				if epoch == 0 {
+					targets = members
+				} else {
+					for m := range notified {
+						targets = append(targets, m)
+					}
+				}
+				for _, m := range targets {
+					if err := rewire(m); err != nil {
+						return outcome{}, err
+					}
+				}
+			}
+		}
+		for _, v := range st.env.MessageTotals() {
+			out.messages += v
+		}
+		out.selectProbes = st.env.Probes() - out.refreshProbes
+		return out, nil
+	}
+
+	t := &Table{
+		ID:    "ext-pubsub",
+		Title: fmt.Sprintf("Overlay maintenance under per-node congestion churn (%d epochs, 10%% of nodes up to 4x slower)", epochs),
+		Columns: []string{"policy", "stretch@first", "stretch@last",
+			"overlay msgs", "refresh probes", "selection probes"},
+	}
+	for _, policy := range []string{"stale", "poll", "pubsub"} {
+		o, err := run(policy)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(policy, o.firstStretch, o.lastStretch, o.messages, o.refreshProbes, o.selectProbes)
+	}
+	t.Note("stale = reactive repair only; poll = full periodic re-selection; pubsub = demand-driven re-selection on soft-state notifications")
+	t.Note("expected shape: pubsub tracks poll's stretch at a fraction of poll's probe cost; stale drifts upward")
+	return []*Table{t}, nil
+}
+
+// RunExtChord demonstrates the appendix claim that the soft-state design
+// is overlay-agnostic: nearest-neighbor discovery via landmark-keyed
+// records stored on a Chord ring performs on par with the flat hybrid
+// index, and far better than random selection.
+func RunExtChord(sc Scale) ([]*Table, error) {
+	net, err := buildNet(TSKLarge, LatGTITM, sc)
+	if err != nil {
+		return nil, err
+	}
+	env := netsim.New(net)
+	rng := simrand.New(sc.Seed).Split("extchord")
+	hosts := net.RandomStubHosts(rng.Split("hosts"), sc.OverlayN)
+
+	set, err := landmark.Choose(net, sc.Landmarks, rng.Split("lm"))
+	if err != nil {
+		return nil, err
+	}
+	space, err := landmark.NewSpace(set, 3, 6,
+		landmark.EstimateMaxRTT(net, set, net.RandomStubHosts(rng.Split("est"), 32)))
+	if err != nil {
+		return nil, err
+	}
+	index, err := proximity.BuildIndex(env, space, hosts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Chord ring storing (host, vector) items keyed by landmark number
+	// scaled into the ring.
+	const ringBits = 32
+	numberWidth := uint(space.Curve().Dims() * space.Curve().Bits())
+	shift := uint(ringBits) - numberWidth
+	ring, err := chord.NewRing(ringBits)
+	if err != nil {
+		return nil, err
+	}
+	ringRNG := rng.Split("ring")
+	for _, h := range hosts {
+		if _, err := ring.JoinRandom(h, ringRNG); err != nil {
+			return nil, err
+		}
+	}
+	if err := ring.Build(); err != nil {
+		return nil, err
+	}
+	type rec struct {
+		host topology.NodeID
+		vec  landmark.Vector
+	}
+	for _, h := range hosts {
+		vec := index.VectorOf(h)
+		num, err := space.Number(vec)
+		if err != nil {
+			return nil, err
+		}
+		if err := ring.Put(chord.ID(num<<shift), rec{host: h, vec: vec}); err != nil {
+			return nil, err
+		}
+	}
+
+	queries := make([]topology.NodeID, sc.NNQueries)
+	qRNG := rng.Split("queries")
+	for i := range queries {
+		queries[i] = hosts[qRNG.Intn(len(hosts))]
+	}
+	budget := sc.RTTs
+
+	meanOf := func(find func(q topology.NodeID) topology.NodeID) float64 {
+		total, n := 0.0, 0
+		for _, q := range queries {
+			found := find(q)
+			s := proximity.Stretch(net, q, found, hosts)
+			if math.IsInf(s, 1) {
+				continue
+			}
+			total += s
+			n++
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return total / float64(n)
+	}
+
+	chordStretch := meanOf(func(q topology.NodeID) topology.NodeID {
+		vec := index.VectorOf(q)
+		num, err := space.Number(vec)
+		if err != nil {
+			return topology.None
+		}
+		items, _, err := ring.Collect(chord.ID(num<<shift), 3*budget, 64)
+		if err != nil {
+			return topology.None
+		}
+		best := topology.None
+		bestRTT := math.Inf(1)
+		probes := 0
+		for _, it := range items {
+			r := it.Value.(rec)
+			if r.host == q {
+				continue
+			}
+			if probes >= budget {
+				break
+			}
+			if rtt := env.ProbeRTT(q, r.host); rtt < bestRTT {
+				best, bestRTT = r.host, rtt
+			}
+			probes++
+		}
+		return best
+	})
+
+	flatStretch := meanOf(func(q topology.NodeID) topology.NodeID {
+		return index.SearchHybrid(env, q, budget).Found
+	})
+
+	randStretch := meanOf(func(q topology.NodeID) topology.NodeID {
+		for {
+			h := hosts[qRNG.Intn(len(hosts))]
+			if h != q {
+				return h
+			}
+		}
+	})
+
+	t := &Table{
+		ID:      "ext-chord",
+		Title:   fmt.Sprintf("Soft-state on Chord vs flat hybrid index (budget=%d probes)", budget),
+		Columns: []string{"method", "nearest-neighbor stretch"},
+	}
+	t.AddRowf("chord-hosted soft-state", chordStretch)
+	t.AddRowf("flat hybrid index", flatStretch)
+	t.AddRowf("random selection", randStretch)
+	t.Note("appendix: 'in the case of Chord, we can simply use the landmark number as the key'")
+	t.Note("expected shape: chord-hosted within noise of the flat index; both far below random")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gsso/internal/landmark"
+	"gsso/internal/netsim"
+	"gsso/internal/proximity"
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+// RunExtSVD evaluates the third §5.4 optimization: many landmarks plus
+// SVD denoising. Every RTT measurement carries 30% multiplicative noise
+// (a static per-pair jitter — the probes are noisy, the ground truth is
+// not). Candidates are ranked either by raw noisy-vector distance or by
+// distance in the top-k SVD basis, then the usual probe budget refines.
+func RunExtSVD(sc Scale) ([]*Table, error) {
+	net, err := buildNet(TSKLarge, LatGTITM, sc)
+	if err != nil {
+		return nil, err
+	}
+	env := netsim.New(net)
+	env.SetPerturbation(netsim.StaticJitter{Seed: sc.Seed, Amplitude: 0.3})
+	rng := simrand.New(sc.Seed).Split("extsvd")
+	hosts := net.RandomStubHosts(rng.Split("hosts"), sc.OverlayN)
+
+	// A large landmark set, per the optimization's premise.
+	landmarks := 2 * sc.Landmarks
+	set, err := landmark.Choose(net, landmarks, rng.Split("lm"))
+	if err != nil {
+		return nil, err
+	}
+	// Noisy vectors, one per host.
+	vectors := make([]landmark.Vector, len(hosts))
+	for i, h := range hosts {
+		vectors[i] = landmark.Measure(env, h, set)
+	}
+
+	qRNG := rng.Split("queries")
+	qIdx := qRNG.Sample(len(hosts), sc.NNQueries)
+	budget := sc.RTTs
+
+	// meanStretchWith ranks every other host by dist(vecs[i], vecs[q]),
+	// probes the top budget (noisy probes), and scores the pick against
+	// the unjittered ground truth.
+	meanStretchWith := func(vecs []landmark.Vector) float64 {
+		total, n := 0.0, 0
+		order := make([]int, len(hosts))
+		for _, qi := range qIdx {
+			q := hosts[qi]
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool {
+				da := landmark.Distance(vecs[order[a]], vecs[qi])
+				db := landmark.Distance(vecs[order[b]], vecs[qi])
+				if da != db {
+					return da < db
+				}
+				return hosts[order[a]] < hosts[order[b]]
+			})
+			best := topology.None
+			bestRTT := math.Inf(1)
+			probes := 0
+			for _, idx := range order {
+				if hosts[idx] == q {
+					continue
+				}
+				if probes >= budget {
+					break
+				}
+				rtt := env.ProbeRTT(q, hosts[idx])
+				probes++
+				if rtt < bestRTT {
+					best, bestRTT = hosts[idx], rtt
+				}
+			}
+			s := proximity.Stretch(net, q, best, hosts)
+			if math.IsInf(s, 1) {
+				continue
+			}
+			total += s
+			n++
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return total / float64(n)
+	}
+
+	t := &Table{
+		ID: "ext-svd",
+		Title: fmt.Sprintf("SVD denoising of %d noisy landmarks (§5.4 optimization 3, 30%% probe noise, budget=%d)",
+			landmarks, budget),
+		Columns: []string{"ranking space", "dims", "nearest-neighbor stretch"},
+	}
+	t.AddRowf("raw noisy vectors", landmarks, meanStretchWith(vectors))
+	for _, k := range []int{4, 8} {
+		if k >= landmarks {
+			continue
+		}
+		denoised, err := landmark.DenoiseVectors(vectors, k)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(fmt.Sprintf("SVD top-%d", k), k, meanStretchWith(denoised))
+	}
+	t.Note("paper §5.4: SVD over many landmarks 'extracts useful information ... and suppresses noises'")
+	t.Note("measured shape: the top-8 basis lands within a few percent of the full ranking at a quarter of")
+	t.Note("the dimensionality (cheaper curves and smaller maps); under our proportional probe noise the")
+	t.Note("raw ranking stays competitive — SVD's full denoising win needs additive, low-rank-structured noise")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gsso/internal/can"
+	"gsso/internal/ecan"
+	"gsso/internal/simrand"
+)
+
+// RunFig2 reproduces Figure 2: average logical routing hops of basic CAN
+// at several dimensionalities versus a 2-d eCAN, as the overlay grows.
+// The expected shape: CAN grows as (d/4)N^(1/d); eCAN grows as
+// log_4(N) and beats every CAN dimensionality at scale.
+func RunFig2(sc Scale) ([]*Table, error) {
+	net, err := buildNet(TSKLarge, LatGTITM, sc)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{
+		ID:    "fig2",
+		Title: "Logical hops: basic CAN (varying d) vs eCAN (d=2)",
+	}
+	table.Columns = append(table.Columns, "nodes")
+	for _, d := range sc.CANDims {
+		table.Columns = append(table.Columns, fmt.Sprintf("CAN d=%d", d))
+	}
+	table.Columns = append(table.Columns, "eCAN d=2")
+
+	for _, n := range sc.OverlaySweep {
+		row := []interface{}{n}
+		queries := sc.QueriesFor(n)
+
+		for _, d := range sc.CANDims {
+			rng := simrand.New(sc.Seed).Split(fmt.Sprintf("fig2/can/%d/%d", d, n))
+			overlay, err := can.New(d)
+			if err != nil {
+				return nil, err
+			}
+			ptRNG := rng.Split("pts")
+			for _, h := range net.RandomStubHosts(rng.Split("hosts"), n) {
+				if _, err := overlay.JoinRandom(h, ptRNG); err != nil {
+					return nil, err
+				}
+			}
+			members := overlay.Members()
+			qRNG := rng.Split("queries")
+			hops := 0
+			for q := 0; q < queries; q++ {
+				from := members[qRNG.Intn(len(members))]
+				path, err := overlay.Route(from, can.RandomPoint(d, qRNG))
+				if err != nil {
+					return nil, err
+				}
+				hops += len(path) - 1
+			}
+			row = append(row, float64(hops)/float64(queries))
+		}
+
+		rng := simrand.New(sc.Seed).Split(fmt.Sprintf("fig2/ecan/%d", n))
+		overlay, err := ecan.BuildUniform(net, n, 2, 0,
+			ecan.RandomSelector{RNG: rng.Split("sel")}, rng)
+		if err != nil {
+			return nil, err
+		}
+		members := overlay.CAN().Members()
+		qRNG := rng.Split("queries")
+		hops := 0
+		for q := 0; q < queries; q++ {
+			from := members[qRNG.Intn(len(members))]
+			res, err := overlay.Route(from, can.RandomPoint(2, qRNG))
+			if err != nil {
+				return nil, err
+			}
+			hops += res.Hops()
+		}
+		row = append(row, float64(hops)/float64(queries))
+		table.AddRowf(row...)
+	}
+	table.Note("paper: a 2-d eCAN 'easily outperforms the basic CAN with a dimensionality up to 5'")
+	table.Note("expected shapes: CAN ~ (d/4) N^(1/d); eCAN ~ log4(N)")
+	return []*Table{table}, nil
+}

@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"math"
+
+	"gsso/internal/can"
+	"gsso/internal/landmark"
+	"gsso/internal/netsim"
+	"gsso/internal/proximity"
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+// nnHarness is the shared setup of Figures 3-6: every stub host of the
+// topology participates, indexed both by landmark position (for the
+// hybrid) and as a full-population 2-d CAN (for expanding-ring search).
+type nnHarness struct {
+	net     *topology.Network
+	env     *netsim.Env
+	index   *proximity.Index
+	ers     *proximity.ERS
+	hosts   []topology.NodeID
+	queries []topology.NodeID
+}
+
+func buildNNHarness(kind TopoKind, sc Scale) (*nnHarness, error) {
+	net, err := buildNet(kind, LatGTITM, sc)
+	if err != nil {
+		return nil, err
+	}
+	env := netsim.New(net)
+	rng := simrand.New(sc.Seed).Split("nn/" + string(kind))
+	hosts := net.StubHosts()
+
+	set, err := landmark.Choose(net, sc.Landmarks, rng.Split("landmarks"))
+	if err != nil {
+		return nil, err
+	}
+	space, err := landmark.NewSpace(set, 3, 6,
+		landmark.EstimateMaxRTT(net, set, net.RandomStubHosts(rng.Split("est"), 32)))
+	if err != nil {
+		return nil, err
+	}
+	index, err := proximity.BuildIndex(env, space, hosts)
+	if err != nil {
+		return nil, err
+	}
+
+	overlay, err := can.New(2)
+	if err != nil {
+		return nil, err
+	}
+	joinRNG := rng.Split("join")
+	for _, h := range hosts {
+		if _, err := overlay.JoinRandom(h, joinRNG); err != nil {
+			return nil, err
+		}
+	}
+	ers, err := proximity.NewERS(overlay)
+	if err != nil {
+		return nil, err
+	}
+
+	qRNG := rng.Split("queries")
+	qIdx := qRNG.Sample(len(hosts), sc.NNQueries)
+	queries := make([]topology.NodeID, len(qIdx))
+	for i, q := range qIdx {
+		queries[i] = hosts[q]
+	}
+	return &nnHarness{net: net, env: env, index: index, ers: ers, hosts: hosts, queries: queries}, nil
+}
+
+// meanHybridStretch averages hybrid-search stretch over the query set.
+func (h *nnHarness) meanHybridStretch(budget int) float64 {
+	total, n := 0.0, 0
+	for _, q := range h.queries {
+		res := h.index.SearchHybrid(h.env, q, budget)
+		s := proximity.Stretch(h.net, q, res.Found, h.hosts)
+		if math.IsInf(s, 1) {
+			continue
+		}
+		total += s
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(n)
+}
+
+// meanERSStretch averages expanding-ring-search stretch over the query set.
+func (h *nnHarness) meanERSStretch(budget int) float64 {
+	total, n := 0.0, 0
+	for _, q := range h.queries {
+		res := h.ers.Search(h.env, q, budget)
+		s := proximity.Stretch(h.net, q, res.Found, h.hosts)
+		if math.IsInf(s, 1) {
+			continue
+		}
+		total += s
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(n)
+}
+
+// meanHillClimbStretch averages hill-climbing stretch over the query set.
+func (h *nnHarness) meanHillClimbStretch(budget int) float64 {
+	total, n := 0.0, 0
+	for _, q := range h.queries {
+		res := h.ers.SearchHillClimb(h.env, q, budget)
+		s := proximity.Stretch(h.net, q, res.Found, h.hosts)
+		if math.IsInf(s, 1) {
+			continue
+		}
+		total += s
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(n)
+}
+
+// RunFig3 reproduces Figure 3: nearest-neighbor stretch of ERS vs the
+// hybrid landmark+RTT scheme on tsk-large, over small probe budgets. The
+// hill-climbing heuristic the paper dismisses for its local-minimum
+// pitfalls is included as a third series.
+func RunFig3(sc Scale) ([]*Table, error) {
+	h, err := buildNNHarness(TSKLarge, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Nearest-neighbor stretch vs #RTT probes (tsk-large): ERS vs hybrid",
+		Columns: []string{"rtts", "ERS", "hillclimb", "lmk+rtt"},
+	}
+	for _, b := range sc.RTTSweep {
+		t.AddRowf(b, h.meanERSStretch(b), h.meanHillClimbStretch(b), h.meanHybridStretch(b))
+	}
+	t.Note("budget 1 on the lmk+rtt series is landmark clustering alone")
+	t.Note("hillclimb: greedy descent over overlay neighbors — plateaus at local minima (§1's critique)")
+	t.Note("paper: hybrid approaches stretch 1 with a medium number of probes; ERS stays far above")
+	return []*Table{t}, nil
+}
+
+// RunFig4 reproduces Figure 4: ERS alone on tsk-large with probe budgets
+// into the thousands, showing how many nodes blind flooding must test.
+func RunFig4(sc Scale) ([]*Table, error) {
+	h, err := buildNNHarness(TSKLarge, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Expanding-ring search on tsk-large: stretch vs #RTT probes",
+		Columns: []string{"rtts", "ERS"},
+	}
+	for _, b := range sc.ERSSweep {
+		t.AddRowf(b, h.meanERSStretch(b))
+	}
+	t.Note("paper: ERS 'is not effective unless a large number (thousands) of nodes have been tested'")
+	return []*Table{t}, nil
+}
+
+// RunFig5 reproduces Figure 5: the hybrid on tsk-small. Dense stubs defeat
+// landmark resolution, so more probes are needed than on tsk-large.
+func RunFig5(sc Scale) ([]*Table, error) {
+	h, err := buildNNHarness(TSKSmall, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Hybrid landmark+RTT on tsk-small: stretch vs #RTT probes",
+		Columns: []string{"rtts", "lmk+rtt"},
+	}
+	budgets := append([]int(nil), sc.RTTSweep...)
+	last := budgets[len(budgets)-1]
+	budgets = append(budgets, 2*last, 3*last) // the paper pushes to ~90 probes here
+	for _, b := range budgets {
+		t.AddRowf(b, h.meanHybridStretch(b))
+	}
+	t.Note("paper: on tsk-small even the hybrid must test more nodes — landmarks cannot differentiate close-by stub nodes")
+	return []*Table{t}, nil
+}
+
+// RunFig6 reproduces Figure 6: ERS alone on tsk-small.
+func RunFig6(sc Scale) ([]*Table, error) {
+	h, err := buildNNHarness(TSKSmall, sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Expanding-ring search on tsk-small: stretch vs #RTT probes",
+		Columns: []string{"rtts", "ERS"},
+	}
+	for _, b := range sc.ERSSweep {
+		t.AddRowf(b, h.meanERSStretch(b))
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Plot renders a table whose first column is the x-axis and remaining
+// columns are numeric series as an ASCII chart, one glyph per series.
+// Non-numeric tables (or tables with fewer than two rows) degrade to a
+// note and render nothing. It is the -plot mode of cmd/topobench: the
+// same data as the table, in the shape the paper's figures have.
+func Plot(t *Table, w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	series, xs, ok := numericSeries(t)
+	if !ok || len(xs) < 2 {
+		_, err := fmt.Fprintf(w, "(%s is not plottable)\n", t.ID)
+		return err
+	}
+
+	// Y-range across all series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	xAt := func(i int) int {
+		if len(xs) == 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(xs) - 1)
+	}
+	yAt := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		row := int(math.Round(float64(height-1) * (1 - frac)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		prevX, prevY := -1, -1
+		for i, v := range s.values {
+			x, y := xAt(i), yAt(v)
+			grid[y][x] = g
+			// Sparse linear interpolation so series read as lines.
+			if prevX >= 0 {
+				steps := x - prevX
+				for k := 1; k < steps; k++ {
+					ix := prevX + k
+					iy := prevY + (y-prevY)*k/steps
+					if grid[iy][ix] == ' ' {
+						grid[iy][ix] = '.'
+					}
+				}
+			}
+			prevX, prevY = x, y
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "-- %s: %s --\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", lo)
+		case height / 2:
+			label = fmt.Sprintf("%8.3g", (hi+lo)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %-*g%*g   (x: %s)\n", "",
+		width/2, xs[0], width-width/2-1, xs[len(xs)-1], t.Columns[0]); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.name))
+	}
+	_, err := fmt.Fprintf(w, "%8s  %s\n\n", "", strings.Join(legend, "  "))
+	return err
+}
+
+type plotSeries struct {
+	name   string
+	values []float64
+}
+
+// numericSeries extracts the x column and all fully numeric y columns.
+func numericSeries(t *Table) ([]plotSeries, []float64, bool) {
+	if len(t.Columns) < 2 || len(t.Rows) == 0 {
+		return nil, nil, false
+	}
+	xs := make([]float64, len(t.Rows))
+	for i, row := range t.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[0], "%"), 64)
+		if err != nil {
+			return nil, nil, false
+		}
+		xs[i] = v
+	}
+	var out []plotSeries
+	for c := 1; c < len(t.Columns); c++ {
+		s := plotSeries{name: t.Columns[c], values: make([]float64, len(t.Rows))}
+		numeric := true
+		for i, row := range t.Rows {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[c], "%"), 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			s.values[i] = v
+		}
+		if numeric {
+			out = append(out, s)
+		}
+	}
+	return out, xs, len(out) > 0
+}

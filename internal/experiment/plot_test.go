@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func numericTable() *Table {
+	t := &Table{ID: "demo", Title: "demo plot", Columns: []string{"x", "a", "b"}}
+	t.AddRowf(1, 10.0, 1.0)
+	t.AddRowf(2, 8.0, 2.0)
+	t.AddRowf(4, 5.0, 3.0)
+	t.AddRowf(8, 2.0, 4.0)
+	return t
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(numericTable(), &buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo plot", "*", "o", "*=a", "o=b", "(x: x)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Axis labels include the extremes.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "1") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestPlotDegradesOnNonNumeric(t *testing.T) {
+	tb := &Table{ID: "words", Title: "words", Columns: []string{"k", "v"}}
+	tb.AddRow("alpha", "beta")
+	tb.AddRow("gamma", "delta")
+	var buf bytes.Buffer
+	if err := Plot(tb, &buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not plottable") {
+		t.Fatalf("expected degradation note, got:\n%s", buf.String())
+	}
+}
+
+func TestPlotSingleRowDegrades(t *testing.T) {
+	tb := &Table{ID: "one", Title: "one", Columns: []string{"x", "y"}}
+	tb.AddRowf(1, 2.0)
+	var buf bytes.Buffer
+	if err := Plot(tb, &buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not plottable") {
+		t.Fatal("single-row table should degrade")
+	}
+}
+
+func TestPlotMixedColumnsSkipsNonNumeric(t *testing.T) {
+	tb := &Table{ID: "mixed", Title: "mixed", Columns: []string{"x", "num", "text"}}
+	tb.AddRow("1", "5", "hello")
+	tb.AddRow("2", "6", "world")
+	var buf bytes.Buffer
+	if err := Plot(tb, &buf, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*=num") {
+		t.Fatalf("numeric series missing:\n%s", out)
+	}
+	if strings.Contains(out, "text") {
+		t.Fatalf("non-numeric series should be skipped:\n%s", out)
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	tb := &Table{ID: "flat", Title: "flat", Columns: []string{"x", "y"}}
+	tb.AddRowf(1, 3.0)
+	tb.AddRowf(2, 3.0)
+	tb.AddRowf(3, 3.0)
+	var buf bytes.Buffer
+	if err := Plot(tb, &buf, 30, 6); err != nil {
+		t.Fatal(err) // constant series must not divide by zero
+	}
+}
+
+func TestPlotPercentCells(t *testing.T) {
+	tb := &Table{ID: "pct", Title: "pct", Columns: []string{"x", "share"}}
+	tb.AddRow("1", "23.1%")
+	tb.AddRow("2", "96.6%")
+	var buf bytes.Buffer
+	if err := Plot(tb, &buf, 30, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*=share") {
+		t.Fatal("percent cells should parse")
+	}
+}
+
+func TestPlotDefaultsOnTinyDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(numericTable(), &buf, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(buf.String(), "\n")) < 10 {
+		t.Fatal("dimension defaults not applied")
+	}
+}
+
+func TestPlotRealFigure(t *testing.T) {
+	tables, err := RunTab2(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// tab2 is non-numeric in later columns; must not error.
+	if err := Plot(tables[0], &buf, 60, 12); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gsso/internal/can"
+	"gsso/internal/ecan"
+	"gsso/internal/landmark"
+	"gsso/internal/netsim"
+	"gsso/internal/simrand"
+	"gsso/internal/softstate"
+	"gsso/internal/topology"
+)
+
+// TopoKind selects one of the paper's two topologies.
+type TopoKind string
+
+// The paper's topologies.
+const (
+	TSKLarge TopoKind = "tsk-large"
+	TSKSmall TopoKind = "tsk-small"
+)
+
+// LatKind selects the link-latency assignment.
+type LatKind string
+
+// The paper's two latency settings.
+const (
+	LatGTITM  LatKind = "gtitm"
+	LatManual LatKind = "manual"
+)
+
+// buildNet generates the requested preset topology at the scale's size.
+func buildNet(kind TopoKind, lat LatKind, sc Scale) (*topology.Network, error) {
+	model := topology.GTITMLatency()
+	if lat == LatManual {
+		model = topology.ManualLatency()
+	}
+	var spec topology.Spec
+	switch kind {
+	case TSKLarge:
+		spec = topology.TSKLarge(model)
+	case TSKSmall:
+		spec = topology.TSKSmall(model)
+	default:
+		return nil, fmt.Errorf("experiment: unknown topology kind %q", kind)
+	}
+	spec = spec.Scaled(sc.TopoScale)
+	rng := simrand.New(sc.Seed).Split("topo/" + string(kind) + "/" + string(lat))
+	return topology.Generate(spec, rng)
+}
+
+// stack is the full system: topology, environment, overlay, landmark
+// space, and soft-state store with everyone published.
+type stack struct {
+	net     *topology.Network
+	env     *netsim.Env
+	overlay *ecan.Overlay
+	space   *landmark.Space
+	store   *softstate.Store
+	rng     *simrand.Source
+}
+
+// stackConfig parameterizes buildStack.
+type stackConfig struct {
+	overlayN  int
+	landmarks int
+	condense  int
+	maxReturn int
+	label     string // seed-split label, distinct per configuration
+}
+
+// buildStack assembles the system over an existing network. The overlay's
+// initial selector is random; callers install the selector under test via
+// SetSelector.
+func buildStack(net *topology.Network, sc Scale, cfg stackConfig) (*stack, error) {
+	if cfg.maxReturn == 0 {
+		cfg.maxReturn = 32
+	}
+	rng := simrand.New(sc.Seed).Split("stack/" + cfg.label)
+	env := netsim.New(net)
+	overlay, err := ecan.BuildUniform(net, cfg.overlayN, 2, 0,
+		ecan.RandomSelector{RNG: rng.Split("select")}, rng.Split("overlay"))
+	if err != nil {
+		return nil, err
+	}
+	set, err := landmark.Choose(net, cfg.landmarks, rng.Split("landmarks"))
+	if err != nil {
+		return nil, err
+	}
+	maxRTT := landmark.EstimateMaxRTT(net, set, net.RandomStubHosts(rng.Split("estimate"), 32))
+	space, err := landmark.NewSpace(set, 3, 6, maxRTT)
+	if err != nil {
+		return nil, err
+	}
+	store, err := softstate.NewStore(overlay, space, env, softstate.Config{
+		TTL:           1e9, // static-membership experiments never expire
+		CondenseDepth: cfg.condense,
+		MaxReturn:     cfg.maxReturn,
+		ExpandBudget:  8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := store.PublishAll(nil); err != nil {
+		return nil, err
+	}
+	return &stack{net: net, env: env, overlay: overlay, space: space, store: store, rng: rng}, nil
+}
+
+// pair is one routing measurement: source member, destination member.
+type pair struct {
+	src, dst *can.Member
+}
+
+// samplePairs draws n measurement pairs with distinct hosts.
+func samplePairs(overlay *ecan.Overlay, n int, rng *simrand.Source) []pair {
+	members := overlay.CAN().Members()
+	out := make([]pair, 0, n)
+	for len(out) < n {
+		src := members[rng.Intn(len(members))]
+		dst := members[rng.Intn(len(members))]
+		if src == dst || src.Host == dst.Host {
+			continue
+		}
+		out = append(out, pair{src: src, dst: dst})
+	}
+	return out
+}
+
+// meanStretch routes every pair and returns the mean ratio of overlay path
+// latency to direct latency.
+func meanStretch(overlay *ecan.Overlay, env *netsim.Env, pairs []pair) (float64, error) {
+	total, count := 0.0, 0
+	for _, p := range pairs {
+		res, err := overlay.Route(p.src, p.dst.ZoneCenter())
+		if err != nil {
+			return 0, err
+		}
+		direct := env.Latency(p.src.Host, p.dst.Host)
+		if direct <= 0 {
+			continue
+		}
+		total += res.Latency(env) / direct
+		count++
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("experiment: no measurable pairs")
+	}
+	return total / float64(count), nil
+}
+
+// stretchWithSelector installs sel (clearing cached entries) and measures
+// mean stretch over pairs.
+func stretchWithSelector(st *stack, sel ecan.Selector, pairs []pair) (float64, error) {
+	st.overlay.SetSelector(sel)
+	return meanStretch(st.overlay, st.env, pairs)
+}

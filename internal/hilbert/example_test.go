@@ -1,0 +1,42 @@
+package hilbert_test
+
+import (
+	"fmt"
+
+	"gsso/internal/hilbert"
+)
+
+// ExampleCurve_Encode walks the classic first-order 2-d Hilbert curve.
+func ExampleCurve_Encode() {
+	curve := hilbert.MustNew(2, 1) // 2x2 grid
+	for _, cell := range [][]uint32{{0, 0}, {0, 1}, {1, 1}, {1, 0}} {
+		idx, err := curve.Encode(cell)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("cell (%d,%d) -> index %d\n", cell[0], cell[1], idx)
+	}
+	// Output:
+	// cell (0,0) -> index 0
+	// cell (0,1) -> index 1
+	// cell (1,1) -> index 2
+	// cell (1,0) -> index 3
+}
+
+// ExampleCurve_Quantize reduces a landmark vector (RTTs in ms) to a
+// scalar landmark number: quantize onto the grid, then encode.
+func ExampleCurve_Quantize() {
+	curve := hilbert.MustNew(3, 4) // 3 landmark dims, 16 cells per axis
+	rtts := []float64{12.5, 80.0, 33.3}
+	coords, err := curve.Quantize(rtts, 100) // 100 ms maps to the far edge
+	if err != nil {
+		panic(err)
+	}
+	number, err := curve.Encode(coords)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coords %v number %d\n", coords, number)
+	// Output:
+	// coords [2 12 5] number 1723
+}

@@ -1,0 +1,66 @@
+package landmark
+
+import (
+	"errors"
+	"fmt"
+
+	"gsso/internal/linalg"
+)
+
+// DenoiseVectors implements the third §5.4 optimization: with a large
+// number of landmarks, "rely on classical data analysis techniques such
+// as Singular Value Decomposition to extract useful information from the
+// large number of RTTs and to suppress noises."
+//
+// The input vectors form an (hosts × landmarks) matrix; columns are
+// mean-centered, the top-k principal directions are extracted by SVD,
+// and each host's vector is replaced by its k coordinates in that basis.
+// Distances in the reduced space emphasize the directions along which
+// hosts genuinely differ and shed per-measurement noise. The returned
+// vectors all have dimension k and are only comparable to one another.
+func DenoiseVectors(vectors []Vector, k int) ([]Vector, error) {
+	if len(vectors) == 0 {
+		return nil, errors.New("landmark: no vectors to denoise")
+	}
+	n := len(vectors[0])
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("landmark: k = %d, need in [1,%d]", k, n)
+	}
+	if len(vectors) < n {
+		return nil, fmt.Errorf("landmark: need at least %d vectors for %d landmarks", n, n)
+	}
+	// Column means.
+	means := make([]float64, n)
+	for _, vec := range vectors {
+		if len(vec) != n {
+			return nil, errors.New("landmark: inconsistent vector dimensions")
+		}
+		for j, x := range vec {
+			means[j] += x
+		}
+	}
+	for j := range means {
+		means[j] /= float64(len(vectors))
+	}
+	centered := make([][]float64, len(vectors))
+	for i, vec := range vectors {
+		row := make([]float64, n)
+		for j, x := range vec {
+			row[j] = x - means[j]
+		}
+		centered[i] = row
+	}
+	_, _, v, err := linalg.SVD(centered)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := linalg.Project(centered, v, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Vector, len(proj))
+	for i, row := range proj {
+		out[i] = Vector(row)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package landmark
+
+import (
+	"testing"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+func TestDenoiseVectorsValidation(t *testing.T) {
+	if _, err := DenoiseVectors(nil, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	vecs := []Vector{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	if _, err := DenoiseVectors(vecs, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := DenoiseVectors(vecs, 4); err == nil {
+		t.Fatal("k > dims accepted")
+	}
+	if _, err := DenoiseVectors([]Vector{{1, 2, 3}, {4, 5}}, 2); err == nil {
+		t.Fatal("ragged vectors accepted")
+	}
+	if _, err := DenoiseVectors([]Vector{{1, 2, 3}}, 2); err == nil {
+		t.Fatal("fewer vectors than landmarks accepted")
+	}
+}
+
+func TestDenoiseVectorsShape(t *testing.T) {
+	rng := simrand.New(3)
+	vecs := make([]Vector, 50)
+	for i := range vecs {
+		vecs[i] = Vector{rng.Range(0, 100), rng.Range(0, 100), rng.Range(0, 100), rng.Range(0, 100)}
+	}
+	out, err := DenoiseVectors(vecs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(vecs) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for _, v := range out {
+		if len(v) != 2 {
+			t.Fatalf("projected dims = %d", len(v))
+		}
+	}
+}
+
+func TestDenoiseVectorsPreservesNeighborhoods(t *testing.T) {
+	// Vectors measured on a real topology with mild noise: the nearest
+	// neighbor in the denoised space should usually be physically close.
+	spec := topology.Spec{
+		TransitDomains:        3,
+		TransitNodesPerDomain: 3,
+		StubsPerTransitNode:   2,
+		NodesPerStub:          12,
+		ExtraTransitEdgeProb:  0.3,
+		ExtraStubEdgeProb:     0.2,
+		ExtraInterDomainLinks: 2,
+		Latency:               topology.GTITMLatency(),
+	}
+	net := topology.MustGenerate(spec, simrand.New(1))
+	rng := simrand.New(2)
+	set, err := Choose(net, 10, rng.Split("lm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := net.RandomStubHosts(rng.Split("hosts"), 80)
+	noise := rng.Split("noise")
+	vecs := make([]Vector, len(hosts))
+	for i, h := range hosts {
+		v := make(Vector, set.Len())
+		for j, lm := range set.Nodes() {
+			v[j] = net.RTT(h, lm) * noise.Range(0.85, 1.15)
+		}
+		vecs[i] = v
+	}
+	den, err := DenoiseVectors(vecs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each host: nearest by denoised distance vs nearest physically.
+	betterThanRandom := 0
+	for i, h := range hosts {
+		bestJ, bestD := -1, 0.0
+		for j := range hosts {
+			if j == i {
+				continue
+			}
+			d := Distance(den[i], den[j])
+			if bestJ < 0 || d < bestD {
+				bestJ, bestD = j, d
+			}
+		}
+		pick := net.Latency(h, hosts[bestJ])
+		rnd := net.Latency(h, hosts[(i+17)%len(hosts)])
+		if pick < rnd {
+			betterThanRandom++
+		}
+	}
+	if betterThanRandom < len(hosts)*3/5 {
+		t.Fatalf("denoised nearest beat random only %d/%d times", betterThanRandom, len(hosts))
+	}
+}
+
+func TestChoosePerDomainInPackage(t *testing.T) {
+	spec := topology.Spec{
+		TransitDomains:        4,
+		TransitNodesPerDomain: 2,
+		StubsPerTransitNode:   2,
+		NodesPerStub:          6,
+		Latency:               topology.ManualLatency(),
+	}
+	net := topology.MustGenerate(spec, simrand.New(5))
+	set, err := ChoosePerDomain(net, 2, simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 8 {
+		t.Fatalf("set size %d, want 8", set.Len())
+	}
+	counts := map[int]int{}
+	for _, lm := range set.Nodes() {
+		counts[net.Node(lm).Domain]++
+	}
+	for d := 0; d < 4; d++ {
+		if counts[d] != 2 {
+			t.Fatalf("domain %d has %d landmarks", d, counts[d])
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package linalg provides the small dense linear-algebra kernel the §5.4
+// optimization needs: a thin singular value decomposition via one-sided
+// Jacobi rotations. The paper's third proposal for pushing proximity
+// accuracy is to "use a large number of randomly selected landmarks and
+// then rely on classical data analysis techniques such as Singular Value
+// Decomposition to extract useful information from the large number of
+// RTTs and to suppress noises" — package landmark builds its projection
+// on this kernel.
+//
+// One-sided Jacobi is exact, simple, and fast for the shapes involved
+// (thousands of rows, tens of columns): it repeatedly rotates column
+// pairs to orthogonality; the resulting column norms are the singular
+// values, the normalized columns form U, and the accumulated rotations
+// form V.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SVD computes the thin singular value decomposition A = U * diag(S) * Vᵀ
+// of an m×n matrix with m >= n: U is m×n with orthonormal columns, S the
+// n singular values in decreasing order, V n×n orthogonal. A is not
+// modified.
+func SVD(a [][]float64) (u [][]float64, s []float64, v [][]float64, err error) {
+	m := len(a)
+	if m == 0 {
+		return nil, nil, nil, errors.New("linalg: empty matrix")
+	}
+	n := len(a[0])
+	if n == 0 {
+		return nil, nil, nil, errors.New("linalg: zero-width matrix")
+	}
+	if m < n {
+		return nil, nil, nil, fmt.Errorf("linalg: need m >= n, got %dx%d", m, n)
+	}
+	// Working copy of A (column-rotated in place) and V = I.
+	w := make([][]float64, m)
+	for i := range w {
+		if len(a[i]) != n {
+			return nil, nil, nil, fmt.Errorf("linalg: ragged row %d", i)
+		}
+		w[i] = append([]float64(nil), a[i]...)
+	}
+	v = make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	const (
+		maxSweeps = 60
+		eps       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Column inner products.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					app += w[i][p] * w[i][p]
+					aqq += w[i][q] * w[i][q]
+					apq += w[i][p] * w[i][q]
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq)+eps {
+					continue
+				}
+				off += math.Abs(apq)
+				// Jacobi rotation that zeroes the (p,q) inner product.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i := 0; i < m; i++ {
+					wp := w[i][p]
+					wq := w[i][q]
+					w[i][p] = c*wp - sn*wq
+					w[i][q] = sn*wp + c*wq
+				}
+				for i := 0; i < n; i++ {
+					vp := v[i][p]
+					vq := v[i][q]
+					v[i][p] = c*vp - sn*vq
+					v[i][q] = sn*vp + c*vq
+				}
+			}
+		}
+		if off < eps {
+			break
+		}
+	}
+
+	// Singular values = column norms; U = normalized columns.
+	s = make([]float64, n)
+	u = make([][]float64, m)
+	for i := range u {
+		u[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			norm += w[i][j] * w[i][j]
+		}
+		s[j] = math.Sqrt(norm)
+		if s[j] > 0 {
+			for i := 0; i < m; i++ {
+				u[i][j] = w[i][j] / s[j]
+			}
+		}
+	}
+
+	// Sort by decreasing singular value (selection sort over columns).
+	for j := 0; j < n-1; j++ {
+		best := j
+		for k := j + 1; k < n; k++ {
+			if s[k] > s[best] {
+				best = k
+			}
+		}
+		if best != j {
+			s[j], s[best] = s[best], s[j]
+			for i := 0; i < m; i++ {
+				u[i][j], u[i][best] = u[i][best], u[i][j]
+			}
+			for i := 0; i < n; i++ {
+				v[i][j], v[i][best] = v[i][best], v[i][j]
+			}
+		}
+	}
+	return u, s, v, nil
+}
+
+// Project returns the coordinates of each row of A in the basis of the
+// first k right singular vectors: the m×k matrix A*V[:, :k]. This is the
+// rank-k denoising the §5.4 optimization calls for — directions with
+// small singular values (noise) are discarded.
+func Project(a [][]float64, v [][]float64, k int) ([][]float64, error) {
+	if len(a) == 0 || len(v) == 0 {
+		return nil, errors.New("linalg: empty input")
+	}
+	n := len(v)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("linalg: k = %d, need in [1,%d]", k, n)
+	}
+	out := make([][]float64, len(a))
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(row), n)
+		}
+		proj := make([]float64, k)
+		for j := 0; j < k; j++ {
+			sum := 0.0
+			for c := 0; c < n; c++ {
+				sum += row[c] * v[c][j]
+			}
+			proj[j] = sum
+		}
+		out[i] = proj
+	}
+	return out, nil
+}

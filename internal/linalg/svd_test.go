@@ -1,0 +1,234 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/simrand"
+)
+
+func matMulDiagVT(u [][]float64, s []float64, v [][]float64) [][]float64 {
+	m, n := len(u), len(s)
+	out := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		out[i] = make([]float64, len(v))
+		for j := range v {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += u[i][k] * s[k] * v[j][k]
+			}
+			out[i][j] = sum
+		}
+	}
+	return out
+}
+
+func maxAbsDiff(a, b [][]float64) float64 {
+	worst := 0.0
+	for i := range a {
+		for j := range a[i] {
+			if d := math.Abs(a[i][j] - b[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func randomMatrix(m, n int, seed uint64) [][]float64 {
+	rng := simrand.New(seed)
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = rng.Range(-5, 5)
+		}
+	}
+	return a
+}
+
+func TestSVDValidation(t *testing.T) {
+	if _, _, _, err := SVD(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, _, _, err := SVD([][]float64{{}}); err == nil {
+		t.Fatal("zero-width matrix accepted")
+	}
+	if _, _, _, err := SVD([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("m < n accepted")
+	}
+	if _, _, _, err := SVD([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	for _, shape := range []struct{ m, n int }{{4, 3}, {10, 5}, {50, 8}, {200, 15}} {
+		a := randomMatrix(shape.m, shape.n, uint64(shape.m*31+shape.n))
+		u, s, v, err := SVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := matMulDiagVT(u, s, v)
+		if d := maxAbsDiff(a, back); d > 1e-8 {
+			t.Fatalf("%dx%d: reconstruction error %v", shape.m, shape.n, d)
+		}
+	}
+}
+
+func TestSVDOrthogonality(t *testing.T) {
+	a := randomMatrix(60, 7, 9)
+	u, s, v, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(s)
+	// Uᵀ U = I
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			dot := 0.0
+			for i := range u {
+				dot += u[i][p] * u[i][q]
+			}
+			want := 0.0
+			if p == q {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("UᵀU[%d][%d] = %v", p, q, dot)
+			}
+		}
+	}
+	// Vᵀ V = I
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			dot := 0.0
+			for i := range v {
+				dot += v[i][p] * v[i][q]
+			}
+			want := 0.0
+			if p == q {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("VᵀV[%d][%d] = %v", p, q, dot)
+			}
+		}
+	}
+}
+
+func TestSVDValuesSortedNonNegative(t *testing.T) {
+	a := randomMatrix(40, 6, 11)
+	_, s, _, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, val := range s {
+		if val < 0 {
+			t.Fatalf("negative singular value %v", val)
+		}
+		if i > 0 && s[i-1] < val {
+			t.Fatalf("singular values not sorted: %v", s)
+		}
+	}
+}
+
+func TestSVDKnownMatrix(t *testing.T) {
+	// diag(3, 2) embedded in a 3x2 matrix: singular values are 3 and 2.
+	a := [][]float64{{3, 0}, {0, 2}, {0, 0}}
+	_, s, _, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s[0]-3) > 1e-10 || math.Abs(s[1]-2) > 1e-10 {
+		t.Fatalf("singular values = %v, want [3 2]", s)
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Two identical columns: second singular value is 0.
+	a := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	_, s, _, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] > 1e-10 {
+		t.Fatalf("rank-1 matrix has s[1] = %v", s[1])
+	}
+}
+
+func TestProjectRecoversLowRankStructure(t *testing.T) {
+	// Rank-2 data + noise: projecting onto the top 2 components must
+	// reconstruct the clean part much better than the noise level.
+	rng := simrand.New(13)
+	m, n := 300, 10
+	basis := randomMatrix(2, n, 17)
+	clean := make([][]float64, m)
+	noisy := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		c1, c2 := rng.Range(-3, 3), rng.Range(-3, 3)
+		clean[i] = make([]float64, n)
+		noisy[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			clean[i][j] = c1*basis[0][j] + c2*basis[1][j]
+			noisy[i][j] = clean[i][j] + rng.Range(-0.1, 0.1)
+		}
+	}
+	_, s, v, err := SVD(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] < 10*s[2] {
+		t.Fatalf("rank-2 structure not visible in spectrum: %v", s[:4])
+	}
+	proj, err := Project(noisy, v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projClean, err := Project(clean, v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distances in the projected space track clean distances.
+	for trial := 0; trial < 50; trial++ {
+		i, j := rng.Intn(m), rng.Intn(m)
+		var dn, dc float64
+		for k := 0; k < 2; k++ {
+			dn += (proj[i][k] - proj[j][k]) * (proj[i][k] - proj[j][k])
+			dc += (projClean[i][k] - projClean[j][k]) * (projClean[i][k] - projClean[j][k])
+		}
+		if math.Abs(math.Sqrt(dn)-math.Sqrt(dc)) > 0.5 {
+			t.Fatalf("projected distance drifted: %v vs %v", math.Sqrt(dn), math.Sqrt(dc))
+		}
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	a := randomMatrix(5, 3, 1)
+	_, _, v, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Project(nil, v, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Project(a, v, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Project(a, v, 4); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := Project([][]float64{{1}}, v, 2); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func BenchmarkSVD2000x15(b *testing.B) {
+	a := randomMatrix(2000, 15, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := SVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package netsim wraps a topology.Network with the dynamic aspects of the
+// simulation: a virtual clock, RTT probing with measurement accounting,
+// per-category message accounting, and latency perturbation models that
+// let experiments churn network conditions over time.
+//
+// The paper's techniques are evaluated by how few RTT measurements and
+// overlay messages they need; this package is where those costs are
+// metered. All latency perturbations preserve symmetry.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gsso/internal/topology"
+)
+
+// Time is virtual simulation time in milliseconds.
+type Time float64
+
+// Clock is a virtual clock. The zero value starts at time 0.
+type Clock struct {
+	mu  sync.Mutex
+	now Time
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative advances are ignored:
+// virtual time never runs backwards.
+func (c *Clock) Advance(d Time) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Perturbation rescales a base latency between two hosts as a function of
+// virtual time. Implementations must be symmetric in (a, b) and return a
+// strictly positive value for positive base latencies.
+type Perturbation interface {
+	Apply(a, b topology.NodeID, base float64, now Time) float64
+}
+
+// Env couples a static topology with the simulation's dynamic state. All
+// methods are safe for concurrent use.
+type Env struct {
+	net     *topology.Network
+	clock   *Clock
+	perturb Perturbation
+
+	probes int64 // atomic
+
+	mu       sync.Mutex
+	messages map[string]int64
+	down     map[topology.NodeID]struct{}
+}
+
+// New returns an Env over net with a fresh clock and no perturbation.
+func New(net *topology.Network) *Env {
+	return &Env{
+		net:      net,
+		clock:    &Clock{},
+		messages: make(map[string]int64),
+	}
+}
+
+// Net returns the underlying topology.
+func (e *Env) Net() *topology.Network { return e.net }
+
+// Clock returns the virtual clock.
+func (e *Env) Clock() *Clock { return e.clock }
+
+// SetPerturbation installs (or clears, with nil) the latency perturbation.
+func (e *Env) SetPerturbation(p Perturbation) { e.perturb = p }
+
+// Latency returns the current (possibly perturbed) one-way latency between
+// a and b. It does NOT count as a measurement; it is the simulator's
+// ground truth used for routing costs and oracle comparisons.
+func (e *Env) Latency(a, b topology.NodeID) float64 {
+	base := e.net.Latency(a, b)
+	if e.perturb == nil || a == b {
+		return base
+	}
+	return e.perturb.Apply(a, b, base, e.clock.Now())
+}
+
+// ProbeRTT performs one round-trip measurement from a to b, incrementing
+// the probe counter. This is what the paper's algorithms spend; every call
+// is one unit on the "# RTT measurements" axes. Probing a crashed host
+// returns +Inf (the probe times out) — and still costs a probe.
+func (e *Env) ProbeRTT(a, b topology.NodeID) float64 {
+	atomic.AddInt64(&e.probes, 1)
+	if e.IsDown(a) || e.IsDown(b) {
+		return math.Inf(1)
+	}
+	return 2 * e.Latency(a, b)
+}
+
+// SetDown marks a host as crashed (true) or recovered (false). Crashed
+// hosts time out probes; the simulator's Latency oracle is unaffected, so
+// experiments can still compute ground truth.
+func (e *Env) SetDown(host topology.NodeID, down bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.down == nil {
+		e.down = make(map[topology.NodeID]struct{})
+	}
+	if down {
+		e.down[host] = struct{}{}
+	} else {
+		delete(e.down, host)
+	}
+}
+
+// IsDown reports whether a host is crashed.
+func (e *Env) IsDown(host topology.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, down := e.down[host]
+	return down
+}
+
+// Probes returns the number of RTT measurements performed so far.
+func (e *Env) Probes() int64 { return atomic.LoadInt64(&e.probes) }
+
+// ResetProbes zeroes the probe counter and returns the previous value.
+func (e *Env) ResetProbes() int64 { return atomic.SwapInt64(&e.probes, 0) }
+
+// CountMessages adds n overlay messages to the named category (for
+// example "publish", "lookup", "notify", "poll").
+func (e *Env) CountMessages(category string, n int) {
+	e.mu.Lock()
+	e.messages[category] += int64(n)
+	e.mu.Unlock()
+}
+
+// Messages returns the count in one category.
+func (e *Env) Messages(category string) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.messages[category]
+}
+
+// MessageTotals returns a copy of all message counters.
+func (e *Env) MessageTotals() map[string]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int64, len(e.messages))
+	for k, v := range e.messages {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetMessages clears all message counters.
+func (e *Env) ResetMessages() {
+	e.mu.Lock()
+	e.messages = make(map[string]int64)
+	e.mu.Unlock()
+}
+
+// MessageSummary renders the counters as "k=v" pairs in key order.
+func (e *Env) MessageSummary() string {
+	totals := e.MessageTotals()
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", k, totals[k])
+	}
+	return out
+}
+
+// pairHash produces a symmetric, deterministic 64-bit hash of an unordered
+// host pair plus an epoch, seeded by seed (SplitMix64-style mixing; the
+// stdlib maphash is process-seeded and would break reproducibility).
+func pairHash(seed uint64, a, b topology.NodeID, epoch int64) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	x := seed
+	mix := func(v uint64) {
+		x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	mix(uint64(a))
+	mix(uint64(b))
+	mix(uint64(epoch))
+	return x
+}
+
+// unitFrom maps a hash to a float64 in [0, 1).
+func unitFrom(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// StaticJitter perturbs every pair's latency by a fixed multiplicative
+// factor in [1-Amplitude, 1+Amplitude], chosen deterministically per pair.
+// It models persistent measurement noise / path inflation.
+type StaticJitter struct {
+	Seed      uint64
+	Amplitude float64 // in [0, 1)
+}
+
+// Apply implements Perturbation.
+func (j StaticJitter) Apply(a, b topology.NodeID, base float64, _ Time) float64 {
+	u := unitFrom(pairHash(j.Seed, a, b, 0))
+	return base * (1 + j.Amplitude*(2*u-1))
+}
+
+// EpochJitter re-draws each pair's multiplicative factor every Period of
+// virtual time. It models drifting network conditions: within one epoch
+// latencies are stable, across epochs they change, which is what forces
+// overlays to re-select neighbors.
+type EpochJitter struct {
+	Seed      uint64
+	Amplitude float64 // in [0, 1)
+	Period    Time    // > 0
+}
+
+// Apply implements Perturbation.
+func (j EpochJitter) Apply(a, b topology.NodeID, base float64, now Time) float64 {
+	epoch := int64(0)
+	if j.Period > 0 {
+		epoch = int64(now / j.Period)
+	}
+	u := unitFrom(pairHash(j.Seed, a, b, epoch))
+	return base * (1 + j.Amplitude*(2*u-1))
+}
+
+// NodeJitter models per-node access-link congestion: every Period, each
+// node independently becomes congested with probability Fraction, and a
+// congested node's latencies inflate by a factor drawn from
+// [1, 1+Amplitude]. Unlike the pairwise jitters, this churn has structure
+// an overlay can exploit — re-selecting away from a degraded neighbor
+// helps every route through that entry — so it is the model the
+// maintenance experiments use. Latency scales by the product of both
+// endpoints' factors (symmetric by construction).
+type NodeJitter struct {
+	Seed      uint64
+	Amplitude float64 // > 0; peak inflation is (1+Amplitude)
+	Period    Time    // > 0
+	Fraction  float64 // probability a node is congested per epoch; <=0 means 1
+	// Exempt lists hosts that never congest — typically the landmark
+	// infrastructure, whose congestion would uniformly distort every
+	// node's coordinates rather than model edge churn.
+	Exempt map[topology.NodeID]struct{}
+}
+
+// Apply implements Perturbation.
+func (j NodeJitter) Apply(a, b topology.NodeID, base float64, now Time) float64 {
+	epoch := int64(0)
+	if j.Period > 0 {
+		epoch = int64(now / j.Period)
+	}
+	// (fa * fb) first: multiplication is commutative, so the result is
+	// exactly symmetric in a and b.
+	return base * (j.factor(a, epoch) * j.factor(b, epoch))
+}
+
+// factor returns a node's congestion multiplier for an epoch.
+func (j NodeJitter) factor(x topology.NodeID, epoch int64) float64 {
+	if _, ok := j.Exempt[x]; ok {
+		return 1
+	}
+	frac := j.Fraction
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	pick := unitFrom(pairHash(j.Seed^0x5bd1e995, x, x, epoch))
+	if pick >= frac {
+		return 1
+	}
+	return 1 + j.Amplitude*unitFrom(pairHash(j.Seed, x, x, epoch))
+}

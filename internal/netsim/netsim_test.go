@@ -1,0 +1,301 @@
+package netsim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	spec := topology.Spec{
+		TransitDomains:        2,
+		TransitNodesPerDomain: 3,
+		StubsPerTransitNode:   2,
+		NodesPerStub:          6,
+		ExtraTransitEdgeProb:  0.3,
+		ExtraStubEdgeProb:     0.2,
+		ExtraInterDomainLinks: 1,
+		Latency:               topology.GTITMLatency(),
+	}
+	return New(topology.MustGenerate(spec, simrand.New(1)))
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at 0")
+	}
+	c.Advance(10)
+	c.Advance(2.5)
+	if c.Now() != 12.5 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(-5)
+	if c.Now() != 12.5 {
+		t.Fatal("negative advance moved the clock")
+	}
+}
+
+func TestProbeAccounting(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	if e.Probes() != 0 {
+		t.Fatal("fresh env has probes")
+	}
+	rtt := e.ProbeRTT(hosts[0], hosts[1])
+	if rtt != 2*e.Latency(hosts[0], hosts[1]) {
+		t.Fatalf("RTT %v != 2x latency", rtt)
+	}
+	e.ProbeRTT(hosts[1], hosts[2])
+	if e.Probes() != 2 {
+		t.Fatalf("Probes = %d", e.Probes())
+	}
+	if prev := e.ResetProbes(); prev != 2 {
+		t.Fatalf("ResetProbes returned %d", prev)
+	}
+	if e.Probes() != 0 {
+		t.Fatal("probes not reset")
+	}
+}
+
+func TestLatencyIsNotMetered(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	e.Latency(hosts[0], hosts[1])
+	if e.Probes() != 0 {
+		t.Fatal("Latency() counted as a probe")
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	e := testEnv(t)
+	e.CountMessages("publish", 3)
+	e.CountMessages("notify", 1)
+	e.CountMessages("publish", 2)
+	if e.Messages("publish") != 5 || e.Messages("notify") != 1 {
+		t.Fatalf("counters wrong: %v", e.MessageTotals())
+	}
+	if e.Messages("absent") != 0 {
+		t.Fatal("absent category nonzero")
+	}
+	if got := e.MessageSummary(); got != "notify=1 publish=5" {
+		t.Fatalf("MessageSummary = %q", got)
+	}
+	totals := e.MessageTotals()
+	totals["publish"] = 999 // must be a copy
+	if e.Messages("publish") != 5 {
+		t.Fatal("MessageTotals leaked internal map")
+	}
+	e.ResetMessages()
+	if len(e.MessageTotals()) != 0 {
+		t.Fatal("ResetMessages did not clear")
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				e.ProbeRTT(hosts[0], hosts[1])
+				e.CountMessages("m", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Probes() != 800 || e.Messages("m") != 800 {
+		t.Fatalf("probes=%d messages=%d", e.Probes(), e.Messages("m"))
+	}
+}
+
+func TestStaticJitterSymmetricAndBounded(t *testing.T) {
+	e := testEnv(t)
+	e.SetPerturbation(StaticJitter{Seed: 42, Amplitude: 0.3})
+	hosts := e.Net().StubHosts()
+	for i := 0; i < 100; i++ {
+		a, b := hosts[i%len(hosts)], hosts[(i*7+1)%len(hosts)]
+		if a == b {
+			continue
+		}
+		la, lb := e.Latency(a, b), e.Latency(b, a)
+		if la != lb {
+			t.Fatalf("jitter asymmetric: %v vs %v", la, lb)
+		}
+		base := e.Net().Latency(a, b)
+		if la < base*0.7-1e-9 || la > base*1.3+1e-9 {
+			t.Fatalf("jitter out of bounds: base %v perturbed %v", base, la)
+		}
+	}
+}
+
+func TestStaticJitterActuallyPerturbs(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	e.SetPerturbation(StaticJitter{Seed: 42, Amplitude: 0.3})
+	changed := 0
+	for i := 1; i < 50; i++ {
+		if e.Latency(hosts[0], hosts[i]) != e.Net().Latency(hosts[0], hosts[i]) {
+			changed++
+		}
+	}
+	if changed < 40 {
+		t.Fatalf("only %d/49 latencies perturbed", changed)
+	}
+}
+
+func TestStaticJitterStableOverTime(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	e.SetPerturbation(StaticJitter{Seed: 42, Amplitude: 0.3})
+	before := e.Latency(hosts[0], hosts[1])
+	e.Clock().Advance(1e6)
+	if e.Latency(hosts[0], hosts[1]) != before {
+		t.Fatal("static jitter drifted with time")
+	}
+}
+
+func TestEpochJitterChangesAcrossEpochs(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	e.SetPerturbation(EpochJitter{Seed: 7, Amplitude: 0.4, Period: 100})
+	a, b := hosts[0], hosts[1]
+	l0 := e.Latency(a, b)
+	e.Clock().Advance(50) // same epoch
+	if e.Latency(a, b) != l0 {
+		t.Fatal("latency changed within an epoch")
+	}
+	// Across many epochs at least one draw must differ.
+	changed := false
+	for i := 0; i < 10 && !changed; i++ {
+		e.Clock().Advance(100)
+		if e.Latency(a, b) != l0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("epoch jitter never changed the latency")
+	}
+}
+
+func TestEpochJitterZeroPeriodIsStatic(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	e.SetPerturbation(EpochJitter{Seed: 7, Amplitude: 0.4, Period: 0})
+	l0 := e.Latency(hosts[0], hosts[1])
+	e.Clock().Advance(12345)
+	if e.Latency(hosts[0], hosts[1]) != l0 {
+		t.Fatal("zero-period epoch jitter drifted")
+	}
+}
+
+func TestNodeJitterSymmetricAndStructured(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	e.SetPerturbation(NodeJitter{Seed: 3, Amplitude: 0.8, Period: 100})
+	a, b := hosts[0], hosts[1]
+	if e.Latency(a, b) != e.Latency(b, a) {
+		t.Fatal("node jitter asymmetric")
+	}
+	// Congestion only inflates: perturbed in [base, base*(1+A)^2].
+	for i := 0; i < 50; i++ {
+		u, v := hosts[i%len(hosts)], hosts[(i*13+7)%len(hosts)]
+		if u == v {
+			continue
+		}
+		base := e.Net().Latency(u, v)
+		p := e.Latency(u, v)
+		if p < base-1e-9 || p > base*1.8*1.8+1e-9 {
+			t.Fatalf("node jitter out of bounds: base %v perturbed %v", base, p)
+		}
+	}
+	// Across epochs the factor changes eventually.
+	l0 := e.Latency(a, b)
+	changed := false
+	for i := 0; i < 10 && !changed; i++ {
+		e.Clock().Advance(100)
+		if e.Latency(a, b) != l0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("node jitter never changed across epochs")
+	}
+}
+
+func TestNodeJitterFraction(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	e.SetPerturbation(NodeJitter{Seed: 4, Amplitude: 3, Period: 0, Fraction: 0.2})
+	unchanged := 0
+	total := 0
+	for i := 0; i+1 < len(hosts) && total < 60; i += 2 {
+		a, b := hosts[i], hosts[i+1]
+		total++
+		if e.Latency(a, b) == e.Net().Latency(a, b) {
+			unchanged++
+		}
+	}
+	// P(both endpoints uncongested) = 0.64; expect a solid majority of
+	// pairs unchanged but not all.
+	if unchanged < total/3 {
+		t.Fatalf("only %d/%d pairs unchanged at fraction 0.2", unchanged, total)
+	}
+	if unchanged == total {
+		t.Fatal("no pair perturbed at fraction 0.2")
+	}
+}
+
+func TestNodeJitterFactorization(t *testing.T) {
+	// lat'(a,b)/base(a,b) == f(a)*f(b): check via three pairs.
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	e.SetPerturbation(NodeJitter{Seed: 9, Amplitude: 0.5, Period: 0})
+	a, b, c := hosts[0], hosts[1], hosts[2]
+	r := func(x, y topology.NodeID) float64 { return e.Latency(x, y) / e.Net().Latency(x, y) }
+	// (f_a f_b)(f_a f_c)/(f_b f_c) = f_a^2
+	fa2 := r(a, b) * r(a, c) / r(b, c)
+	if fa2 <= 0 || math.IsNaN(fa2) {
+		t.Fatalf("fa^2 = %v", fa2)
+	}
+	// Consistency with a fourth node.
+	d := hosts[3]
+	fa2alt := r(a, d) * r(a, c) / r(d, c)
+	if math.Abs(fa2-fa2alt) > 1e-9 {
+		t.Fatalf("node factors inconsistent: %v vs %v", fa2, fa2alt)
+	}
+}
+
+func TestPerturbationPreservesSelfZero(t *testing.T) {
+	e := testEnv(t)
+	hosts := e.Net().StubHosts()
+	e.SetPerturbation(StaticJitter{Seed: 1, Amplitude: 0.5})
+	if e.Latency(hosts[3], hosts[3]) != 0 {
+		t.Fatal("self-latency not zero under perturbation")
+	}
+}
+
+func TestUnitFromRange(t *testing.T) {
+	for i := uint64(0); i < 1000; i++ {
+		u := unitFrom(pairHash(i, 1, 2, 0))
+		if u < 0 || u >= 1 || math.IsNaN(u) {
+			t.Fatalf("unitFrom out of range: %v", u)
+		}
+	}
+}
+
+func TestPairHashSymmetric(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		a, b := topology.NodeID(i), topology.NodeID(i*3+1)
+		if pairHash(9, a, b, 4) != pairHash(9, b, a, 4) {
+			t.Fatal("pairHash not symmetric")
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package pastry implements a compact Pastry overlay (Rowstron &
+// Druschel, Middleware 2001): prefix routing over a circular identifier
+// space with per-row routing tables and a leaf set.
+//
+// The paper's mechanisms are "generic for overlay networks such as
+// Pastry, Chord, and eCAN, where there exists flexibility in selecting
+// routing neighbors" — in Pastry, any node whose ID has the required
+// prefix can fill a routing-table slot, and that freedom is where
+// proximity-neighbor selection lives. This package exposes the same
+// Selector hook as package ecan, so the landmark+soft-state machinery
+// drives Pastry tables unchanged (experiment ext-pastry).
+//
+// Like package chord, construction is simulator-style: the full
+// membership is known and Build computes the steady state the join
+// protocol converges to.
+package pastry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+// ID is a position on the 64-bit identifier circle.
+type ID uint64
+
+// Node is one Pastry participant.
+type Node struct {
+	ID   ID
+	Host topology.NodeID
+
+	// table[row][digit] points to a node sharing `row` leading digits
+	// with this node and having `digit` at position row (nil when no such
+	// node exists or the digit is the node's own).
+	table [][]*Node
+	// leaf is the leaf set: the l/2 nearest smaller and l/2 nearest
+	// larger IDs on the circle, in ascending circular order.
+	leaf []*Node
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return fmt.Sprintf("pastry{id=%016x host=%d}", uint64(n.ID), n.Host) }
+
+// Leaf returns the node's leaf set (shared slice; do not modify).
+func (n *Node) Leaf() []*Node { return n.leaf }
+
+// TableEntry returns the routing entry at (row, digit), possibly nil.
+func (n *Node) TableEntry(row, digit int) *Node {
+	if row < 0 || row >= len(n.table) || digit < 0 || digit >= len(n.table[row]) {
+		return nil
+	}
+	return n.table[row][digit]
+}
+
+// Selector chooses the routing-table entry for (row, digit) among every
+// member with the required prefix. Pastry's "proximity neighbor
+// selection" plugs in here; returning nil from a non-empty candidate list
+// is treated as "pick the first".
+type Selector interface {
+	Select(self *Node, row, digit int, candidates []*Node) *Node
+}
+
+// RandomSelector picks uniformly — the topology-oblivious baseline.
+type RandomSelector struct {
+	RNG *simrand.Source
+}
+
+// Select implements Selector.
+func (s RandomSelector) Select(self *Node, _, _ int, candidates []*Node) *Node {
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[s.RNG.Intn(len(candidates))]
+}
+
+// FuncSelector adapts a function to Selector.
+type FuncSelector func(self *Node, row, digit int, candidates []*Node) *Node
+
+// Select implements Selector.
+func (f FuncSelector) Select(self *Node, row, digit int, candidates []*Node) *Node {
+	return f(self, row, digit, candidates)
+}
+
+// Overlay is a Pastry ring.
+type Overlay struct {
+	digitBits int // b: bits per digit
+	rows      int // 64 / b
+	fanout    int // 2^b
+	leafSize  int // l: total leaf-set size
+	nodes     []*Node
+	built     bool
+}
+
+// New returns an empty Pastry overlay with base 2^digitBits and the
+// given leaf-set size (rounded up to even, minimum 2).
+func New(digitBits, leafSize int) (*Overlay, error) {
+	if digitBits < 1 || digitBits > 8 || 64%digitBits != 0 {
+		return nil, fmt.Errorf("pastry: digitBits = %d, need a divisor of 64 in [1,8]", digitBits)
+	}
+	if leafSize < 2 {
+		leafSize = 2
+	}
+	if leafSize%2 == 1 {
+		leafSize++
+	}
+	return &Overlay{
+		digitBits: digitBits,
+		rows:      64 / digitBits,
+		fanout:    1 << uint(digitBits),
+		leafSize:  leafSize,
+	}, nil
+}
+
+// DigitBits returns b, the bits per routing digit.
+func (o *Overlay) DigitBits() int { return o.digitBits }
+
+// Len returns the number of nodes.
+func (o *Overlay) Len() int { return len(o.nodes) }
+
+// Nodes returns the nodes in ID order (fresh slice).
+func (o *Overlay) Nodes() []*Node { return append([]*Node(nil), o.nodes...) }
+
+// Join adds a node. Duplicate IDs are rejected. Build must run before
+// routing.
+func (o *Overlay) Join(host topology.NodeID, id ID) (*Node, error) {
+	i := sort.Search(len(o.nodes), func(k int) bool { return o.nodes[k].ID >= id })
+	if i < len(o.nodes) && o.nodes[i].ID == id {
+		return nil, fmt.Errorf("pastry: id %016x already taken", uint64(id))
+	}
+	n := &Node{ID: id, Host: host}
+	o.nodes = append(o.nodes, nil)
+	copy(o.nodes[i+1:], o.nodes[i:])
+	o.nodes[i] = n
+	o.built = false
+	return n, nil
+}
+
+// JoinRandom joins host at a random unoccupied ID.
+func (o *Overlay) JoinRandom(host topology.NodeID, rng *simrand.Source) (*Node, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		if n, err := o.Join(host, ID(rng.Uint64())); err == nil {
+			return n, nil
+		}
+	}
+	return nil, errors.New("pastry: could not find a free id")
+}
+
+// digit extracts digit `row` of an ID (most significant digit is row 0).
+func (o *Overlay) digit(id ID, row int) int {
+	shift := uint(64 - (row+1)*o.digitBits)
+	return int(id>>shift) & (o.fanout - 1)
+}
+
+// sharedDigits counts the leading digits a and b share.
+func (o *Overlay) sharedDigits(a, b ID) int {
+	for r := 0; r < o.rows; r++ {
+		if o.digit(a, r) != o.digit(b, r) {
+			return r
+		}
+	}
+	return o.rows
+}
+
+// Build computes leaf sets and routing tables, filling each table slot
+// through sel. Building is the expensive O(N * rows * fanout) step; the
+// per-slot candidate enumeration is shared across nodes via a prefix
+// index.
+func (o *Overlay) Build(sel Selector) error {
+	if len(o.nodes) == 0 {
+		return errors.New("pastry: empty overlay")
+	}
+	if sel == nil {
+		return errors.New("pastry: nil selector")
+	}
+	n := len(o.nodes)
+
+	// Leaf sets: l/2 neighbors on each side in ID order (or everyone when
+	// the ring is small).
+	half := o.leafSize / 2
+	for i, node := range o.nodes {
+		if n-1 <= o.leafSize {
+			node.leaf = make([]*Node, 0, n-1)
+			for k := 1; k < n; k++ {
+				node.leaf = append(node.leaf, o.nodes[(i+k)%n])
+			}
+			continue
+		}
+		node.leaf = make([]*Node, 0, o.leafSize)
+		for k := half; k >= 1; k-- {
+			node.leaf = append(node.leaf, o.nodes[(i-k+n)%n])
+		}
+		for k := 1; k <= half; k++ {
+			node.leaf = append(node.leaf, o.nodes[(i+k)%n])
+		}
+	}
+
+	// Prefix index: row r buckets nodes by their first r+1 digits. Rows
+	// stop once every bucket holds a single node — deeper rows can have
+	// no candidates.
+	type bucketKey struct {
+		row    int
+		prefix ID // first row+1 digits, right-aligned
+	}
+	buckets := make(map[bucketKey][]*Node)
+	maxRows := o.rows
+	for r := 0; r < o.rows; r++ {
+		shift := uint(64 - (r+1)*o.digitBits)
+		anySharing := false
+		for _, node := range o.nodes {
+			key := bucketKey{row: r, prefix: node.ID >> shift}
+			buckets[key] = append(buckets[key], node)
+			if len(buckets[key]) > 1 {
+				anySharing = true
+			}
+		}
+		if !anySharing {
+			maxRows = r + 1
+			break
+		}
+	}
+
+	for _, node := range o.nodes {
+		node.table = make([][]*Node, maxRows)
+		for r := 0; r < maxRows; r++ {
+			node.table[r] = make([]*Node, o.fanout)
+			own := o.digit(node.ID, r)
+			shift := uint(64 - (r+1)*o.digitBits)
+			prefixBase := (node.ID >> shift) &^ ID(o.fanout-1)
+			for d := 0; d < o.fanout; d++ {
+				if d == own {
+					continue
+				}
+				cands := buckets[bucketKey{row: r, prefix: prefixBase | ID(d)}]
+				if len(cands) == 0 {
+					continue
+				}
+				pick := sel.Select(node, r, d, cands)
+				if pick == nil {
+					pick = cands[0]
+				}
+				node.table[r][d] = pick
+			}
+		}
+	}
+	o.built = true
+	return nil
+}
+
+// circularDist returns the distance between two IDs on the circle.
+func circularDist(a, b ID) ID {
+	d := a - b
+	if alt := b - a; alt < d {
+		d = alt
+	}
+	return d
+}
+
+// Route routes from "from" to the node whose ID is numerically closest
+// to key (the Pastry owner), returning the hop path including endpoints.
+func (o *Overlay) Route(from *Node, key ID) ([]*Node, error) {
+	if !o.built {
+		return nil, errors.New("pastry: overlay not built")
+	}
+	if from == nil {
+		return nil, errors.New("pastry: route from nil node")
+	}
+	owner := o.ownerOf(key)
+	cur := from
+	path := []*Node{from}
+	for len(path) <= len(o.nodes)+1 {
+		if cur == owner {
+			return path, nil
+		}
+		// The owner within leaf-set reach is the final hop.
+		for _, l := range cur.leaf {
+			if l == owner {
+				path = append(path, owner)
+				return path, nil
+			}
+		}
+		r := o.sharedDigits(cur.ID, key)
+		var next *Node
+		if r < len(cur.table) {
+			next = cur.table[r][o.digit(key, r)]
+		}
+		if next == nil {
+			// Rare case: empty table slot; fall back to the leaf-set node
+			// that strictly reduces circular distance to the key.
+			bestD := circularDist(cur.ID, key)
+			for _, l := range cur.leaf {
+				if d := circularDist(l.ID, key); d < bestD {
+					next, bestD = l, d
+				}
+			}
+			if next == nil {
+				return nil, fmt.Errorf("pastry: routing stuck at %v toward %016x", cur, uint64(key))
+			}
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return nil, errors.New("pastry: routing loop detected")
+}
+
+// ownerOf returns the node numerically closest to key.
+func (o *Overlay) ownerOf(key ID) *Node {
+	i := sort.Search(len(o.nodes), func(k int) bool { return o.nodes[k].ID >= key })
+	cands := []int{i - 1, i, 0, len(o.nodes) - 1}
+	var best *Node
+	var bestD ID
+	for _, c := range cands {
+		if c < 0 || c >= len(o.nodes) {
+			continue
+		}
+		n := o.nodes[c]
+		d := circularDist(n.ID, key)
+		if best == nil || d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+// Owner exposes ownerOf for tests and experiments.
+func (o *Overlay) Owner(key ID) *Node { return o.ownerOf(key) }

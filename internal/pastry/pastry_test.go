@@ -1,0 +1,348 @@
+package pastry
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+func buildOverlay(t testing.TB, n int, seed uint64) *Overlay {
+	t.Helper()
+	o, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(seed)
+	for i := 0; i < n; i++ {
+		if _, err := o.JoinRandom(topology.NodeID(i), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Build(RandomSelector{RNG: rng.Split("sel")}); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 8); err == nil {
+		t.Fatal("digitBits 0 accepted")
+	}
+	if _, err := New(3, 8); err == nil {
+		t.Fatal("non-divisor digitBits accepted")
+	}
+	if _, err := New(9, 8); err == nil {
+		t.Fatal("digitBits 9 accepted")
+	}
+	o, err := New(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.leafSize != 8 {
+		t.Fatalf("leafSize not rounded to even: %d", o.leafSize)
+	}
+	if o.DigitBits() != 4 {
+		t.Fatal("accessor wrong")
+	}
+	if _, err := New(4, 0); err != nil {
+		t.Fatal(err) // clamps to 2, no error
+	}
+}
+
+func TestJoinDuplicateID(t *testing.T) {
+	o, _ := New(4, 8)
+	if _, err := o.Join(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Join(2, 42); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if o.Len() != 1 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	o, _ := New(4, 8)
+	if err := o.Build(RandomSelector{RNG: simrand.New(1)}); err == nil {
+		t.Fatal("empty overlay built")
+	}
+	o.Join(1, 42)
+	if err := o.Build(nil); err == nil {
+		t.Fatal("nil selector accepted")
+	}
+}
+
+func TestLeafSets(t *testing.T) {
+	o := buildOverlay(t, 64, 1)
+	nodes := o.Nodes()
+	for i, n := range nodes {
+		leaf := n.Leaf()
+		if len(leaf) != 8 {
+			t.Fatalf("leaf size = %d", len(leaf))
+		}
+		want := map[*Node]bool{}
+		for k := 1; k <= 4; k++ {
+			want[nodes[(i+k)%len(nodes)]] = true
+			want[nodes[(i-k+len(nodes))%len(nodes)]] = true
+		}
+		for _, l := range leaf {
+			if !want[l] {
+				t.Fatalf("node %v has unexpected leaf %v", n, l)
+			}
+		}
+	}
+}
+
+func TestSmallRingLeafIsEveryone(t *testing.T) {
+	o := buildOverlay(t, 5, 2)
+	for _, n := range o.Nodes() {
+		if len(n.Leaf()) != 4 {
+			t.Fatalf("leaf size = %d on 5-node ring", len(n.Leaf()))
+		}
+	}
+}
+
+func TestTableEntriesHaveRequiredPrefix(t *testing.T) {
+	o := buildOverlay(t, 128, 3)
+	for _, n := range o.Nodes() {
+		for r := 0; r < len(n.table); r++ {
+			for d := 0; d < o.fanout; d++ {
+				e := n.TableEntry(r, d)
+				if e == nil {
+					continue
+				}
+				if o.sharedDigits(n.ID, e.ID) < r {
+					t.Fatalf("entry at row %d shares fewer digits", r)
+				}
+				if o.digit(e.ID, r) != d {
+					t.Fatalf("entry at (row %d, digit %d) has digit %d", r, d, o.digit(e.ID, r))
+				}
+			}
+		}
+	}
+	// Out-of-range accessor.
+	n := o.Nodes()[0]
+	if n.TableEntry(-1, 0) != nil || n.TableEntry(999, 0) != nil || n.TableEntry(0, 999) != nil {
+		t.Fatal("out-of-range TableEntry returned something")
+	}
+}
+
+func TestRouteFindsOwner(t *testing.T) {
+	o := buildOverlay(t, 200, 4)
+	nodes := o.Nodes()
+	rng := simrand.New(5)
+	for trial := 0; trial < 300; trial++ {
+		from := nodes[rng.Intn(len(nodes))]
+		key := ID(rng.Uint64())
+		path, err := o.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path[0] != from {
+			t.Fatal("path does not start at source")
+		}
+		if got, want := path[len(path)-1], o.Owner(key); got != want {
+			t.Fatalf("route to %016x ended at %v, want %v", uint64(key), got, want)
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	o := buildOverlay(t, 32, 6)
+	n := o.Nodes()[0]
+	path, err := o.Route(n, n.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 {
+		t.Fatalf("self route length %d", len(path))
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	o, _ := New(4, 8)
+	o.Join(1, 42)
+	if _, err := o.Route(nil, 7); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	n := o.Nodes()[0]
+	if _, err := o.Route(n, 7); err == nil {
+		t.Fatal("unbuilt overlay routed")
+	}
+}
+
+func TestLogarithmicHops(t *testing.T) {
+	o := buildOverlay(t, 512, 7)
+	nodes := o.Nodes()
+	rng := simrand.New(8)
+	total := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		from := nodes[rng.Intn(len(nodes))]
+		path, err := o.Route(from, ID(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(path) - 1
+	}
+	avg := float64(total) / trials
+	bound := 2 * math.Log2(512) / 4 * 2 // ~2x log16(N) with slack
+	t.Logf("avg hops at N=512, b=4: %.2f (log16 N = %.2f)", avg, math.Log2(512)/4)
+	if avg > bound+2 {
+		t.Fatalf("avg hops %.2f too high", avg)
+	}
+}
+
+func TestOwner(t *testing.T) {
+	o, _ := New(4, 8)
+	o.Join(1, 100)
+	o.Join(2, 200)
+	o.Build(RandomSelector{RNG: simrand.New(1)})
+	if o.Owner(120).ID != 100 {
+		t.Fatalf("Owner(120) = %v", o.Owner(120))
+	}
+	if o.Owner(180).ID != 200 {
+		t.Fatalf("Owner(180) = %v", o.Owner(180))
+	}
+	// Wraparound: a key near the top of the circle is closest to 100 only
+	// through the wrap if distances say so.
+	top := ID(math.MaxUint64 - 40)
+	if got := o.Owner(top); got.ID != 100 {
+		t.Fatalf("Owner(wrap) = %v", got)
+	}
+}
+
+func TestSelectorDrivesTableChoice(t *testing.T) {
+	// A selector that always picks the candidate with the smallest host
+	// must be reflected in every table slot.
+	o, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(11)
+	for i := 0; i < 64; i++ {
+		if _, err := o.JoinRandom(topology.NodeID(i), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel := FuncSelector(func(self *Node, row, digit int, cands []*Node) *Node {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.Host < best.Host {
+				best = c
+			}
+		}
+		return best
+	})
+	if err := o.Build(sel); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range o.Nodes() {
+		for r := range n.table {
+			for d, e := range n.table[r] {
+				if e == nil {
+					continue
+				}
+				// Recompute the candidate minimum.
+				for _, other := range o.Nodes() {
+					if o.sharedDigits(n.ID, other.ID) >= r && o.digit(other.ID, r) == d &&
+						other.Host < e.Host {
+						t.Fatalf("slot (%d,%d) of %v ignored the selector", r, d, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProximitySelectionBeatsRandomStretch(t *testing.T) {
+	// The whole point: plugging a latency-aware selector into Pastry's
+	// table construction cuts routing stretch, like it does for eCAN.
+	spec := topology.Spec{
+		TransitDomains:        3,
+		TransitNodesPerDomain: 4,
+		StubsPerTransitNode:   3,
+		NodesPerStub:          12,
+		ExtraTransitEdgeProb:  0.3,
+		ExtraStubEdgeProb:     0.2,
+		ExtraInterDomainLinks: 2,
+		Latency:               topology.GTITMLatency(),
+	}
+	net := topology.MustGenerate(spec, simrand.New(1))
+	hosts := net.RandomStubHosts(simrand.New(2), 128)
+
+	build := func(sel Selector) *Overlay {
+		o, err := New(4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := simrand.New(3)
+		for _, h := range hosts {
+			if _, err := o.JoinRandom(h, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := o.Build(sel); err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	stretchOf := func(o *Overlay) float64 {
+		nodes := o.Nodes()
+		rng := simrand.New(4)
+		total, count := 0.0, 0
+		for i := 0; i < 300; i++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			if src == dst || src.Host == dst.Host {
+				continue
+			}
+			path, err := o.Route(src, dst.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lat := 0.0
+			for h := 1; h < len(path); h++ {
+				lat += net.Latency(path[h-1].Host, path[h].Host)
+			}
+			direct := net.Latency(src.Host, dst.Host)
+			if direct <= 0 {
+				continue
+			}
+			total += lat / direct
+			count++
+		}
+		return total / float64(count)
+	}
+
+	random := stretchOf(build(RandomSelector{RNG: simrand.New(5)}))
+	closest := stretchOf(build(FuncSelector(func(self *Node, _, _ int, cands []*Node) *Node {
+		best := cands[0]
+		bestD := net.Latency(self.Host, best.Host)
+		for _, c := range cands[1:] {
+			if d := net.Latency(self.Host, c.Host); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		return best
+	})))
+	t.Logf("pastry stretch: random %.3f, proximity %.3f", random, closest)
+	if closest >= random {
+		t.Fatalf("proximity selection (%.3f) not better than random (%.3f)", closest, random)
+	}
+}
+
+func BenchmarkPastryRoute(b *testing.B) {
+	o := buildOverlay(b, 512, 1)
+	nodes := o.Nodes()
+	rng := simrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Route(nodes[i%len(nodes)], ID(rng.Uint64())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package proximity
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/landmark"
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+func groupedSetup(t *testing.T, hostCount, landmarks int) (*harness, landmark.Set, float64) {
+	t.Helper()
+	h := newHarness(t, hostCount)
+	set, err := landmark.Choose(h.net, landmarks, simrand.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRTT := landmark.EstimateMaxRTT(h.net, set, h.net.RandomStubHosts(simrand.New(98), 20))
+	return h, set, maxRTT
+}
+
+func TestBuildGroupedIndexValidation(t *testing.T) {
+	h, set, maxRTT := groupedSetup(t, 20, 8)
+	if _, err := BuildGroupedIndex(nil, set, 2, 5, maxRTT, h.hosts); err == nil {
+		t.Fatal("nil env accepted")
+	}
+	if _, err := BuildGroupedIndex(h.env, set, 2, 5, maxRTT, nil); err == nil {
+		t.Fatal("empty hosts accepted")
+	}
+	if _, err := BuildGroupedIndex(h.env, set, 0, 5, maxRTT, h.hosts); err == nil {
+		t.Fatal("zero groups accepted")
+	}
+	if _, err := BuildGroupedIndex(h.env, set, 8, 5, maxRTT, h.hosts); err == nil {
+		t.Fatal("degenerate groups (1 landmark each) accepted")
+	}
+}
+
+func TestGroupedIndexBasics(t *testing.T) {
+	h, set, maxRTT := groupedSetup(t, 60, 8)
+	gi, err := BuildGroupedIndex(h.env, set, 2, 5, maxRTT, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Groups() != 2 || gi.Len() != 60 {
+		t.Fatalf("groups=%d len=%d", gi.Groups(), gi.Len())
+	}
+	q := h.hosts[0]
+	cands := gi.Candidates(q, 8)
+	if len(cands) == 0 || len(cands) > 8 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, c := range cands {
+		if c == q {
+			t.Fatal("query in candidates")
+		}
+		if seen[c] {
+			t.Fatal("duplicate candidate")
+		}
+		seen[c] = true
+	}
+	if got := gi.Candidates(topology.NodeID(1), 8); got != nil {
+		t.Fatal("candidates for unindexed host")
+	}
+	if got := gi.Candidates(q, 0); got != nil {
+		t.Fatal("candidates for k=0")
+	}
+}
+
+func TestGroupedSearchHybrid(t *testing.T) {
+	h, set, maxRTT := groupedSetup(t, 150, 8)
+	gi, err := BuildGroupedIndex(h.env, set, 2, 5, maxRTT, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(5)
+	var stretchSum float64
+	n := 0
+	for i := 0; i < 30; i++ {
+		q := h.hosts[rng.Intn(len(h.hosts))]
+		res := gi.SearchHybrid(h.env, q, 8)
+		if res.Found == topology.None {
+			t.Fatal("found nothing")
+		}
+		if res.Probes > 8 {
+			t.Fatalf("budget exceeded: %d", res.Probes)
+		}
+		s := Stretch(h.net, q, res.Found, h.hosts)
+		if math.IsInf(s, 1) {
+			continue
+		}
+		stretchSum += s
+		n++
+	}
+	mean := stretchSum / float64(n)
+	t.Logf("grouped hybrid mean stretch: %.3f", mean)
+	if mean > 3 {
+		t.Fatalf("grouped hybrid stretch %.3f too high", mean)
+	}
+}
+
+func TestGroupedAtLeastAsGoodAsSingle(t *testing.T) {
+	// Grouping exists to reduce false clustering; on average over many
+	// queries it should not be substantially worse than a single curve
+	// over the same landmarks.
+	h, set, maxRTT := groupedSetup(t, 250, 12)
+	single, err := BuildGroupedIndex(h.env, set, 1, 5, maxRTT, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := BuildGroupedIndex(h.env, set, 3, 5, maxRTT, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(7)
+	var sumSingle, sumGrouped float64
+	n := 0
+	for i := 0; i < 40; i++ {
+		q := h.hosts[rng.Intn(len(h.hosts))]
+		rs := single.SearchHybrid(h.env, q, 6)
+		rg := grouped.SearchHybrid(h.env, q, 6)
+		ss := Stretch(h.net, q, rs.Found, h.hosts)
+		sg := Stretch(h.net, q, rg.Found, h.hosts)
+		if math.IsInf(ss, 1) || math.IsInf(sg, 1) {
+			continue
+		}
+		sumSingle += ss
+		sumGrouped += sg
+		n++
+	}
+	t.Logf("mean stretch: single %.3f, grouped %.3f", sumSingle/float64(n), sumGrouped/float64(n))
+	if sumGrouped > sumSingle*1.25 {
+		t.Fatalf("grouping made things much worse: %.1f vs %.1f", sumGrouped, sumSingle)
+	}
+}
+
+func TestGroupedUnevenGroupSizes(t *testing.T) {
+	// 7 landmarks in 2 groups: 3 + 4; the last group absorbs the tail.
+	h, set, maxRTT := groupedSetup(t, 40, 7)
+	gi, err := BuildGroupedIndex(h.env, set, 2, 5, maxRTT, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Groups() != 2 {
+		t.Fatalf("groups = %d", gi.Groups())
+	}
+	if got := gi.Candidates(h.hosts[0], 5); len(got) == 0 {
+		t.Fatal("no candidates with uneven groups")
+	}
+}

@@ -1,0 +1,128 @@
+package proximity
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/landmark"
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+func hierSetup(t *testing.T, hostCount int) (*harness, *landmark.Space, landmark.Set) {
+	t.Helper()
+	h := newHarness(t, hostCount)
+	rng := simrand.New(41)
+	globalSet, err := landmark.Choose(h.net, 5, rng.Split("global"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRTT := landmark.EstimateMaxRTT(h.net, globalSet, h.net.RandomStubHosts(rng.Split("est"), 20))
+	globalSpace, err := landmark.NewSpace(globalSet, 3, 6, maxRTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSet, err := landmark.ChoosePerDomain(h.net, 2, rng.Split("local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, globalSpace, localSet
+}
+
+func TestChoosePerDomain(t *testing.T) {
+	h := newHarness(t, 10)
+	set, err := landmark.ChoosePerDomain(h.net, 2, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2*h.net.Spec().TransitDomains {
+		t.Fatalf("set size %d, want %d", set.Len(), 2*h.net.Spec().TransitDomains)
+	}
+	perDomain := map[int]int{}
+	seen := map[topology.NodeID]bool{}
+	for _, lm := range set.Nodes() {
+		if seen[lm] {
+			t.Fatal("duplicate landmark")
+		}
+		seen[lm] = true
+		perDomain[h.net.Node(lm).Domain]++
+	}
+	for d, c := range perDomain {
+		if c != 2 {
+			t.Fatalf("domain %d has %d landmarks", d, c)
+		}
+	}
+	if _, err := landmark.ChoosePerDomain(h.net, 0, simrand.New(1)); err == nil {
+		t.Fatal("perDomain=0 accepted")
+	}
+	if _, err := landmark.ChoosePerDomain(h.net, 10_000, simrand.New(1)); err == nil {
+		t.Fatal("oversized perDomain accepted")
+	}
+}
+
+func TestBuildHierarchicalIndexValidation(t *testing.T) {
+	h, globalSpace, _ := hierSetup(t, 30)
+	if _, err := BuildHierarchicalIndex(h.env, globalSpace, landmark.Set{}, h.hosts); err == nil {
+		t.Fatal("empty local set accepted")
+	}
+}
+
+func TestHierarchicalBasics(t *testing.T) {
+	h, globalSpace, localSet := hierSetup(t, 80)
+	hx, err := BuildHierarchicalIndex(h.env, globalSpace, localSet, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := globalSpace.Set().Len() + localSet.Len(); hx.JoinProbesPerHost() != want {
+		t.Fatalf("JoinProbesPerHost = %d, want %d", hx.JoinProbesPerHost(), want)
+	}
+	q := h.hosts[0]
+	cands := hx.Candidates(q, 8)
+	if len(cands) == 0 || len(cands) > 8 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	for _, c := range cands {
+		if c == q {
+			t.Fatal("query among candidates")
+		}
+	}
+	if got := hx.Candidates(topology.NodeID(1), 8); got != nil {
+		t.Fatal("candidates for unindexed host")
+	}
+	res := hx.SearchHybrid(h.env, q, 6)
+	if res.Found == topology.None || res.Probes > 6 {
+		t.Fatalf("bad search result: %+v", res)
+	}
+}
+
+func TestHierarchicalRefinementHelps(t *testing.T) {
+	// With a deliberately weak global space, the local refinement should
+	// find closer neighbors on average than the global space alone.
+	h, globalSpace, localSet := hierSetup(t, 250)
+	hx, err := BuildHierarchicalIndex(h.env, globalSpace, localSet, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(17)
+	const budget = 5
+	var flatSum, hierSum float64
+	n := 0
+	for i := 0; i < 40; i++ {
+		q := h.hosts[rng.Intn(len(h.hosts))]
+		flat := hx.global.SearchHybrid(h.env, q, budget)
+		hier := hx.SearchHybrid(h.env, q, budget)
+		fs := Stretch(h.net, q, flat.Found, h.hosts)
+		hs := Stretch(h.net, q, hier.Found, h.hosts)
+		if math.IsInf(fs, 1) || math.IsInf(hs, 1) {
+			continue
+		}
+		flatSum += fs
+		hierSum += hs
+		n++
+	}
+	t.Logf("mean stretch at budget %d: global-only %.3f, hierarchical %.3f",
+		budget, flatSum/float64(n), hierSum/float64(n))
+	if hierSum > flatSum*1.1 {
+		t.Fatalf("hierarchical refinement hurt: %.1f vs %.1f", hierSum, flatSum)
+	}
+}

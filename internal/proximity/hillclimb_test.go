@@ -1,0 +1,79 @@
+package proximity
+
+import (
+	"testing"
+
+	"gsso/internal/topology"
+)
+
+func TestHillClimbBasics(t *testing.T) {
+	h := newHarness(t, 150)
+	e := buildERS(t, h)
+	q := h.hosts[5]
+	h.env.ResetProbes()
+	res := e.SearchHillClimb(h.env, q, 30)
+	if res.Found == topology.None {
+		t.Fatal("hill climb found nothing")
+	}
+	if res.Found == q {
+		t.Fatal("hill climb returned the query")
+	}
+	if res.Probes > 30 {
+		t.Fatalf("budget exceeded: %d", res.Probes)
+	}
+	if int64(res.Probes) != h.env.Probes() {
+		t.Fatal("probe accounting mismatch")
+	}
+}
+
+func TestHillClimbUnknownQueryOrZeroBudget(t *testing.T) {
+	h := newHarness(t, 40)
+	e := buildERS(t, h)
+	if res := e.SearchHillClimb(h.env, topology.NodeID(0), 10); res.Found != topology.None {
+		t.Fatal("unknown host search returned something")
+	}
+	if res := e.SearchHillClimb(h.env, h.hosts[0], 0); res.Probes != 0 {
+		t.Fatal("zero budget spent probes")
+	}
+}
+
+func TestHillClimbStopsAtLocalMinimum(t *testing.T) {
+	// With a huge budget, hill climbing still terminates well before
+	// probing everyone (the local-minimum pitfall the paper describes),
+	// unlike exhaustive ERS.
+	h := newHarness(t, 200)
+	e := buildERS(t, h)
+	stops := 0
+	for _, q := range h.hosts[:20] {
+		res := e.SearchHillClimb(h.env, q, 10_000)
+		if res.Probes < len(h.hosts)/2 {
+			stops++
+		}
+	}
+	if stops < 15 {
+		t.Fatalf("hill climbing rarely stopped early: %d/20", stops)
+	}
+}
+
+func TestHillClimbCheaperButWorseThanExhaustive(t *testing.T) {
+	h := newHarness(t, 200)
+	e := buildERS(t, h)
+	var hillStretch, hillProbes float64
+	exactMisses := 0
+	const trials = 25
+	for i := 0; i < trials; i++ {
+		q := h.hosts[i*7%len(h.hosts)]
+		res := e.SearchHillClimb(h.env, q, 10_000)
+		s := Stretch(h.net, q, res.Found, h.hosts)
+		hillStretch += s
+		hillProbes += float64(res.Probes)
+		if s > 1 {
+			exactMisses++
+		}
+	}
+	t.Logf("hill climb: mean stretch %.2f, mean probes %.1f, misses %d/%d",
+		hillStretch/trials, hillProbes/trials, exactMisses, trials)
+	if exactMisses == 0 {
+		t.Fatal("hill climbing never missed — local minimum pitfall not reproduced")
+	}
+}

@@ -1,0 +1,306 @@
+// Package proximity implements and compares the paper's three ways of
+// generating proximity information (§4): expanding-ring search over an
+// overlay, landmark clustering alone, and the paper's hybrid — landmark
+// clustering as a pre-selection filter followed by a few direct RTT
+// measurements.
+//
+// The evaluation currency is the stretch of the "nearest" neighbor each
+// algorithm finds (found distance / true nearest distance) as a function
+// of the RTT measurements it spent, reproducing Figures 3-6.
+package proximity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gsso/internal/can"
+	"gsso/internal/landmark"
+	"gsso/internal/netsim"
+	"gsso/internal/topology"
+)
+
+// Index is a landmark-position index over a set of hosts: each host's
+// landmark vector and scalar landmark number, with the hosts ordered by
+// number for curve-window preselection. It corresponds to the information
+// the global soft-state makes available; package softstate stores the same
+// records on the overlay itself.
+type Index struct {
+	space   *landmark.Space
+	hosts   []topology.NodeID
+	vectors []landmark.Vector
+	numbers []uint64
+	byNum   []int // host indices sorted by landmark number
+	pos     map[topology.NodeID]int
+}
+
+// BuildIndex measures every host's landmark vector through env (metered:
+// this is the k-probes-per-node join cost every scheme pays) and builds
+// the index.
+func BuildIndex(env *netsim.Env, space *landmark.Space, hosts []topology.NodeID) (*Index, error) {
+	if env == nil || space == nil {
+		return nil, errors.New("proximity: nil env or space")
+	}
+	if len(hosts) == 0 {
+		return nil, errors.New("proximity: no hosts")
+	}
+	ix := &Index{
+		space:   space,
+		hosts:   append([]topology.NodeID(nil), hosts...),
+		vectors: make([]landmark.Vector, len(hosts)),
+		numbers: make([]uint64, len(hosts)),
+		byNum:   make([]int, len(hosts)),
+		pos:     make(map[topology.NodeID]int, len(hosts)),
+	}
+	for i, h := range ix.hosts {
+		vec := landmark.Measure(env, h, space.Set())
+		num, err := space.Number(vec)
+		if err != nil {
+			return nil, fmt.Errorf("proximity: host %d: %w", h, err)
+		}
+		ix.vectors[i] = vec
+		ix.numbers[i] = num
+		ix.byNum[i] = i
+		ix.pos[h] = i
+	}
+	sort.Slice(ix.byNum, func(a, b int) bool {
+		ia, ib := ix.byNum[a], ix.byNum[b]
+		if ix.numbers[ia] != ix.numbers[ib] {
+			return ix.numbers[ia] < ix.numbers[ib]
+		}
+		return ix.hosts[ia] < ix.hosts[ib]
+	})
+	return ix, nil
+}
+
+// Len returns the number of indexed hosts.
+func (ix *Index) Len() int { return len(ix.hosts) }
+
+// Hosts returns the indexed hosts (fresh slice).
+func (ix *Index) Hosts() []topology.NodeID {
+	return append([]topology.NodeID(nil), ix.hosts...)
+}
+
+// VectorOf returns the landmark vector of an indexed host (nil if absent).
+func (ix *Index) VectorOf(h topology.NodeID) landmark.Vector {
+	if i, ok := ix.pos[h]; ok {
+		return ix.vectors[i]
+	}
+	return nil
+}
+
+// Candidates returns up to k indexed hosts (excluding query) ranked for
+// physical closeness to query: a window around query's landmark number on
+// the curve, re-sorted by full-vector distance. This is the paper's
+// pre-selection step.
+func (ix *Index) Candidates(query topology.NodeID, k int) []topology.NodeID {
+	qi, ok := ix.pos[query]
+	if !ok || k < 1 {
+		return nil
+	}
+	qnum := ix.numbers[qi]
+	qvec := ix.vectors[qi]
+	// Window on the number order: 3k entries around the query's position.
+	at := sort.Search(len(ix.byNum), func(i int) bool { return ix.numbers[ix.byNum[i]] >= qnum })
+	want := 3 * k
+	lo, hi := at-1, at
+	window := make([]int, 0, want)
+	for len(window) < want && (lo >= 0 || hi < len(ix.byNum)) {
+		pickLo := false
+		switch {
+		case lo < 0:
+		case hi >= len(ix.byNum):
+			pickLo = true
+		default:
+			pickLo = qnum-ix.numbers[ix.byNum[lo]] <= ix.numbers[ix.byNum[hi]]-qnum
+		}
+		if pickLo {
+			if idx := ix.byNum[lo]; idx != qi {
+				window = append(window, idx)
+			}
+			lo--
+		} else {
+			if idx := ix.byNum[hi]; idx != qi {
+				window = append(window, idx)
+			}
+			hi++
+		}
+	}
+	sort.Slice(window, func(a, b int) bool {
+		da := landmark.Distance(ix.vectors[window[a]], qvec)
+		db := landmark.Distance(ix.vectors[window[b]], qvec)
+		if da != db {
+			return da < db
+		}
+		return ix.hosts[window[a]] < ix.hosts[window[b]]
+	})
+	if len(window) > k {
+		window = window[:k]
+	}
+	out := make([]topology.NodeID, len(window))
+	for i, idx := range window {
+		out[i] = ix.hosts[idx]
+	}
+	return out
+}
+
+// Result reports one nearest-neighbor search.
+type Result struct {
+	// Found is the host the algorithm chose (None if it found nothing).
+	Found topology.NodeID
+	// FoundRTT is the measured RTT to Found.
+	FoundRTT float64
+	// Probes is the number of RTT measurements spent.
+	Probes int
+}
+
+// SearchHybrid runs the paper's hybrid scheme for query: pre-select up to
+// budget candidates by landmark position, RTT-probe each, return the
+// closest measured. budget is the "# RTT measurements" axis of Figures
+// 3 and 5; budget 1 degenerates to landmark clustering alone.
+func (ix *Index) SearchHybrid(env *netsim.Env, query topology.NodeID, budget int) Result {
+	res := Result{Found: topology.None}
+	for _, c := range ix.Candidates(query, budget) {
+		rtt := env.ProbeRTT(query, c)
+		res.Probes++
+		if res.Found == topology.None || rtt < res.FoundRTT {
+			res.Found, res.FoundRTT = c, rtt
+		}
+	}
+	return res
+}
+
+// ERS is expanding-ring search over a CAN built on the full host
+// population (the paper's setup: "we construct a 2-dimensional CAN
+// consisting of all nodes in the topology"). Rings expand over CAN
+// neighbor hops from the query's own zone; every newly reached member
+// costs one RTT probe.
+type ERS struct {
+	overlay *can.Overlay
+	byHost  map[topology.NodeID]*can.Member
+}
+
+// NewERS indexes the overlay's members by host. Every indexed host must
+// own exactly one zone.
+func NewERS(overlay *can.Overlay) (*ERS, error) {
+	if overlay == nil {
+		return nil, errors.New("proximity: nil overlay")
+	}
+	e := &ERS{overlay: overlay, byHost: make(map[topology.NodeID]*can.Member, overlay.Size())}
+	for _, m := range overlay.Members() {
+		if _, dup := e.byHost[m.Host]; dup {
+			return nil, fmt.Errorf("proximity: host %d owns multiple zones", m.Host)
+		}
+		e.byHost[m.Host] = m
+	}
+	return e, nil
+}
+
+// Search expands rings from query's own zone, probing every member it
+// reaches, until budget probes are spent or the overlay is exhausted.
+func (e *ERS) Search(env *netsim.Env, query topology.NodeID, budget int) Result {
+	res := Result{Found: topology.None}
+	start, ok := e.byHost[query]
+	if !ok || budget < 1 {
+		return res
+	}
+	visited := map[*can.Member]struct{}{start: {}}
+	ring := []*can.Member{start}
+	for len(ring) > 0 && res.Probes < budget {
+		var next []*can.Member
+		for _, m := range ring {
+			for _, nb := range m.Neighbors() {
+				if _, seen := visited[nb]; seen {
+					continue
+				}
+				visited[nb] = struct{}{}
+				next = append(next, nb)
+			}
+		}
+		// Probe the new ring (deterministic order for reproducibility).
+		sort.Slice(next, func(a, b int) bool { return next[a].Host < next[b].Host })
+		for _, m := range next {
+			if res.Probes >= budget {
+				break
+			}
+			rtt := env.ProbeRTT(query, m.Host)
+			res.Probes++
+			if res.Found == topology.None || rtt < res.FoundRTT {
+				res.Found, res.FoundRTT = m.Host, rtt
+			}
+		}
+		ring = next
+	}
+	return res
+}
+
+// SearchHillClimb is the heuristic baseline the paper contrasts with
+// (§1, §4): start at a member of the overlay, probe its CAN neighbors,
+// greedily move to the closest, and stop at a local minimum. It contacts
+// far fewer nodes than expanding-ring search but "may stumble at local
+// minimum pitfalls" — the overlay's neighbor graph is laid out by zone
+// geometry, not physical proximity, so the closest physical neighbor is
+// usually not reachable by monotone descent.
+func (e *ERS) SearchHillClimb(env *netsim.Env, query topology.NodeID, budget int) Result {
+	res := Result{Found: topology.None}
+	cur, ok := e.byHost[query]
+	if !ok || budget < 1 {
+		return res
+	}
+	curRTT := 0.0 // query to itself; any neighbor is an improvement to start
+	first := true
+	visited := map[*can.Member]struct{}{cur: {}}
+	for res.Probes < budget {
+		var best *can.Member
+		bestRTT := 0.0
+		for _, nb := range sortedNeighbors(cur) {
+			if _, seen := visited[nb]; seen {
+				continue
+			}
+			if res.Probes >= budget {
+				break
+			}
+			visited[nb] = struct{}{}
+			rtt := env.ProbeRTT(query, nb.Host)
+			res.Probes++
+			if res.Found == topology.None || rtt < res.FoundRTT {
+				res.Found, res.FoundRTT = nb.Host, rtt
+			}
+			if best == nil || rtt < bestRTT {
+				best, bestRTT = nb, rtt
+			}
+		}
+		if best == nil {
+			break // all neighbors visited
+		}
+		if !first && bestRTT >= curRTT {
+			break // local minimum: no neighbor improves
+		}
+		cur, curRTT = best, bestRTT
+		first = false
+	}
+	return res
+}
+
+// sortedNeighbors returns a member's neighbors in deterministic order.
+func sortedNeighbors(m *can.Member) []*can.Member {
+	nbs := m.Neighbors()
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].Host < nbs[j].Host })
+	return nbs
+}
+
+// Stretch evaluates a search result: the one-way distance to the found
+// host divided by the distance to the true nearest member of members
+// (query excluded). It returns 1 for an exact hit and +Inf when the search
+// found nothing.
+func Stretch(net *topology.Network, query topology.NodeID, found topology.NodeID, members []topology.NodeID) float64 {
+	if found == topology.None {
+		return math.Inf(1)
+	}
+	best, bestD := net.Nearest(query, members)
+	if best == topology.None || bestD == 0 {
+		return math.Inf(1)
+	}
+	return net.Latency(query, found) / bestD
+}

@@ -1,0 +1,337 @@
+package proximity
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/can"
+	"gsso/internal/landmark"
+	"gsso/internal/netsim"
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+type harness struct {
+	net   *topology.Network
+	env   *netsim.Env
+	space *landmark.Space
+	hosts []topology.NodeID
+}
+
+func newHarness(t testing.TB, hostCount int) *harness {
+	t.Helper()
+	spec := topology.Spec{
+		TransitDomains:        3,
+		TransitNodesPerDomain: 4,
+		StubsPerTransitNode:   3,
+		NodesPerStub:          15,
+		ExtraTransitEdgeProb:  0.3,
+		ExtraStubEdgeProb:     0.2,
+		ExtraInterDomainLinks: 2,
+		Latency:               topology.GTITMLatency(),
+	}
+	net := topology.MustGenerate(spec, simrand.New(1))
+	env := netsim.New(net)
+	rng := simrand.New(2)
+	set, err := landmark.Choose(net, 8, rng.Split("lm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := landmark.NewSpace(set, 3, 6,
+		landmark.EstimateMaxRTT(net, set, net.RandomStubHosts(rng.Split("est"), 30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := net.RandomStubHosts(rng.Split("hosts"), hostCount)
+	return &harness{net: net, env: env, space: space, hosts: hosts}
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	h := newHarness(t, 10)
+	if _, err := BuildIndex(nil, h.space, h.hosts); err == nil {
+		t.Fatal("nil env accepted")
+	}
+	if _, err := BuildIndex(h.env, nil, h.hosts); err == nil {
+		t.Fatal("nil space accepted")
+	}
+	if _, err := BuildIndex(h.env, h.space, nil); err == nil {
+		t.Fatal("empty hosts accepted")
+	}
+}
+
+func TestBuildIndexMetersJoinCost(t *testing.T) {
+	h := newHarness(t, 20)
+	h.env.ResetProbes()
+	ix, err := BuildIndex(h.env, h.space, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(20 * h.space.Set().Len())
+	if h.env.Probes() != want {
+		t.Fatalf("index build used %d probes, want %d", h.env.Probes(), want)
+	}
+	if ix.Len() != 20 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.VectorOf(h.hosts[0]) == nil {
+		t.Fatal("vector missing")
+	}
+	if ix.VectorOf(topology.NodeID(1)) != nil {
+		t.Fatal("vector for unindexed host")
+	}
+	got := ix.Hosts()
+	got[0] = 0 // must be a copy
+	if ix.Hosts()[0] == 0 && h.hosts[0] != 0 {
+		t.Fatal("Hosts leaked internal slice")
+	}
+}
+
+func TestCandidatesExcludeQueryAndBounded(t *testing.T) {
+	h := newHarness(t, 50)
+	ix, err := BuildIndex(h.env, h.space, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := h.hosts[0]
+	cands := ix.Candidates(q, 10)
+	if len(cands) > 10 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		if c == q {
+			t.Fatal("candidates include the query host")
+		}
+	}
+	if got := ix.Candidates(topology.NodeID(1), 10); got != nil {
+		t.Fatal("candidates for unindexed host")
+	}
+	if got := ix.Candidates(q, 0); got != nil {
+		t.Fatal("candidates for zero k")
+	}
+}
+
+func TestCandidatesBeatRandomOnAverage(t *testing.T) {
+	h := newHarness(t, 200)
+	ix, err := BuildIndex(h.env, h.space, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(7)
+	var preSum, randSum float64
+	n := 0
+	for trial := 0; trial < 30; trial++ {
+		q := h.hosts[rng.Intn(len(h.hosts))]
+		cands := ix.Candidates(q, 5)
+		if len(cands) == 0 {
+			continue
+		}
+		for _, c := range cands {
+			preSum += h.net.Latency(q, c)
+			n++
+		}
+		for i := 0; i < len(cands); i++ {
+			r := h.hosts[rng.Intn(len(h.hosts))]
+			if r != q {
+				randSum += h.net.Latency(q, r)
+			}
+		}
+	}
+	if preSum >= randSum {
+		t.Fatalf("preselection (%.1f) no better than random (%.1f)", preSum, randSum)
+	}
+}
+
+func TestSearchHybridFindsGoodNeighbor(t *testing.T) {
+	h := newHarness(t, 200)
+	ix, err := BuildIndex(h.env, h.space, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(9)
+	var stretches []float64
+	for trial := 0; trial < 40; trial++ {
+		q := h.hosts[rng.Intn(len(h.hosts))]
+		h.env.ResetProbes()
+		res := ix.SearchHybrid(h.env, q, 10)
+		if res.Found == topology.None {
+			t.Fatal("hybrid found nothing")
+		}
+		if res.Probes > 10 {
+			t.Fatalf("hybrid used %d probes, budget 10", res.Probes)
+		}
+		if int64(res.Probes) != h.env.Probes() {
+			t.Fatalf("probe accounting mismatch: %d vs %d", res.Probes, h.env.Probes())
+		}
+		if res.FoundRTT != h.net.RTT(q, res.Found) {
+			t.Fatal("FoundRTT wrong")
+		}
+		stretches = append(stretches, Stretch(h.net, q, res.Found, h.hosts))
+	}
+	mean := 0.0
+	for _, s := range stretches {
+		mean += s
+	}
+	mean /= float64(len(stretches))
+	t.Logf("hybrid budget=10 mean stretch: %.3f", mean)
+	if mean > 3 {
+		t.Fatalf("hybrid mean stretch %.3f too high", mean)
+	}
+}
+
+func TestHybridImprovesWithBudget(t *testing.T) {
+	h := newHarness(t, 300)
+	ix, err := BuildIndex(h.env, h.space, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(11)
+	queries := make([]topology.NodeID, 40)
+	for i := range queries {
+		queries[i] = h.hosts[rng.Intn(len(h.hosts))]
+	}
+	meanStretch := func(budget int) float64 {
+		total := 0.0
+		for _, q := range queries {
+			res := ix.SearchHybrid(h.env, q, budget)
+			total += Stretch(h.net, q, res.Found, h.hosts)
+		}
+		return total / float64(len(queries))
+	}
+	s1 := meanStretch(1)
+	s20 := meanStretch(20)
+	t.Logf("stretch: budget1=%.3f budget20=%.3f", s1, s20)
+	if s20 > s1 {
+		t.Fatalf("more probes made the result worse: %.3f -> %.3f", s1, s20)
+	}
+}
+
+func buildERS(t testing.TB, h *harness) *ERS {
+	t.Helper()
+	overlay, err := can.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(31)
+	for _, host := range h.hosts {
+		if _, err := overlay.JoinRandom(host, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := NewERS(overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewERSValidation(t *testing.T) {
+	if _, err := NewERS(nil); err == nil {
+		t.Fatal("nil overlay accepted")
+	}
+	o, _ := can.New(2)
+	rng := simrand.New(1)
+	o.JoinRandom(5, rng)
+	o.JoinRandom(5, rng) // duplicate host
+	if _, err := NewERS(o); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+}
+
+func TestERSSearch(t *testing.T) {
+	h := newHarness(t, 150)
+	e := buildERS(t, h)
+	q := h.hosts[3]
+	h.env.ResetProbes()
+	res := e.Search(h.env, q, 30)
+	if res.Found == topology.None {
+		t.Fatal("ERS found nothing")
+	}
+	if res.Probes > 30 {
+		t.Fatalf("budget exceeded: %d", res.Probes)
+	}
+	if int64(res.Probes) != h.env.Probes() {
+		t.Fatal("probe accounting mismatch")
+	}
+	if res.Found == q {
+		t.Fatal("ERS returned the query itself")
+	}
+}
+
+func TestERSExhaustiveIsOptimal(t *testing.T) {
+	h := newHarness(t, 60)
+	e := buildERS(t, h)
+	q := h.hosts[0]
+	res := e.Search(h.env, q, 10_000) // enough to visit everyone
+	if res.Probes != len(h.hosts)-1 {
+		t.Fatalf("exhaustive ERS probed %d of %d hosts", res.Probes, len(h.hosts)-1)
+	}
+	if s := Stretch(h.net, q, res.Found, h.hosts); s != 1 {
+		t.Fatalf("exhaustive ERS stretch = %v, want 1", s)
+	}
+}
+
+func TestERSUnknownQueryOrZeroBudget(t *testing.T) {
+	h := newHarness(t, 30)
+	e := buildERS(t, h)
+	if res := e.Search(h.env, topology.NodeID(0), 10); res.Found != topology.None {
+		t.Fatal("unknown host search returned something")
+	}
+	if res := e.Search(h.env, h.hosts[0], 0); res.Found != topology.None || res.Probes != 0 {
+		t.Fatal("zero budget search spent probes")
+	}
+}
+
+func TestHybridBeatsERSAtSmallBudget(t *testing.T) {
+	// The paper's core §4 claim: at small probe budgets the hybrid finds
+	// far closer neighbors than expanding-ring search.
+	h := newHarness(t, 300)
+	ix, err := BuildIndex(h.env, h.space, h.hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := buildERS(t, h)
+	rng := simrand.New(13)
+	const budget = 10
+	var hybridSum, ersSum float64
+	n := 0
+	for trial := 0; trial < 40; trial++ {
+		q := h.hosts[rng.Intn(len(h.hosts))]
+		hr := ix.SearchHybrid(h.env, q, budget)
+		er := e.Search(h.env, q, budget)
+		hs := Stretch(h.net, q, hr.Found, h.hosts)
+		es := Stretch(h.net, q, er.Found, h.hosts)
+		if math.IsInf(hs, 1) || math.IsInf(es, 1) {
+			continue
+		}
+		hybridSum += hs
+		ersSum += es
+		n++
+	}
+	t.Logf("budget %d: hybrid stretch %.3f, ERS stretch %.3f", budget, hybridSum/float64(n), ersSum/float64(n))
+	if hybridSum >= ersSum {
+		t.Fatalf("hybrid (%.1f) not better than ERS (%.1f) at budget %d", hybridSum, ersSum, budget)
+	}
+}
+
+func TestStretch(t *testing.T) {
+	h := newHarness(t, 30)
+	q := h.hosts[0]
+	nearest, _ := h.net.Nearest(q, h.hosts)
+	if s := Stretch(h.net, q, nearest, h.hosts); s != 1 {
+		t.Fatalf("stretch of true nearest = %v", s)
+	}
+	if s := Stretch(h.net, q, topology.None, h.hosts); !math.IsInf(s, 1) {
+		t.Fatalf("stretch of not-found = %v", s)
+	}
+	if s := Stretch(h.net, q, h.hosts[1], []topology.NodeID{q}); !math.IsInf(s, 1) {
+		t.Fatalf("stretch with no other members = %v", s)
+	}
+	for _, other := range h.hosts[1:] {
+		if s := Stretch(h.net, q, other, h.hosts); s < 1 {
+			t.Fatalf("stretch below 1: %v", s)
+		}
+	}
+}

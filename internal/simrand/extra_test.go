@@ -1,0 +1,93 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(31)
+	for i := 0; i < 10000; i++ {
+		if v := s.Int63(); v < 0 {
+			t.Fatalf("Int63 returned %d", v)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(33)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(35)
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("NormFloat64 mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("NormFloat64 variance = %v", variance)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(37)
+	vals := make([]int, 50)
+	for i := range vals {
+		vals[i] = i
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("duplicate %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleZeroAndFull(t *testing.T) {
+	s := New(39)
+	if got := s.Sample(10, 0); got != nil {
+		t.Fatalf("Sample(_, 0) = %v", got)
+	}
+	full := s.Sample(10, 10)
+	if len(full) != 10 {
+		t.Fatalf("full sample len %d", len(full))
+	}
+}
+
+func TestPickPanicsOnWeightMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Pick(3, []float64{1, 2})
+}
+
+func TestRangeDegenerate(t *testing.T) {
+	s := New(41)
+	if v := s.Range(5, 5); v != 5 {
+		t.Fatalf("Range(5,5) = %v", v)
+	}
+}

@@ -1,0 +1,112 @@
+package softstate
+
+import (
+	"testing"
+
+	"gsso/internal/ecan"
+	"gsso/internal/simrand"
+)
+
+// TestReactiveDeletion exercises §5.2's "most reactive case": a crashed
+// member's soft-state entries are purged the first time a selection probe
+// to it times out, and selection still returns a live member.
+func TestReactiveDeletion(t *testing.T) {
+	h := newHarness(t, 96, DefaultConfig())
+	if err := h.store.PublishAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	m := h.overlay.CAN().Members()[0]
+	region := m.Path().Prefix(h.overlay.DigitLen())
+	vec := h.store.Vector(m)
+
+	entries, _, err := h.store.Lookup(region, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Skip("region too small to crash a member")
+	}
+	victim := entries[0]
+	if victim.Member == m {
+		victim = entries[1]
+	}
+	h.env.SetDown(victim.Host, true)
+	entriesBefore := h.store.TotalEntries()
+
+	sel, err := NewSelector(h.store, 10, ecan.RandomSelector{RNG: simrand.New(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sel.Select(m, region, h.overlay.RegionMembers(region))
+	if got == nil {
+		t.Fatal("selection returned nothing")
+	}
+	if got == victim.Member {
+		t.Fatal("selection picked the crashed member")
+	}
+	if h.env.IsDown(got.Host) {
+		t.Fatal("selection picked a down host")
+	}
+	// The victim's entries were reactively purged from every map.
+	if h.store.Vector(victim.Member) != nil {
+		t.Fatal("victim's vector survived reactive deletion")
+	}
+	if h.store.TotalEntries() >= entriesBefore {
+		t.Fatal("no entries were purged")
+	}
+	if h.env.Messages("reactive-delete") == 0 {
+		t.Fatal("reactive deletions not metered")
+	}
+	// Subsequent lookups no longer return the victim.
+	after, _, err := h.store.Lookup(region, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range after {
+		if e.Member == victim.Member {
+			t.Fatal("crashed member still in map")
+		}
+	}
+}
+
+// TestProbeDownHost verifies the netsim failure-injection contract the
+// selector relies on.
+func TestProbeDownHost(t *testing.T) {
+	h := newHarness(t, 16, DefaultConfig())
+	hosts := h.net.StubHosts()
+	h.env.SetDown(hosts[1], true)
+	if rtt := h.env.ProbeRTT(hosts[0], hosts[1]); !isInf(rtt) {
+		t.Fatalf("probe to down host = %v, want +Inf", rtt)
+	}
+	h.env.SetDown(hosts[1], false)
+	if rtt := h.env.ProbeRTT(hosts[0], hosts[1]); isInf(rtt) {
+		t.Fatal("probe to recovered host still times out")
+	}
+}
+
+// TestMassFailureSelectionDegradesGracefully crashes most of a region and
+// verifies selection still terminates and returns something sane.
+func TestMassFailureSelectionDegradesGracefully(t *testing.T) {
+	h := newHarness(t, 96, DefaultConfig())
+	if err := h.store.PublishAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	m := h.overlay.CAN().Members()[0]
+	region := m.Path().Prefix(h.overlay.DigitLen())
+	cands := h.overlay.RegionMembers(region)
+	for _, c := range cands {
+		if c != m {
+			h.env.SetDown(c.Host, true)
+		}
+	}
+	sel, err := NewSelector(h.store, 10, ecan.RandomSelector{RNG: simrand.New(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone is dead: probeBest finds nothing, so the fallback fires.
+	// The fallback may still pick a dead member (it is proximity-blind by
+	// design) but the call must not hang or panic.
+	_ = sel.Select(m, region, cands)
+}
+
+func isInf(v float64) bool { return v > 1e300 }

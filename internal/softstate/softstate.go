@@ -1,0 +1,551 @@
+// Package softstate implements the paper's central mechanism: global
+// system state stored on the overlay itself as soft-state, with controlled
+// placement so that information about physically close nodes lands on
+// logically close overlay nodes.
+//
+// One proximity map exists per high-order region (eCAN high-order zone /
+// Pastry prefix). A node's entry — its landmark vector, scalar landmark
+// number, capacity and load — is published into the map of every enclosing
+// region, placed *within* the region at a position derived from the
+// landmark number through the space-filling curve (appendix hash
+// p' = h(p, dp, dz, Z)). Entries carry a TTL and vanish unless refreshed.
+//
+// A node looking for a physically close member of region Z indexes Z's map
+// with its own landmark number (Table 1's procedure): route to the owner,
+// widen along the curve if the local shard is thin, sort what was found by
+// full-vector distance, return the top X. The caller then RTT-probes those
+// X candidates — the hybrid landmark+RTT scheme.
+package softstate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gsso/internal/can"
+	"gsso/internal/ecan"
+	"gsso/internal/landmark"
+	"gsso/internal/netsim"
+	"gsso/internal/topology"
+)
+
+// Entry is one node's record in a region map.
+type Entry struct {
+	// Member is the overlay member the entry describes.
+	Member *can.Member
+	// Host is the member's physical host.
+	Host topology.NodeID
+	// Vector is the member's full landmark vector.
+	Vector landmark.Vector
+	// Number is the member's scalar landmark number.
+	Number uint64
+	// Capacity is the member's forwarding capacity (arbitrary units);
+	// Load its current load. Used by the §6 heterogeneity extension.
+	Capacity float64
+	Load     float64
+	// Expires is the soft-state deadline; entries past it are dead.
+	Expires netsim.Time
+}
+
+// EventKind classifies map-change events for the pub/sub layer.
+type EventKind uint8
+
+// Map-change events.
+const (
+	EventPublished EventKind = iota
+	EventRefreshed
+	EventRemoved
+	EventExpired
+	EventLoadChanged
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventPublished:
+		return "published"
+	case EventRefreshed:
+		return "refreshed"
+	case EventRemoved:
+		return "removed"
+	case EventExpired:
+		return "expired"
+	case EventLoadChanged:
+		return "load-changed"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is emitted on every map mutation.
+type Event struct {
+	Kind   EventKind
+	Region can.Path
+	Entry  *Entry
+}
+
+// Config tunes the store.
+type Config struct {
+	// TTL is the soft-state lifetime of a published entry.
+	TTL netsim.Time
+	// CondenseDepth condenses each region's map into an aligned sub-block
+	// of 2^-CondenseDepth of the region's volume (0 = the map spreads over
+	// the whole region). This is the paper's condense/reduction rate:
+	// rate = 2^CondenseDepth.
+	CondenseDepth int
+	// MaxReturn is X, the maximum number of candidates a lookup returns.
+	MaxReturn int
+	// ExpandBudget bounds how many additional owner shards a lookup may
+	// visit along the curve when the first shard is thin (the paper's
+	// "define a TTL to search outside y's map content range").
+	ExpandBudget int
+}
+
+// DefaultConfig returns the defaults used across experiments.
+func DefaultConfig() Config {
+	return Config{TTL: 60_000, CondenseDepth: 0, MaxReturn: 10, ExpandBudget: 8}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.TTL <= 0:
+		return fmt.Errorf("softstate: TTL = %v, need > 0", c.TTL)
+	case c.CondenseDepth < 0 || c.CondenseDepth > 32:
+		return fmt.Errorf("softstate: CondenseDepth = %d, need in [0,32]", c.CondenseDepth)
+	case c.MaxReturn < 1:
+		return fmt.Errorf("softstate: MaxReturn = %d, need >= 1", c.MaxReturn)
+	case c.ExpandBudget < 0:
+		return fmt.Errorf("softstate: ExpandBudget = %d, need >= 0", c.ExpandBudget)
+	}
+	return nil
+}
+
+// regionMap is one region's proximity map: entries keyed by member, plus a
+// number-sorted view rebuilt lazily for curve-order expansion.
+type regionMap struct {
+	entries map[*can.Member]*Entry
+	sorted  []*Entry // by Number, rebuilt when dirty
+	dirty   bool
+}
+
+func (rm *regionMap) sortedEntries() []*Entry {
+	if rm.dirty {
+		rm.sorted = rm.sorted[:0]
+		for _, e := range rm.entries {
+			rm.sorted = append(rm.sorted, e)
+		}
+		sort.Slice(rm.sorted, func(i, j int) bool {
+			if rm.sorted[i].Number != rm.sorted[j].Number {
+				return rm.sorted[i].Number < rm.sorted[j].Number
+			}
+			return rm.sorted[i].Host < rm.sorted[j].Host // deterministic tie-break
+		})
+		rm.dirty = false
+	}
+	return rm.sorted
+}
+
+// Store holds every region map of one overlay plus the metadata needed to
+// place and retrieve entries. Not safe for concurrent mutation.
+type Store struct {
+	overlay *ecan.Overlay
+	space   *landmark.Space
+	env     *netsim.Env
+	cfg     Config
+
+	maps    map[can.Path]*regionMap
+	vectors map[*can.Member]landmark.Vector
+	numbers map[*can.Member]uint64
+	sink    func(Event)
+}
+
+// NewStore builds an empty store over ov.
+func NewStore(ov *ecan.Overlay, space *landmark.Space, env *netsim.Env, cfg Config) (*Store, error) {
+	if ov == nil || space == nil || env == nil {
+		return nil, errors.New("softstate: nil overlay, space, or env")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Store{
+		overlay: ov,
+		space:   space,
+		env:     env,
+		cfg:     cfg,
+		maps:    make(map[can.Path]*regionMap),
+		vectors: make(map[*can.Member]landmark.Vector),
+		numbers: make(map[*can.Member]uint64),
+	}, nil
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Space returns the landmark space in use.
+func (s *Store) Space() *landmark.Space { return s.space }
+
+// Env returns the simulation environment the store meters against.
+func (s *Store) Env() *netsim.Env { return s.env }
+
+// Overlay returns the eCAN the store serves.
+func (s *Store) Overlay() *ecan.Overlay { return s.overlay }
+
+// SetEventSink installs the map-change event hook (used by package
+// pubsub). A nil sink disables events.
+func (s *Store) SetEventSink(fn func(Event)) { s.sink = fn }
+
+func (s *Store) emit(ev Event) {
+	if s.sink != nil {
+		s.sink(ev)
+	}
+}
+
+// Vector returns m's published landmark vector (nil if unpublished).
+func (s *Store) Vector(m *can.Member) landmark.Vector { return s.vectors[m] }
+
+// Number returns m's landmark number and whether m has published.
+func (s *Store) Number(m *can.Member) (uint64, bool) {
+	n, ok := s.numbers[m]
+	return n, ok
+}
+
+// PublishOption customizes a publication.
+type PublishOption func(*Entry)
+
+// WithCapacity sets the entry's forwarding capacity.
+func WithCapacity(capacity float64) PublishOption {
+	return func(e *Entry) { e.Capacity = capacity }
+}
+
+// WithLoad sets the entry's current load.
+func WithLoad(load float64) PublishOption {
+	return func(e *Entry) { e.Load = load }
+}
+
+// regionsOf returns the high-order regions enclosing m whose maps must
+// carry m's entry: prefixes of m's path at every digit boundary (one map
+// per high-order zone, at most log N of them).
+func (s *Store) regionsOf(m *can.Member) []can.Path {
+	d := s.overlay.DigitLen()
+	p := m.Path()
+	var out []can.Path
+	for l := d; l <= p.Len; l += d {
+		out = append(out, p.Prefix(l))
+	}
+	return out
+}
+
+// Publish inserts or refreshes m's entry in the map of every enclosing
+// high-order region, stamping soft-state expiry now+TTL. The member's
+// landmark vector is measured through env if not supplied before (use
+// PublishMeasured for that path); vec is copied.
+func (s *Store) Publish(m *can.Member, vec landmark.Vector, opts ...PublishOption) error {
+	if m == nil {
+		return errors.New("softstate: publish nil member")
+	}
+	num, err := s.space.Number(vec)
+	if err != nil {
+		return err
+	}
+	vcopy := append(landmark.Vector(nil), vec...)
+	s.vectors[m] = vcopy
+	s.numbers[m] = num
+	now := s.env.Clock().Now()
+	regions := s.regionsOf(m)
+	for _, region := range regions {
+		rm := s.maps[region]
+		if rm == nil {
+			rm = &regionMap{entries: make(map[*can.Member]*Entry)}
+			s.maps[region] = rm
+		}
+		prev, existed := rm.entries[m]
+		e := &Entry{
+			Member:  m,
+			Host:    m.Host,
+			Vector:  vcopy,
+			Number:  num,
+			Expires: now + s.cfg.TTL,
+		}
+		if existed {
+			e.Capacity, e.Load = prev.Capacity, prev.Load
+		}
+		for _, opt := range opts {
+			opt(e)
+		}
+		rm.entries[m] = e
+		rm.dirty = true
+		kind := EventPublished
+		if existed {
+			kind = EventRefreshed
+		}
+		s.emit(Event{Kind: kind, Region: region, Entry: e})
+	}
+	s.env.CountMessages("publish", len(regions))
+	return nil
+}
+
+// PublishMeasured measures m's landmark vector (metered probes, one per
+// landmark) and publishes it.
+func (s *Store) PublishMeasured(m *can.Member, opts ...PublishOption) error {
+	vec := landmark.Measure(s.env, m.Host, s.space.Set())
+	return s.Publish(m, vec, opts...)
+}
+
+// UpdateLoad changes m's load in every map it appears in without
+// refreshing expiry, emitting EventLoadChanged (the §6 statistics
+// publication path).
+func (s *Store) UpdateLoad(m *can.Member, load float64) {
+	updated := 0
+	for region, rm := range s.maps {
+		if e, ok := rm.entries[m]; ok {
+			e.Load = load
+			updated++
+			s.emit(Event{Kind: EventLoadChanged, Region: region, Entry: e})
+		}
+	}
+	if updated > 0 {
+		s.env.CountMessages("publish", updated)
+	}
+}
+
+// Remove deletes m's entries from all maps (the proactive departure
+// case).
+func (s *Store) Remove(m *can.Member) {
+	removed := 0
+	for region, rm := range s.maps {
+		if e, ok := rm.entries[m]; ok {
+			delete(rm.entries, m)
+			rm.dirty = true
+			removed++
+			s.emit(Event{Kind: EventRemoved, Region: region, Entry: e})
+		}
+	}
+	delete(s.vectors, m)
+	delete(s.numbers, m)
+	if removed > 0 {
+		s.env.CountMessages("publish", removed)
+	}
+}
+
+// ReportUnreachable implements §5.2's "most reactive case": "departed
+// nodes are deleted from the global state only when they are selected as
+// routing neighbor replacements and later found un-reachable." The
+// selector calls this when a probe to a map candidate times out; all of
+// the dead member's entries are purged.
+func (s *Store) ReportUnreachable(m *can.Member) {
+	removed := 0
+	for region, rm := range s.maps {
+		if e, ok := rm.entries[m]; ok {
+			delete(rm.entries, m)
+			rm.dirty = true
+			removed++
+			s.emit(Event{Kind: EventRemoved, Region: region, Entry: e})
+		}
+	}
+	delete(s.vectors, m)
+	delete(s.numbers, m)
+	if removed > 0 {
+		s.env.CountMessages("reactive-delete", removed)
+	}
+}
+
+// SweepExpired deletes all entries past their TTL (the periodic-polling
+// maintenance mode) and returns how many were dropped.
+func (s *Store) SweepExpired() int {
+	now := s.env.Clock().Now()
+	dropped := 0
+	for region, rm := range s.maps {
+		for m, e := range rm.entries {
+			if e.Expires < now {
+				delete(rm.entries, m)
+				rm.dirty = true
+				dropped++
+				s.emit(Event{Kind: EventExpired, Region: region, Entry: e})
+			}
+		}
+	}
+	return dropped
+}
+
+// placementPath maps (region, landmark number) to the path of the spot
+// inside the region where the entry lives: the region, condensed by
+// CondenseDepth zero-bits, extended by the number's bits most significant
+// first (the space-filling-curve hash into the region).
+func (s *Store) placementPath(region can.Path, number uint64) can.Path {
+	p := region
+	for i := 0; i < s.cfg.CondenseDepth && p.Len < can.MaxDepth; i++ {
+		p = can.Path{Bits: p.Bits, Len: p.Len + 1} // zero bit
+	}
+	width := s.space.Curve().Dims() * s.space.Curve().Bits()
+	for b := width - 1; b >= 0 && p.Len < can.MaxDepth; b-- {
+		bit := (number >> uint(b)) & 1
+		p = can.Path{Bits: p.Bits | bit<<(63-p.Len), Len: p.Len + 1}
+	}
+	return p
+}
+
+// OwnerOf returns the member whose zone hosts the map spot for (region,
+// number).
+func (s *Store) OwnerOf(region can.Path, number uint64) *can.Member {
+	return s.overlay.CAN().LeafAlong(s.placementPath(region, number))
+}
+
+// LookupCost reports what a lookup spent.
+type LookupCost struct {
+	// RouteMessages is the overlay messages to reach the map owner (and
+	// return): modeled as one request plus one reply.
+	RouteMessages int
+	// ExpandHops is the number of additional owner shards visited along
+	// the curve because the first shard was thin.
+	ExpandHops int
+}
+
+// Lookup implements Table 1: find up to MaxReturn entries of region's map
+// closest to vec, by indexing the map with vec's landmark number, widening
+// along the curve within ExpandBudget, then sorting by full-vector
+// distance. Expired entries are skipped (and left for SweepExpired).
+// The queried region must be one of the high-order regions (digit-aligned
+// prefixes); for deeper paths the covering region's map is consulted.
+func (s *Store) Lookup(region can.Path, vec landmark.Vector) ([]*Entry, LookupCost, error) {
+	num, err := s.space.Number(vec)
+	if err != nil {
+		return nil, LookupCost{}, err
+	}
+	cost := LookupCost{RouteMessages: 2} // request + reply
+	s.env.CountMessages("lookup", 2)
+
+	rm := s.maps[region]
+	if rm == nil {
+		return nil, cost, nil
+	}
+	sorted := rm.sortedEntries()
+	if len(sorted) == 0 {
+		return nil, cost, nil
+	}
+	now := s.env.Clock().Now()
+
+	// Position of our number in the sorted order.
+	i := sort.Search(len(sorted), func(k int) bool { return sorted[k].Number >= num })
+	lo, hi := i-1, i
+
+	// The shard we landed on plus curve-order expansion: walk outward
+	// gathering live entries; each time the owner of the next entry
+	// differs from the owners already visited, it costs one expand hop.
+	owners := map[*can.Member]struct{}{}
+	startOwner := s.OwnerOf(region, num)
+	if startOwner != nil {
+		owners[startOwner] = struct{}{}
+	}
+	var gathered []*Entry
+	visit := func(e *Entry) bool {
+		owner := s.OwnerOf(region, e.Number)
+		if _, seen := owners[owner]; !seen {
+			if cost.ExpandHops >= s.cfg.ExpandBudget {
+				return false
+			}
+			owners[owner] = struct{}{}
+			cost.ExpandHops++
+			s.env.CountMessages("lookup-expand", 1)
+		}
+		if e.Expires >= now {
+			gathered = append(gathered, e)
+		}
+		return true
+	}
+	// Gather up to 3*MaxReturn entries around the index position so the
+	// full-vector sort has slack to reorder curve neighbors.
+	want := 3 * s.cfg.MaxReturn
+	for len(gathered) < want && (lo >= 0 || hi < len(sorted)) {
+		// Prefer the side whose number is closer to ours.
+		pickLo := false
+		switch {
+		case lo < 0:
+		case hi >= len(sorted):
+			pickLo = true
+		default:
+			pickLo = num-sorted[lo].Number <= sorted[hi].Number-num
+		}
+		if pickLo {
+			if !visit(sorted[lo]) {
+				lo = -1
+				continue
+			}
+			lo--
+		} else {
+			if !visit(sorted[hi]) {
+				hi = len(sorted)
+				continue
+			}
+			hi++
+		}
+	}
+
+	sort.Slice(gathered, func(a, b int) bool {
+		da := landmark.Distance(gathered[a].Vector, vec)
+		db := landmark.Distance(gathered[b].Vector, vec)
+		if da != db {
+			return da < db
+		}
+		return gathered[a].Host < gathered[b].Host
+	})
+	if len(gathered) > s.cfg.MaxReturn {
+		gathered = gathered[:s.cfg.MaxReturn]
+	}
+	return gathered, cost, nil
+}
+
+// EntriesPerOwner distributes every live map entry to its hosting owner
+// and returns the per-owner counts (Figure 16's "map entries / node").
+func (s *Store) EntriesPerOwner() map[*can.Member]int {
+	counts := make(map[*can.Member]int)
+	for region, rm := range s.maps {
+		for _, e := range rm.entries {
+			if owner := s.OwnerOf(region, e.Number); owner != nil {
+				counts[owner]++
+			}
+		}
+	}
+	return counts
+}
+
+// TotalEntries returns the number of entries across all maps (including
+// any not yet swept).
+func (s *Store) TotalEntries() int {
+	total := 0
+	for _, rm := range s.maps {
+		total += len(rm.entries)
+	}
+	return total
+}
+
+// RegionEntries returns the live entries of one region's map (fresh
+// slice, unsorted).
+func (s *Store) RegionEntries(region can.Path) []*Entry {
+	rm := s.maps[region]
+	if rm == nil {
+		return nil
+	}
+	now := s.env.Clock().Now()
+	out := make([]*Entry, 0, len(rm.entries))
+	for _, e := range rm.entries {
+		if e.Expires >= now {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PublishAll measures and publishes every overlay member (bulk bootstrap
+// used by experiments), optionally assigning capacities via assign.
+func (s *Store) PublishAll(assign func(m *can.Member) []PublishOption) error {
+	for _, m := range s.overlay.CAN().Members() {
+		var opts []PublishOption
+		if assign != nil {
+			opts = assign(m)
+		}
+		if err := s.PublishMeasured(m, opts...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package topology
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gsso/internal/simrand"
+)
+
+func TestWriteDOT(t *testing.T) {
+	net := MustGenerate(tinySpec(GTITMLatency()), simrand.New(1))
+	var buf bytes.Buffer
+	if err := net.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph topology {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT graph")
+	}
+	// Every transit domain and stub appears as a cluster.
+	for d := 0; d < net.Spec().TransitDomains; d++ {
+		if !strings.Contains(out, fmt.Sprintf("cluster_transit_%d", d)) {
+			t.Fatalf("transit cluster %d missing", d)
+		}
+	}
+	for s := 0; s < net.StubCount(); s++ {
+		if !strings.Contains(out, fmt.Sprintf("cluster_stub_%d", s)) {
+			t.Fatalf("stub cluster %d missing", s)
+		}
+	}
+	// Edge count matches the graph (each undirected edge emitted once).
+	if got, want := strings.Count(out, " -- "), net.Graph().EdgeCount(); got != want {
+		t.Fatalf("DOT has %d edges, graph has %d", got, want)
+	}
+	// Every node is mentioned.
+	for id := 0; id < net.Len(); id++ {
+		if !strings.Contains(out, fmt.Sprintf("n%d", id)) {
+			t.Fatalf("node %d missing", id)
+		}
+	}
+}

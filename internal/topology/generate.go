@@ -1,0 +1,263 @@
+package topology
+
+import (
+	"fmt"
+
+	"gsso/internal/simrand"
+)
+
+// Generate builds a transit-stub network from spec, deterministically from
+// rng. The construction follows GT-ITM's model:
+//
+//  1. Each transit domain is a connected random graph of transit nodes.
+//  2. Transit domains are interconnected by a random spanning tree plus
+//     extra random cross-domain links.
+//  3. Each transit node sponsors StubsPerTransitNode stub domains; each
+//     stub is a connected random graph of hosts, single-homed to its
+//     transit node through the stub's gateway host (the stub's first host).
+//
+// Node IDs are assigned densely: transit nodes first (domain by domain),
+// then stub hosts (stub by stub, contiguous within a stub).
+func Generate(spec Spec, rng *simrand.Source) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	transitCount := spec.TransitDomains * spec.TransitNodesPerDomain
+	total := spec.TotalNodes()
+
+	net := &Network{
+		spec:         spec,
+		graph:        NewGraph(total),
+		nodes:        make([]Node, total),
+		transitCount: transitCount,
+	}
+	latRNG := rng.Split("latency")
+	wireRNG := rng.Split("wiring")
+
+	// Transit nodes and intra-domain backbones.
+	backbone := NewGraph(transitCount)
+	domains := make([][]NodeID, spec.TransitDomains)
+	next := NodeID(0)
+	for d := 0; d < spec.TransitDomains; d++ {
+		ids := make([]NodeID, spec.TransitNodesPerDomain)
+		for i := range ids {
+			ids[i] = next
+			net.nodes[next] = Node{ID: next, Class: ClassTransit, Domain: d, Stub: -1}
+			next++
+		}
+		domains[d] = ids
+		if err := net.randomConnected(backbone, ids, spec.ExtraTransitEdgeProb,
+			spec.Latency.IntraTransit, LinkIntraTransit, wireRNG, latRNG); err != nil {
+			return nil, err
+		}
+	}
+
+	// Inter-domain links: spanning tree over domains plus extras.
+	if err := net.wireDomains(backbone, domains, wireRNG, latRNG); err != nil {
+		return nil, err
+	}
+
+	// Backbone all-pairs distances. Independent Dijkstra runs can disagree
+	// in the last ulp between d(a,b) and d(b,a); mirror the upper triangle
+	// so the matrix is exactly symmetric.
+	net.transitDist = make([]float64, transitCount*transitCount)
+	for t := 0; t < transitCount; t++ {
+		dist := backbone.Dijkstra(NodeID(t))
+		copy(net.transitDist[t*transitCount:(t+1)*transitCount], dist)
+	}
+	for t := 0; t < transitCount; t++ {
+		for u := t + 1; u < transitCount; u++ {
+			net.transitDist[u*transitCount+t] = net.transitDist[t*transitCount+u]
+		}
+	}
+
+	// Stub domains.
+	stubTotal := spec.TotalStubs()
+	net.stubs = make([]stubDomain, 0, stubTotal)
+	for t := 0; t < transitCount; t++ {
+		for k := 0; k < spec.StubsPerTransitNode; k++ {
+			stubIdx := len(net.stubs)
+			first := next
+			ids := make([]NodeID, spec.NodesPerStub)
+			for i := range ids {
+				ids[i] = next
+				net.nodes[next] = Node{
+					ID:     next,
+					Class:  ClassStub,
+					Domain: net.nodes[t].Domain,
+					Stub:   stubIdx,
+				}
+				next++
+			}
+			local := NewGraph(spec.NodesPerStub)
+			if err := net.randomConnectedLocal(local, ids, first, spec.ExtraStubEdgeProb,
+				spec.Latency.IntraStub, wireRNG, latRNG); err != nil {
+				return nil, err
+			}
+			// Gateway uplink: stub host 0 <-> sponsoring transit node.
+			gwLat := spec.Latency.TransitStub.Draw(latRNG)
+			if err := net.graph.AddEdge(ids[0], NodeID(t), gwLat); err != nil {
+				return nil, err
+			}
+			net.edgeCounts[LinkTransitStub]++
+
+			sd := stubDomain{
+				first:     first,
+				size:      spec.NodesPerStub,
+				gateway:   NodeID(t),
+				gwLatency: gwLat,
+				dist:      make([]float64, spec.NodesPerStub*spec.NodesPerStub),
+			}
+			for i := 0; i < spec.NodesPerStub; i++ {
+				d := local.Dijkstra(NodeID(i))
+				copy(sd.dist[i*spec.NodesPerStub:(i+1)*spec.NodesPerStub], d)
+			}
+			net.stubs = append(net.stubs, sd)
+		}
+	}
+	if int(next) != total {
+		return nil, fmt.Errorf("topology: generated %d nodes, want %d", next, total)
+	}
+	return net, nil
+}
+
+// MustGenerate is Generate that panics on error; intended for tests and
+// experiment setup where the spec is a vetted constant.
+func MustGenerate(spec Spec, rng *simrand.Source) *Network {
+	net, err := Generate(spec, rng)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// randomConnected wires ids (global IDs) into a connected random graph:
+// a random attachment tree guarantees connectivity, then every remaining
+// pair receives an edge with probability extraProb. Edges are mirrored
+// into both the full graph and the backbone graph (same IDs).
+func (n *Network) randomConnected(backbone *Graph, ids []NodeID, extraProb float64,
+	dist Dist, class LinkClass, wireRNG, latRNG *simrand.Source) error {
+	present := make(map[[2]NodeID]bool)
+	add := func(u, v NodeID) error {
+		if u > v {
+			u, v = v, u
+		}
+		if present[[2]NodeID{u, v}] {
+			return nil
+		}
+		present[[2]NodeID{u, v}] = true
+		w := dist.Draw(latRNG)
+		if err := n.graph.AddEdge(u, v, w); err != nil {
+			return err
+		}
+		n.edgeCounts[class]++
+		return backbone.AddEdge(u, v, w)
+	}
+	for i := 1; i < len(ids); i++ {
+		if err := add(ids[i], ids[wireRNG.Intn(i)]); err != nil {
+			return err
+		}
+	}
+	if extraProb > 0 {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if wireRNG.Bool(extraProb) {
+					if err := add(ids[i], ids[j]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// randomConnectedLocal is randomConnected for a stub domain: edges are
+// mirrored into a stub-local graph indexed from 0 (id - first).
+func (n *Network) randomConnectedLocal(local *Graph, ids []NodeID, first NodeID,
+	extraProb float64, dist Dist, wireRNG, latRNG *simrand.Source) error {
+	present := make(map[[2]NodeID]bool)
+	add := func(u, v NodeID) error {
+		if u > v {
+			u, v = v, u
+		}
+		if present[[2]NodeID{u, v}] {
+			return nil
+		}
+		present[[2]NodeID{u, v}] = true
+		w := dist.Draw(latRNG)
+		if err := n.graph.AddEdge(u, v, w); err != nil {
+			return err
+		}
+		n.edgeCounts[LinkIntraStub]++
+		return local.AddEdge(u-first, v-first, w)
+	}
+	for i := 1; i < len(ids); i++ {
+		if err := add(ids[i], ids[wireRNG.Intn(i)]); err != nil {
+			return err
+		}
+	}
+	if extraProb > 0 {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if wireRNG.Bool(extraProb) {
+					if err := add(ids[i], ids[j]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// wireDomains connects transit domains with a random spanning tree plus
+// spec.ExtraInterDomainLinks extra random cross-domain links.
+func (n *Network) wireDomains(backbone *Graph, domains [][]NodeID,
+	wireRNG, latRNG *simrand.Source) error {
+	if len(domains) <= 1 {
+		return nil
+	}
+	present := make(map[[2]NodeID]bool)
+	add := func(u, v NodeID) (bool, error) {
+		if u > v {
+			u, v = v, u
+		}
+		if present[[2]NodeID{u, v}] {
+			return false, nil
+		}
+		present[[2]NodeID{u, v}] = true
+		w := n.spec.Latency.CrossTransit.Draw(latRNG)
+		if err := n.graph.AddEdge(u, v, w); err != nil {
+			return false, err
+		}
+		n.edgeCounts[LinkCrossTransit]++
+		return true, backbone.AddEdge(u, v, w)
+	}
+	pickNode := func(d int) NodeID {
+		ids := domains[d]
+		return ids[wireRNG.Intn(len(ids))]
+	}
+	for d := 1; d < len(domains); d++ {
+		if _, err := add(pickNode(d), pickNode(wireRNG.Intn(d))); err != nil {
+			return err
+		}
+	}
+	// Extra cross-domain links; bounded retries tolerate duplicate picks.
+	added := 0
+	for attempt := 0; added < n.spec.ExtraInterDomainLinks && attempt < 20*n.spec.ExtraInterDomainLinks+20; attempt++ {
+		d1 := wireRNG.Intn(len(domains))
+		d2 := wireRNG.Intn(len(domains))
+		if d1 == d2 {
+			continue
+		}
+		fresh, err := add(pickNode(d1), pickNode(d2))
+		if err != nil {
+			return err
+		}
+		if fresh {
+			added++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package topology generates GT-ITM-style transit-stub network topologies
+// and answers shortest-path latency queries over them.
+//
+// The package plays the role of the physical Internet in the paper's
+// evaluation: overlay nodes are attached to topology hosts, and every RTT
+// probe or routing-hop cost resolves to a shortest-path latency between two
+// hosts. Transit-stub structure (stub domains hang off transit-domain
+// backbones and never carry transit traffic) is exploited to answer latency
+// queries in O(1) after a cheap precomputation; a generic Dijkstra over the
+// raw graph is kept alongside for validation.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a host in the physical topology. IDs are dense,
+// starting at 0, in generation order.
+type NodeID int32
+
+// None is the sentinel for "no node".
+const None NodeID = -1
+
+// Arc is one directed half of an undirected weighted edge.
+type Arc struct {
+	To NodeID
+	W  float64 // latency in milliseconds
+}
+
+// Graph is an undirected weighted graph with dense NodeIDs. The zero value
+// is an empty graph; use NewGraph to preallocate adjacency lists.
+type Graph struct {
+	adj [][]Arc
+}
+
+// NewGraph returns a graph with n nodes and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]Arc, n)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge inserts an undirected edge {u, v} with weight w. It returns an
+// error on out-of-range endpoints, self-loops, or non-positive weights.
+func (g *Graph) AddEdge(u, v NodeID, w float64) error {
+	if u == v {
+		return fmt.Errorf("topology: self-loop on node %d", u)
+	}
+	if int(u) < 0 || int(u) >= len(g.adj) || int(v) < 0 || int(v) >= len(g.adj) {
+		return fmt.Errorf("topology: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("topology: edge (%d,%d) has invalid weight %v", u, v, w)
+	}
+	g.adj[u] = append(g.adj[u], Arc{To: v, W: w})
+	g.adj[v] = append(g.adj[v], Arc{To: u, W: w})
+	return nil
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(u NodeID) []Arc { return g.adj[u] }
+
+// Degree returns the number of edges incident to u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Dijkstra computes single-source shortest-path distances from src to every
+// node. Unreachable nodes get +Inf.
+func (g *Graph) Dijkstra(src NodeID) []float64 {
+	dist := make([]float64, len(g.adj))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &arcHeap{{To: src, W: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(Arc)
+		if cur.W > dist[cur.To] {
+			continue // stale queue entry
+		}
+		for _, e := range g.adj[cur.To] {
+			if nd := cur.W + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, Arc{To: e.To, W: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraSubset computes shortest-path distances from src restricted to
+// the induced subgraph containing exactly the nodes for which allowed
+// returns true. src itself must be allowed.
+func (g *Graph) DijkstraSubset(src NodeID, allowed func(NodeID) bool) map[NodeID]float64 {
+	dist := map[NodeID]float64{src: 0}
+	pq := &arcHeap{{To: src, W: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(Arc)
+		if d, ok := dist[cur.To]; ok && cur.W > d {
+			continue
+		}
+		for _, e := range g.adj[cur.To] {
+			if !allowed(e.To) {
+				continue
+			}
+			nd := cur.W + e.W
+			if d, ok := dist[e.To]; !ok || nd < d {
+				dist[e.To] = nd
+				heap.Push(pq, Arc{To: e.To, W: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is a single connected component.
+// The empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.adj))
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == len(g.adj)
+}
+
+// arcHeap is a min-heap of Arcs ordered by W, used as the Dijkstra queue
+// (To doubles as the node, W as the tentative distance).
+type arcHeap []Arc
+
+func (h arcHeap) Len() int            { return len(h) }
+func (h arcHeap) Less(i, j int) bool  { return h[i].W < h[j].W }
+func (h arcHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arcHeap) Push(x interface{}) { *h = append(*h, x.(Arc)) }
+func (h *arcHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,364 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"gsso/internal/hilbert"
+)
+
+// SpaceConfig is the landmark-space contract every node of a deployment
+// shares (the analogue of landmark.Space for the wire world).
+type SpaceConfig struct {
+	// Landmarks are the dialable addresses of the landmark nodes, in a
+	// fixed order all nodes agree on.
+	Landmarks []string
+	// IndexDims is how many leading vector components feed the curve.
+	IndexDims int
+	// BitsPerDim is the per-axis grid resolution.
+	BitsPerDim int
+	// MaxRTTMs is the RTT mapped to the far grid edge.
+	MaxRTTMs float64
+}
+
+// Validate checks the config.
+func (c SpaceConfig) Validate() error {
+	switch {
+	case len(c.Landmarks) == 0:
+		return errors.New("wire: no landmarks")
+	case c.IndexDims < 1:
+		return errors.New("wire: IndexDims must be >= 1")
+	case c.BitsPerDim < 1:
+		return errors.New("wire: BitsPerDim must be >= 1")
+	case c.MaxRTTMs <= 0:
+		return errors.New("wire: MaxRTTMs must be > 0")
+	}
+	return nil
+}
+
+func (c SpaceConfig) curve() (hilbert.Curve, error) {
+	dims := c.IndexDims
+	if dims > len(c.Landmarks) {
+		dims = len(c.Landmarks)
+	}
+	return hilbert.New(dims, c.BitsPerDim)
+}
+
+// Number reduces a landmark vector to the scalar landmark number under
+// this config.
+func (c SpaceConfig) Number(vector []float64) (uint64, error) {
+	curve, err := c.curve()
+	if err != nil {
+		return 0, err
+	}
+	coords, err := curve.Quantize(vector[:curve.Dims()], c.MaxRTTMs)
+	if err != nil {
+		return 0, err
+	}
+	return curve.Encode(coords)
+}
+
+// Node is one wire participant: a TCP server holding a shard of the
+// soft-state plus a client side for measuring, publishing and querying.
+type Node struct {
+	cfg   SpaceConfig
+	peers []string // full deployment peer list, sorted; owner = number ring
+	ttl   time.Duration
+
+	ln   net.Listener
+	addr string
+	stop chan struct{}
+
+	mu      sync.Mutex
+	records map[string]Record // by Addr
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewNode creates a node listening on listenAddr (use "127.0.0.1:0" for
+// an ephemeral port). peers is the deployment's full address list
+// (including this node once started); ttl bounds record lifetime.
+func NewNode(listenAddr string, cfg SpaceConfig, peers []string, ttl time.Duration) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ttl <= 0 {
+		return nil, errors.New("wire: ttl must be > 0")
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		peers:   append([]string(nil), peers...),
+		ttl:     ttl,
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		stop:    make(chan struct{}),
+		records: make(map[string]Record),
+	}
+	sort.Strings(n.peers)
+	n.wg.Add(1)
+	go n.serve()
+	return n, nil
+}
+
+// Addr returns the node's dialable address.
+func (n *Node) Addr() string { return n.addr }
+
+// Close stops the server, the refresh loop if running, and waits for
+// in-flight handlers.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.stop)
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+// StartRefresh launches the soft-state refresh loop: the node republishes
+// its record every interval (keeping it alive against the TTL) until the
+// node is closed. Failures are tolerated and retried on the next tick —
+// soft-state's whole point is that transient losses heal themselves.
+func (n *Node) StartRefresh(interval time.Duration, pings int, timeout time.Duration) {
+	if interval <= 0 {
+		interval = n.ttl / 3
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-ticker.C:
+				_, _ = n.Publish(pings, timeout)
+			}
+		}
+	}()
+}
+
+// serve accepts connections until Close.
+func (n *Node) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handle(conn)
+		}()
+	}
+}
+
+// handle serves one connection: one request, one response.
+func (n *Node) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	req, err := ReadMessage(br)
+	if err != nil {
+		return
+	}
+	resp := n.dispatch(req)
+	_ = WriteMessage(bw, resp)
+}
+
+func (n *Node) dispatch(req Message) Message {
+	switch req.Type {
+	case MsgPing:
+		return Message{Type: MsgPong, Seq: req.Seq}
+	case MsgStore:
+		if req.Record == nil || req.Record.Addr == "" {
+			return Message{Type: MsgError, Seq: req.Seq, Err: "store without record"}
+		}
+		n.mu.Lock()
+		n.records[req.Record.Addr] = *req.Record
+		n.mu.Unlock()
+		return Message{Type: MsgStored, Seq: req.Seq}
+	case MsgQuery:
+		max := req.Max
+		if max < 1 {
+			max = 8
+		}
+		return Message{Type: MsgRecords, Seq: req.Seq, Records: n.nearest(req.Number, max)}
+	default:
+		return Message{Type: MsgError, Seq: req.Seq, Err: fmt.Sprintf("unknown type %q", req.Type)}
+	}
+}
+
+// nearest returns up to max live records ordered by landmark-number
+// distance, sweeping expired ones as it goes.
+func (n *Node) nearest(number uint64, max int) []Record {
+	now := time.Now()
+	n.mu.Lock()
+	live := make([]Record, 0, len(n.records))
+	for addr, rec := range n.records {
+		if rec.Expired(now) {
+			delete(n.records, addr)
+			continue
+		}
+		live = append(live, rec)
+	}
+	n.mu.Unlock()
+	absDiff := func(a, b uint64) uint64 {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	}
+	sort.Slice(live, func(i, j int) bool {
+		di, dj := absDiff(live[i].Number, number), absDiff(live[j].Number, number)
+		if di != dj {
+			return di < dj
+		}
+		return live[i].Addr < live[j].Addr
+	})
+	if len(live) > max {
+		live = live[:max]
+	}
+	return live
+}
+
+// RecordCount returns the number of records currently stored.
+func (n *Node) RecordCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.records)
+}
+
+// MeasureVector pings every landmark (pings per landmark, keeping the
+// minimum, as real deployments do to shed scheduler noise) and returns
+// the landmark vector in ms.
+func (n *Node) MeasureVector(pings int, timeout time.Duration) ([]float64, error) {
+	if pings < 1 {
+		pings = 1
+	}
+	vec := make([]float64, len(n.cfg.Landmarks))
+	for i, lm := range n.cfg.Landmarks {
+		best := math.Inf(1)
+		var lastErr error
+		for p := 0; p < pings; p++ {
+			rtt, err := Ping(lm, timeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if ms := float64(rtt.Microseconds()) / 1000; ms < best {
+				best = ms
+			}
+		}
+		if math.IsInf(best, 1) {
+			return nil, fmt.Errorf("wire: landmark %s unreachable: %w", lm, lastErr)
+		}
+		vec[i] = best
+	}
+	return vec, nil
+}
+
+// OwnerOf returns the peer responsible for a landmark number: the peers
+// are laid out on the number ring in sorted-address order, and the owner
+// is the one whose slot covers the number (a one-hop ring).
+func (n *Node) OwnerOf(number uint64) string {
+	if len(n.peers) == 0 {
+		return n.addr
+	}
+	curve, err := n.cfg.curve()
+	if err != nil {
+		return n.peers[0]
+	}
+	span := curve.MaxIndex() + 1
+	var slot uint64
+	if span == 0 { // full 64-bit curve
+		slot = number / (^uint64(0)/uint64(len(n.peers)) + 1)
+	} else {
+		slot = number * uint64(len(n.peers)) / span
+	}
+	if slot >= uint64(len(n.peers)) {
+		slot = uint64(len(n.peers)) - 1
+	}
+	return n.peers[slot]
+}
+
+// Publish measures this node's landmark vector, derives its number, and
+// stores its record at the owning peer. It returns the published record.
+func (n *Node) Publish(pings int, timeout time.Duration) (Record, error) {
+	vec, err := n.MeasureVector(pings, timeout)
+	if err != nil {
+		return Record{}, err
+	}
+	num, err := n.cfg.Number(vec)
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{
+		Addr:             n.addr,
+		Vector:           vec,
+		Number:           num,
+		ExpiresUnixMilli: time.Now().Add(n.ttl).UnixMilli(),
+	}
+	if err := Store(n.OwnerOf(num), rec, timeout); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// FindNearest queries the soft-state for candidates near this node's
+// landmark position and RTT-probes up to budget of them, returning the
+// closest responding peer and its measured RTT.
+func (n *Node) FindNearest(budget int, timeout time.Duration) (string, time.Duration, error) {
+	vec, err := n.MeasureVector(1, timeout)
+	if err != nil {
+		return "", 0, err
+	}
+	num, err := n.cfg.Number(vec)
+	if err != nil {
+		return "", 0, err
+	}
+	recs, err := Query(n.OwnerOf(num), num, 3*budget, timeout)
+	if err != nil {
+		return "", 0, err
+	}
+	bestAddr := ""
+	bestRTT := time.Duration(math.MaxInt64)
+	probes := 0
+	for _, rec := range recs {
+		if rec.Addr == n.addr {
+			continue
+		}
+		if probes >= budget {
+			break
+		}
+		rtt, err := Ping(rec.Addr, timeout)
+		if err != nil {
+			continue // dead record: the reactive maintenance case
+		}
+		probes++
+		if rtt < bestRTT {
+			bestAddr, bestRTT = rec.Addr, rtt
+		}
+	}
+	if bestAddr == "" {
+		return "", 0, errors.New("wire: no reachable candidates")
+	}
+	return bestAddr, bestRTT, nil
+}

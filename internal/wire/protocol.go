@@ -1,0 +1,167 @@
+// Package wire runs the paper's proximity subsystem over a real network:
+// nodes measure RTTs to landmark nodes with TCP pings, reduce the vector
+// to a landmark number through the same Hilbert machinery as the
+// simulator, publish soft-state records (address, vector, number, TTL)
+// onto peer nodes keyed by landmark number, and answer nearest-peer
+// queries by returning the records closest to a caller's number.
+//
+// The full overlay protocol (eCAN zones, routing) is exercised by the
+// simulator; wire demonstrates that the proximity-generation and
+// soft-state code paths are not simulator-only. Placement uses a one-hop
+// ring over a static peer list — the degenerate Chord of the appendix.
+//
+// Framing is newline-delimited JSON over TCP: one request, one response
+// per message.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType string
+
+// Protocol messages.
+const (
+	MsgPing    MsgType = "ping"
+	MsgPong    MsgType = "pong"
+	MsgStore   MsgType = "store"
+	MsgStored  MsgType = "stored"
+	MsgQuery   MsgType = "query"
+	MsgRecords MsgType = "records"
+	MsgError   MsgType = "error"
+)
+
+// Record is one soft-state entry: a peer's position in the landmark
+// space.
+type Record struct {
+	// Addr is the peer's dialable address.
+	Addr string `json:"addr"`
+	// Vector is the peer's landmark vector (RTTs in ms, landmark order).
+	Vector []float64 `json:"vector"`
+	// Number is the peer's scalar landmark number.
+	Number uint64 `json:"number"`
+	// ExpiresUnixMilli is the soft-state deadline.
+	ExpiresUnixMilli int64 `json:"expires_unix_milli"`
+}
+
+// Expired reports whether the record is past its deadline at now.
+func (r Record) Expired(now time.Time) bool {
+	return now.UnixMilli() > r.ExpiresUnixMilli
+}
+
+// Message is the single wire frame.
+type Message struct {
+	Type MsgType `json:"type"`
+	// Seq echoes request sequence numbers into responses.
+	Seq uint64 `json:"seq"`
+	// Record rides on store requests.
+	Record *Record `json:"record,omitempty"`
+	// Number keys query requests.
+	Number uint64 `json:"number,omitempty"`
+	// Max bounds how many records a query wants back.
+	Max int `json:"max,omitempty"`
+	// Records ride on query responses.
+	Records []Record `json:"records,omitempty"`
+	// Err describes failures on MsgError.
+	Err string `json:"err,omitempty"`
+}
+
+// WriteMessage frames and sends one message.
+func WriteMessage(w *bufio.Writer, m Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadMessage reads one newline-delimited frame. Frames above 1 MiB are
+// rejected to bound memory against misbehaving peers.
+func ReadMessage(r *bufio.Reader) (Message, error) {
+	const maxFrame = 1 << 20
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return Message{}, err
+	}
+	if len(line) > maxFrame {
+		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(line))
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return Message{}, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return m, nil
+}
+
+// roundTrip dials addr, sends req, and reads one response.
+func roundTrip(addr string, req Message, timeout time.Duration) (Message, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return Message{}, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return Message{}, err
+	}
+	bw := bufio.NewWriter(conn)
+	if err := WriteMessage(bw, req); err != nil {
+		return Message{}, err
+	}
+	resp, err := ReadMessage(bufio.NewReader(conn))
+	if err != nil {
+		return Message{}, err
+	}
+	if resp.Type == MsgError {
+		return resp, fmt.Errorf("wire: remote error: %s", resp.Err)
+	}
+	if resp.Seq != req.Seq {
+		return resp, fmt.Errorf("wire: response seq %d for request %d", resp.Seq, req.Seq)
+	}
+	return resp, nil
+}
+
+// Ping measures the RTT to addr with one request/response round trip.
+func Ping(addr string, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	resp, err := roundTrip(addr, Message{Type: MsgPing, Seq: 1}, timeout)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != MsgPong {
+		return 0, fmt.Errorf("wire: unexpected response %q to ping", resp.Type)
+	}
+	return time.Since(start), nil
+}
+
+// Store publishes a record to the peer at addr.
+func Store(addr string, rec Record, timeout time.Duration) error {
+	resp, err := roundTrip(addr, Message{Type: MsgStore, Seq: 2, Record: &rec}, timeout)
+	if err != nil {
+		return err
+	}
+	if resp.Type != MsgStored {
+		return fmt.Errorf("wire: unexpected response %q to store", resp.Type)
+	}
+	return nil
+}
+
+// Query asks the peer at addr for up to max records nearest to number.
+func Query(addr string, number uint64, max int, timeout time.Duration) ([]Record, error) {
+	resp, err := roundTrip(addr, Message{Type: MsgQuery, Seq: 3, Number: number, Max: max}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != MsgRecords {
+		return nil, fmt.Errorf("wire: unexpected response %q to query", resp.Type)
+	}
+	return resp.Records, nil
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStartRefreshKeepsRecordAlive(t *testing.T) {
+	// Short TTL + refresh loop: the record must survive past several TTLs.
+	nodes := cluster(t, 3, 2)
+	target := nodes[2]
+	target.ttl = 120 * time.Millisecond
+	if _, err := target.Publish(1, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	target.StartRefresh(40*time.Millisecond, 1, testTimeout)
+
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Query the owner: the record must still be live.
+	vec, err := target.MeasureVector(1, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, err := target.cfg.Number(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Query(target.OwnerOf(num), num, 16, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.Addr == target.Addr() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("record expired despite refresh loop")
+	}
+}
+
+func TestWithoutRefreshRecordExpires(t *testing.T) {
+	nodes := cluster(t, 3, 2)
+	target := nodes[2]
+	target.ttl = 60 * time.Millisecond
+	rec, err := target.Publish(1, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	recs, err := Query(target.OwnerOf(rec.Number), rec.Number, 16, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Addr == target.Addr() {
+			t.Fatal("record survived its TTL with no refresh")
+		}
+	}
+}
+
+func TestCloseStopsRefresh(t *testing.T) {
+	nodes := cluster(t, 2, 1)
+	n := nodes[1]
+	n.StartRefresh(10*time.Millisecond, 1, testTimeout)
+	if err := n.Close(); err != nil {
+		t.Fatal(err) // must not hang on the refresh goroutine
+	}
+}
+
+func TestStartRefreshDefaultInterval(t *testing.T) {
+	nodes := cluster(t, 2, 1)
+	n := nodes[1]
+	n.StartRefresh(0, 1, testTimeout) // derives interval from TTL
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
