@@ -1,6 +1,6 @@
 # Developer conveniences; everything is plain `go` underneath.
 
-.PHONY: all build test race bench results quick-results examples clean
+.PHONY: all build test race check bench results quick-results examples clean
 
 all: build test
 
@@ -12,7 +12,11 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/wire/ ./internal/netsim/ ./internal/chord/
+	go test -race ./...
+
+# The full pre-merge gate: compile, vet, and every test under the race
+# detector.
+check: build race
 
 # One testing.B benchmark per paper table/figure, plus package micro-benches.
 bench:

@@ -3,7 +3,9 @@ package gsso_test
 import (
 	"testing"
 
+	"gsso/internal/core"
 	"gsso/internal/experiment"
+	"gsso/internal/obs"
 )
 
 // benchExperiment runs one paper artifact end to end per iteration at
@@ -52,3 +54,37 @@ func BenchmarkExtFailureRepair(b *testing.B)        { benchExperiment(b, "ext-fa
 func BenchmarkExtPastrySelection(b *testing.B)      { benchExperiment(b, "ext-pastry") }
 func BenchmarkExtSVDDenoising(b *testing.B)         { benchExperiment(b, "ext-svd") }
 func BenchmarkExtOrderingBaseline(b *testing.B)     { benchExperiment(b, "ext-ordering") }
+
+// benchNearest times one nearest-member query per iteration on a fixed
+// live stack. The traced variant installs a sink; the difference between
+// the two is the telemetry subsystem's hot-path cost, which must stay
+// within run-to-run noise when tracing is off (the disabled path is one
+// atomic load).
+func benchNearest(b *testing.B, sink func(obs.Trace)) {
+	b.Helper()
+	sys, err := core.New(
+		core.WithSeed(1),
+		core.WithTopologyScale(0.15),
+		core.WithOverlaySize(96),
+		core.WithLandmarks(6),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.SetTraceSink(sink)
+	members := sys.Members()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.NearestMember(members[i%len(members)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearestMemberNoTrace(b *testing.B) { benchNearest(b, nil) }
+
+func BenchmarkNearestMemberTraced(b *testing.B) {
+	var hops int
+	benchNearest(b, func(tr obs.Trace) { hops += len(tr.Hops) })
+	_ = hops
+}

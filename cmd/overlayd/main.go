@@ -11,18 +11,29 @@
 // With -publish the node measures its landmark vector, derives its
 // landmark number, and stores its record at the owning peer; with -query
 // it then asks the soft-state for its physically nearest peer.
+//
+// With -metrics ADDR the daemon serves its telemetry registry over HTTP:
+// /metrics (Prometheus text format), /metrics.json, and /healthz. Peers
+// can also scrape each other in-band through the STATS wire op.
+//
+// Output is logfmt (log/slog): one line per event, machine-parseable
+// key=value pairs. -v enables debug-level lines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"gsso/internal/obs"
 	"gsso/internal/wire"
 )
 
@@ -31,6 +42,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "overlayd:", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the daemon's logfmt logger. Timestamps are dropped:
+// the output is consumed by tests and pipelines, and a collector adds
+// its own receive time.
+func newLogger(out io.Writer, verbose bool) *slog.Logger {
+	lvl := slog.LevelInfo
+	if verbose {
+		lvl = slog.LevelDebug
+	}
+	return slog.New(slog.NewTextHandler(out, &slog.HandlerOptions{
+		Level: lvl,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}
+
+// serveMetrics exposes reg on addr and returns the server plus its bound
+// listener address (addr may carry port 0).
+func serveMetrics(addr string, reg *obs.Registry, logger *slog.Logger) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: obs.Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	logger.Info("metrics", "addr", ln.Addr().String())
+	return srv, ln.Addr().String(), nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -51,12 +94,16 @@ func run(args []string, out io.Writer) error {
 		query     = fs.Bool("query", false, "query for the nearest peer after publishing")
 		oneshot   = fs.Bool("oneshot", false, "exit after publish/query instead of serving")
 		timeout   = fs.Duration("timeout", 2*time.Second, "per-request network timeout")
+		metrics   = fs.String("metrics", "", "serve /metrics, /metrics.json, /healthz on this address")
+		hold      = fs.Duration("hold", 0, "demo only: keep the cluster (and -metrics endpoint) up this long after the flow")
+		verbose   = fs.Bool("v", false, "debug-level logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger := newLogger(out, *verbose)
 	if *demo > 0 {
-		return runDemo(*demo, *ttl, *timeout, out)
+		return runDemo(*demo, *ttl, *timeout, *metrics, *hold, logger)
 	}
 	if *lmCSV == "" {
 		return fmt.Errorf("need -landmarks")
@@ -72,16 +119,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer node.Close()
-	fmt.Fprintf(out, "overlayd: listening on %s (%d landmarks, %d peers)\n",
-		node.Addr(), len(cfg.Landmarks), len(splitCSV(*peersCSV)))
+	logger.Info("listening", "addr", node.Addr(),
+		"landmarks", len(cfg.Landmarks), "peers", len(splitCSV(*peersCSV)))
 
+	if *metrics != "" {
+		srv, _, err := serveMetrics(*metrics, node.Registry(), logger)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
 	if *publish {
 		rec, err := node.Publish(*pings, *timeout)
 		if err != nil {
 			return fmt.Errorf("publish: %w", err)
 		}
-		fmt.Fprintf(out, "overlayd: published number=%d vector=%.3v -> owner %s\n",
-			rec.Number, rec.Vector, node.OwnerOf(rec.Number))
+		logger.Info("published", "number", rec.Number, "owner", node.OwnerOf(rec.Number))
+		logger.Debug("vector", "rtts_ms", fmt.Sprintf("%.3v", rec.Vector))
 		if !*oneshot {
 			node.StartRefresh(*refresh, *pings, *timeout)
 		}
@@ -91,7 +145,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("query: %w", err)
 		}
-		fmt.Fprintf(out, "overlayd: nearest peer %s at %v\n", addr, rtt)
+		logger.Info("nearest", "peer", addr, "rtt", rtt)
 	}
 	if *oneshot {
 		return nil
@@ -100,14 +154,15 @@ func run(args []string, out io.Writer) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(out, "overlayd: shutting down")
+	logger.Info("shutdown")
 	return nil
 }
 
 // runDemo spins n nodes on ephemeral localhost ports (the first three, or
 // fewer, double as landmarks), publishes everyone's record, and asks each
 // node for its nearest peer — the whole zero-to-aha flow in one command.
-func runDemo(n int, ttl, timeout time.Duration, out io.Writer) error {
+// All nodes share one telemetry registry, served on metricsAddr when set.
+func runDemo(n int, ttl, timeout time.Duration, metricsAddr string, hold time.Duration, logger *slog.Logger) error {
 	if n < 2 {
 		return fmt.Errorf("demo needs at least 2 nodes, got %d", n)
 	}
@@ -139,33 +194,55 @@ func runDemo(n int, ttl, timeout time.Duration, out io.Writer) error {
 		BitsPerDim: 5,
 		MaxRTTMs:   50,
 	}
+	reg := obs.NewRegistry()
 	nodes := make([]*wire.Node, n)
 	for i := range nodes {
-		node, err := wire.NewNode(addrs[i], cfg, addrs, ttl)
+		node, err := wire.NewNodeWithRegistry(addrs[i], cfg, addrs, ttl, reg)
 		if err != nil {
 			return err
 		}
 		nodes[i] = node
 		defer node.Close()
 	}
-	fmt.Fprintf(out, "overlayd demo: %d nodes up, %d landmarks\n", n, lmCount)
+	logger.Info("demo-start", "nodes", n, "landmarks", lmCount)
+	if metricsAddr != "" {
+		srv, _, err := serveMetrics(metricsAddr, reg, logger)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
 	for _, node := range nodes {
 		rec, err := node.Publish(2, timeout)
 		if err != nil {
 			return fmt.Errorf("publish %s: %w", node.Addr(), err)
 		}
-		fmt.Fprintf(out, "  %s published number=%d -> owner %s\n",
-			node.Addr(), rec.Number, node.OwnerOf(rec.Number))
+		logger.Info("published", "addr", node.Addr(), "number", rec.Number,
+			"owner", node.OwnerOf(rec.Number))
 	}
 	for _, node := range nodes {
 		addr, rtt, err := node.FindNearest(3, timeout)
 		if err != nil {
-			fmt.Fprintf(out, "  %s: no nearest peer found (%v)\n", node.Addr(), err)
+			logger.Warn("no-nearest", "addr", node.Addr(), "err", err)
 			continue
 		}
-		fmt.Fprintf(out, "  %s -> nearest %s at %v\n", node.Addr(), addr, rtt)
+		logger.Info("nearest", "addr", node.Addr(), "peer", addr, "rtt", rtt)
 	}
-	fmt.Fprintln(out, "overlayd demo: done")
+	// In-band scrape: any node can ask any other for its counters.
+	if snap, err := wire.FetchStats(nodes[0].Addr(), timeout); err == nil {
+		total := 0.0
+		if f, ok := snap.Family("wire_requests_total"); ok {
+			for _, s := range f.Series {
+				total += s.Value
+			}
+		}
+		logger.Info("stats", "peer", nodes[0].Addr(), "requests_served", int(total))
+	}
+	if hold > 0 {
+		logger.Info("holding", "for", hold)
+		time.Sleep(hold)
+	}
+	logger.Info("demo-done")
 	return nil
 }
 

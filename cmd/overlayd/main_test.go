@@ -2,12 +2,37 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"gsso/internal/wire"
 )
+
+// syncBuffer is a bytes.Buffer safe for one writer goroutine (the demo
+// logger) racing reader polls from the test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 func TestSplitCSV(t *testing.T) {
 	cases := []struct {
@@ -53,8 +78,12 @@ func TestOneshotStartup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "listening on") {
+	if !strings.Contains(buf.String(), "msg=listening") {
 		t.Fatalf("startup banner missing:\n%s", buf.String())
+	}
+	// Timestamps are stripped for deterministic output.
+	if strings.Contains(buf.String(), "time=") {
+		t.Fatalf("log lines carry timestamps:\n%s", buf.String())
 	}
 }
 
@@ -99,11 +128,40 @@ func TestOneshotPublishQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, "published number=") {
+	if !strings.Contains(out, "msg=published number=") {
 		t.Fatalf("publish line missing:\n%s", out)
 	}
-	if !strings.Contains(out, "nearest peer") {
+	if !strings.Contains(out, "msg=nearest peer=") {
 		t.Fatalf("query line missing:\n%s", out)
+	}
+	// -v was not set: the debug vector line must be suppressed.
+	if strings.Contains(out, "msg=vector") {
+		t.Fatalf("debug line leaked without -v:\n%s", out)
+	}
+}
+
+func TestVerboseEmitsDebug(t *testing.T) {
+	cfgStub := wire.SpaceConfig{Landmarks: []string{"x"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	lm, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lm.Close()
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-listen", "127.0.0.1:0",
+		"-peers", lm.Addr(),
+		"-landmarks", lm.Addr(),
+		"-publish", "-oneshot", "-v",
+		"-timeout", "2s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "level=DEBUG") || !strings.Contains(out, "msg=vector") {
+		t.Fatalf("-v did not surface debug lines:\n%s", out)
 	}
 }
 
@@ -113,11 +171,15 @@ func TestDemoMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, "4 nodes up") || !strings.Contains(out, "demo: done") {
+	if !strings.Contains(out, "msg=demo-start nodes=4") || !strings.Contains(out, "msg=demo-done") {
 		t.Fatalf("demo output wrong:\n%s", out)
 	}
-	if strings.Count(out, "published number=") != 4 {
+	if strings.Count(out, "msg=published") != 4 {
 		t.Fatalf("expected 4 publishes:\n%s", out)
+	}
+	// The in-band STATS scrape of node 0 must report served requests.
+	if !strings.Contains(out, "msg=stats") || !strings.Contains(out, "requests_served=") {
+		t.Fatalf("demo stats line missing:\n%s", out)
 	}
 }
 
@@ -126,4 +188,126 @@ func TestDemoTooSmall(t *testing.T) {
 	if err := run([]string{"-demo", "1"}, &buf); err == nil {
 		t.Fatal("demo with 1 node accepted")
 	}
+}
+
+// metricValue extracts the value of the first exposition line whose name
+// and label block match the given prefix, e.g.
+// `wire_requests_total{type="ping"}`.
+func metricValue(body, prefix string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// TestDemoMetricsEndpoint is the acceptance flow: `overlayd -demo 3
+// -metrics 127.0.0.1:0` must serve a /metrics page with non-zero
+// per-type request counters and a populated RTT histogram. The demo is
+// held open long enough for the test to scrape mid-run.
+func TestDemoMetricsEndpoint(t *testing.T) {
+	buf := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-demo", "3",
+			"-metrics", "127.0.0.1:0",
+			"-timeout", "2s",
+			"-hold", "4s",
+		}, buf)
+	}()
+
+	// The metrics listener binds an ephemeral port; pull it from the log.
+	addrRe := regexp.MustCompile(`msg=metrics addr=(\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(buf.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never logged:\n%s", buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Wait for the demo flow to finish (the hold line) so counters are
+	// fully populated before scraping.
+	for !strings.Contains(buf.String(), "msg=holding") {
+		if time.Now().After(deadline) {
+			t.Fatalf("demo never reached hold:\n%s", buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	body := fetch(t, "http://"+addr+"/metrics")
+	if ct := fetchContentType(t, "http://"+addr+"/metrics"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, typ := range []string{"ping", "store", "query", "stats"} {
+		prefix := fmt.Sprintf("wire_requests_total{type=%q}", typ)
+		if v, ok := metricValue(body, prefix); !ok || v <= 0 {
+			t.Fatalf("%s = %v (ok=%v), want > 0\n%s", prefix, v, ok, body)
+		}
+	}
+	if v, ok := metricValue(body, `wire_dial_rtt_ms_bucket{le="+Inf"}`); !ok || v <= 0 {
+		t.Fatalf("dial RTT histogram empty (v=%v ok=%v)\n%s", v, ok, body)
+	}
+	if v, ok := metricValue(body, "wire_dial_rtt_ms_count"); !ok || v <= 0 {
+		t.Fatalf("dial RTT histogram count = %v (ok=%v)", v, ok)
+	}
+	if _, ok := metricValue(body, "wire_serve_latency_ms_sum"); !ok {
+		t.Fatalf("serve latency histogram missing:\n%s", body)
+	}
+
+	// JSON flavor and health probe ride on the same mux.
+	if js := fetch(t, "http://"+addr+"/metrics.json"); !strings.Contains(js, `"wire_requests_total"`) {
+		t.Fatalf("JSON exposition missing family:\n%s", js)
+	}
+	if hz := fetch(t, "http://"+addr+"/healthz"); hz != "ok\n" {
+		t.Fatalf("healthz = %q", hz)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("demo failed: %v\n%s", err, buf.String())
+	}
+}
+
+func fetch(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func fetchContentType(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.Header.Get("Content-Type")
 }

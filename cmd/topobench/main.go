@@ -13,14 +13,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"gsso/internal/experiment"
+	"gsso/internal/obs"
 )
 
 func main() {
@@ -82,10 +85,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	for _, e := range todo {
+		before := obs.Default().Snapshot()
 		tables, err := e.Run(sc)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		tel := telemetryDelta(e.ID, before, obs.Default().Snapshot())
 		for _, t := range tables {
 			if err := t.Render(out); err != nil {
 				return err
@@ -101,8 +106,71 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 		}
+		tel.render(out)
+		if *csvDir != "" {
+			if err := tel.writeJSON(*csvDir); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// telemetry is the per-experiment cost summary, computed by diffing the
+// process-global registry around the run. It reports what the paper's
+// axes meter: RTT probes spent and overlay messages sent, by category.
+type telemetry struct {
+	Experiment string           `json:"experiment"`
+	Probes     int64            `json:"probes"`
+	Messages   map[string]int64 `json:"messages"`
+}
+
+// telemetryDelta subtracts the registry counters at before from those at
+// after. The sim_* mirrors are process-wide monotone counters, so the
+// difference is exactly what the bracketed run spent.
+func telemetryDelta(id string, before, after obs.Snapshot) telemetry {
+	tel := telemetry{Experiment: id, Messages: map[string]int64{}}
+	pb, _ := before.Value("sim_probes_total")
+	pa, _ := after.Value("sim_probes_total")
+	tel.Probes = int64(pa - pb)
+	if f, ok := after.Family("sim_messages_total"); ok {
+		for _, s := range f.Series {
+			prev, _ := before.Value("sim_messages_total", s.LabelValues...)
+			if d := int64(s.Value - prev); d != 0 {
+				tel.Messages[s.LabelValues[0]] = d
+			}
+		}
+	}
+	return tel
+}
+
+// render prints the summary as one greppable line under the tables.
+func (t telemetry) render(out io.Writer) {
+	cats := make([]string, 0, len(t.Messages))
+	total := int64(0)
+	for k, v := range t.Messages {
+		cats = append(cats, k)
+		total += v
+	}
+	sort.Strings(cats)
+	fmt.Fprintf(out, "# telemetry %s: probes=%d messages=%d", t.Experiment, t.Probes, total)
+	for _, k := range cats {
+		fmt.Fprintf(out, " %s=%d", k, t.Messages[k])
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out)
+}
+
+// writeJSON drops the summary next to the CSV series.
+func (t telemetry) writeJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, t.Experiment+".telemetry.json"), append(data, '\n'), 0o644)
 }
 
 func writeCSV(dir string, t *experiment.Table) error {

@@ -18,6 +18,7 @@ import (
 	"gsso/internal/ecan"
 	"gsso/internal/landmark"
 	"gsso/internal/netsim"
+	"gsso/internal/obs"
 	"gsso/internal/pubsub"
 	"gsso/internal/simrand"
 	"gsso/internal/softstate"
@@ -89,6 +90,82 @@ type System struct {
 	bus     *pubsub.Bus
 	rng     *simrand.Source
 	kv      map[*can.Member]map[string][]byte
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	tm     *telemetry
+}
+
+// telemetry holds the system's pre-resolved metric series plus the
+// high-water marks used to mirror the env's monotone counters into
+// registry counters.
+type telemetry struct {
+	hosts     *obs.Gauge
+	members   *obs.Gauge
+	landmarks *obs.Gauge
+	probes    *obs.Counter
+	messages  *obs.CounterVec
+	msgSeries map[string]*obs.Counter
+
+	routeHops     *obs.Histogram
+	routeLatency  *obs.Histogram
+	nearestProbes *obs.Histogram
+	nearestRTT    *obs.Histogram
+
+	lastProbes int64
+	lastMsgs   map[string]int64
+}
+
+// newTelemetry registers the system's metric families on reg.
+func newTelemetry(reg *obs.Registry) *telemetry {
+	return &telemetry{
+		hosts:     reg.Gauge("core_hosts", "Physical hosts in the topology.").With(),
+		members:   reg.Gauge("core_members", "Overlay members.").With(),
+		landmarks: reg.Gauge("core_landmarks", "Landmark nodes.").With(),
+		probes: reg.Counter("core_probes_total",
+			"RTT measurements spent (the paper's probe-budget axis).").With(),
+		messages: reg.Counter("core_messages_total",
+			"Overlay messages, by category (publish, lookup, notify, ...).", "category"),
+		msgSeries: make(map[string]*obs.Counter),
+		routeHops: reg.Histogram("core_route_hops",
+			"Overlay hop count per routed lookup.",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}).With(),
+		routeLatency: reg.Histogram("core_route_latency_ms",
+			"Accumulated physical latency per routed lookup, milliseconds.",
+			obs.DefBuckets).With(),
+		nearestProbes: reg.Histogram("core_nearest_probes",
+			"RTT probes spent per nearest-member query.",
+			[]float64{1, 2, 3, 5, 8, 10, 15, 20, 30}).With(),
+		nearestRTT: reg.Histogram("core_nearest_rtt_ms",
+			"RTT to the winner of each nearest-member query, milliseconds.",
+			obs.DefBuckets).With(),
+		lastMsgs: make(map[string]int64),
+	}
+}
+
+// sync mirrors the env's counters and the topology's sizes into the
+// registry (counters advance by the delta since the last sync, so they
+// stay monotone).
+func (s *System) sync() {
+	tm := s.tm
+	tm.hosts.Set(float64(s.net.Len()))
+	tm.members.Set(float64(s.overlay.CAN().Size()))
+	tm.landmarks.Set(float64(s.space.Set().Len()))
+	if p := s.env.Probes(); p > tm.lastProbes {
+		tm.probes.Add(float64(p - tm.lastProbes))
+		tm.lastProbes = p
+	}
+	for k, v := range s.env.MessageTotals() {
+		c := tm.msgSeries[k]
+		if c == nil {
+			c = tm.messages.With(k)
+			tm.msgSeries[k] = c
+		}
+		if last := tm.lastMsgs[k]; v > last {
+			c.Add(float64(v - last))
+			tm.lastMsgs[k] = v
+		}
+	}
 }
 
 // New builds a simulated deployment: generates the topology, joins the
@@ -144,7 +221,7 @@ func New(opts ...Option) (*System, error) {
 	store, err := softstate.NewStore(overlay, space, env, softstate.Config{
 		TTL:           60_000,
 		CondenseDepth: cfg.condense,
-		MaxReturn:     maxIntCore(16, cfg.probeBudget),
+		MaxReturn:     max(16, cfg.probeBudget),
 		ExpandBudget:  8,
 	})
 	if err != nil {
@@ -154,6 +231,11 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Instrument before the bulk publish so the live-entry gauge counts
+	// the bootstrap.
+	reg := obs.NewRegistry()
+	store.Instrument(reg)
+	bus.Instrument(reg)
 	if err := store.PublishAll(nil); err != nil {
 		return nil, err
 	}
@@ -166,6 +248,7 @@ func New(opts ...Option) (*System, error) {
 	return &System{
 		cfg: cfg, net: net, env: env, overlay: overlay,
 		space: space, store: store, bus: bus, rng: rng,
+		reg: reg, tracer: obs.NewTracer(), tm: newTelemetry(reg),
 	}, nil
 }
 
@@ -189,6 +272,23 @@ func (s *System) Space() *landmark.Space { return s.space }
 
 // RNG returns a derived random stream for application use.
 func (s *System) RNG(label string) *simrand.Source { return s.rng.Split("app/" + label) }
+
+// Registry returns the system's telemetry registry. Env counters are
+// mirrored in on Stats(); call Stats (or Sync) before snapshotting if
+// you need them fresh.
+func (s *System) Registry() *obs.Registry { return s.reg }
+
+// Sync mirrors the env's probe and message counters into the registry
+// without building a Stats view.
+func (s *System) Sync() { s.sync() }
+
+// Tracer returns the system's route tracer.
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
+// SetTraceSink attaches fn as the trace consumer for RouteTo and
+// nearest-member queries (nil detaches it). While detached, the traced
+// paths pay a single atomic load.
+func (s *System) SetTraceSink(fn func(obs.Trace)) { s.tracer.SetSink(fn) }
 
 // Members returns the overlay members.
 func (s *System) Members() []*can.Member { return s.overlay.CAN().Members() }
@@ -227,6 +327,18 @@ func (s *System) RouteTo(src, dst *can.Member) (Route, error) {
 		r.Stretch = r.LatencyMs / r.DirectMs
 	} else {
 		r.Stretch = 1
+	}
+	s.tm.routeHops.Observe(float64(r.Hops))
+	s.tm.routeLatency.Observe(r.LatencyMs)
+	if tr := s.tracer.Begin("route"); tr != nil {
+		prev := r.Path[0]
+		tr.Hop(fmt.Sprintf("host:%d", prev.Host), prev.Path().String(), 0)
+		for _, m := range r.Path[1:] {
+			tr.Hop(fmt.Sprintf("host:%d", m.Host), m.Path().String(),
+				s.env.Latency(prev.Host, m.Host))
+			prev = m
+		}
+		s.tracer.Emit(tr)
 	}
 	return r, nil
 }
@@ -321,8 +433,12 @@ func (s *System) nearestFromRegions(from topology.NodeID, vec landmark.Vector,
 			break
 		}
 	}
+	tr := s.tracer.Begin("nearest")
 	if len(cands) == 0 {
-		return NearestResult{}, errors.New("core: soft-state returned no candidates")
+		err := errors.New("core: soft-state returned no candidates")
+		tr.Fail(err)
+		s.tracer.Emit(tr)
+		return NearestResult{}, err
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].dist != cands[b].dist {
@@ -337,10 +453,18 @@ func (s *System) nearestFromRegions(from topology.NodeID, vec landmark.Vector,
 		}
 		rtt := s.env.ProbeRTT(from, c.entry.Host)
 		res.Probes++
+		if tr != nil {
+			tr.Hop(fmt.Sprintf("host:%d", c.entry.Host), c.entry.Member.Path().String(), rtt)
+		}
 		if rtt < res.RTTMs {
 			res.RTTMs = rtt
 			res.Member = c.entry.Member
 		}
+	}
+	s.tracer.Emit(tr)
+	s.tm.nearestProbes.Observe(float64(res.Probes))
+	if res.Member != nil {
+		s.tm.nearestRTT.Observe(res.RTTMs)
 	}
 	return res, nil
 }
@@ -412,7 +536,9 @@ func (s *System) DepartMember(m *can.Member) error {
 	return nil
 }
 
-// Stats is a snapshot of system-wide counters.
+// Stats is a snapshot of system-wide counters. It is a view assembled
+// from the telemetry registry (see Registry for the full data,
+// histograms included).
 type Stats struct {
 	Hosts        int
 	Members      int
@@ -422,21 +548,30 @@ type Stats struct {
 	TotalEntries int
 }
 
-// Stats returns the current counters.
+// Stats syncs the registry and returns the counter view.
 func (s *System) Stats() Stats {
-	return Stats{
-		Hosts:        s.net.Len(),
-		Members:      s.overlay.CAN().Size(),
-		Landmarks:    s.space.Set().Len(),
-		Probes:       s.env.Probes(),
-		Messages:     s.env.MessageTotals(),
-		TotalEntries: s.store.TotalEntries(),
+	s.sync()
+	snap := s.reg.Snapshot()
+	st := Stats{Messages: make(map[string]int64)}
+	if v, ok := snap.Value("core_hosts"); ok {
+		st.Hosts = int(v)
 	}
-}
-
-func maxIntCore(a, b int) int {
-	if a > b {
-		return a
+	if v, ok := snap.Value("core_members"); ok {
+		st.Members = int(v)
 	}
-	return b
+	if v, ok := snap.Value("core_landmarks"); ok {
+		st.Landmarks = int(v)
+	}
+	if v, ok := snap.Value("core_probes_total"); ok {
+		st.Probes = int64(v)
+	}
+	if v, ok := snap.Value("softstate_entries_live"); ok {
+		st.TotalEntries = int(v)
+	}
+	if f, ok := snap.Family("core_messages_total"); ok {
+		for _, se := range f.Series {
+			st.Messages[se.LabelValues[0]] = int64(se.Value)
+		}
+	}
+	return st
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"gsso/internal/obs"
+)
+
+// TestStatsMessageTotals checks that the Stats view rebuilt on the
+// registry agrees with the env's authoritative message meters.
+func TestStatsMessageTotals(t *testing.T) {
+	sys := newSystem(t)
+	members := sys.Members()
+	if _, err := sys.NearestMember(members[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RouteTo(members[0], members[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	st := sys.Stats()
+	env := sys.Env().MessageTotals()
+	if len(st.Messages) == 0 {
+		t.Fatal("no message categories in Stats")
+	}
+	for k, v := range env {
+		if st.Messages[k] != v {
+			t.Fatalf("Stats.Messages[%q] = %d, env says %d", k, st.Messages[k], v)
+		}
+	}
+	if st.Messages["publish"] == 0 || st.Messages["lookup"] == 0 {
+		t.Fatalf("expected publish and lookup traffic: %v", st.Messages)
+	}
+	if st.Probes != sys.Env().Probes() {
+		t.Fatalf("Stats.Probes = %d, env says %d", st.Probes, sys.Env().Probes())
+	}
+	if st.TotalEntries != sys.Store().TotalEntries() {
+		t.Fatalf("Stats.TotalEntries = %d, store says %d", st.TotalEntries, sys.Store().TotalEntries())
+	}
+
+	// Stats() twice must not double-count (the registry sync is
+	// delta-based).
+	st2 := sys.Stats()
+	if st2.Messages["publish"] != st.Messages["publish"] || st2.Probes != st.Probes {
+		t.Fatalf("second Stats drifted: %+v vs %+v", st2, st)
+	}
+}
+
+func TestRegistryHistogramsPopulate(t *testing.T) {
+	sys := newSystem(t)
+	members := sys.Members()
+	if _, err := sys.RouteTo(members[0], members[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NearestMember(members[2]); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Registry().Snapshot()
+	for _, name := range []string{"core_route_hops", "core_route_latency_ms",
+		"core_nearest_probes", "core_nearest_rtt_ms"} {
+		f, ok := snap.Family(name)
+		if !ok || len(f.Series) == 0 || f.Series[0].Hist == nil || f.Series[0].Hist.Count == 0 {
+			t.Fatalf("histogram %s missing or empty", name)
+		}
+	}
+	if v, ok := snap.Value("pubsub_subscriptions"); !ok {
+		t.Fatalf("pubsub gauge missing (%v)", v)
+	}
+	if v, ok := snap.Value("softstate_events_total", "published"); !ok || v == 0 {
+		t.Fatal("softstate publish events not counted")
+	}
+}
+
+func TestRouteTracing(t *testing.T) {
+	sys := newSystem(t)
+	members := sys.Members()
+
+	var traces []obs.Trace
+	sys.SetTraceSink(func(tr obs.Trace) { traces = append(traces, tr) })
+	if !sys.Tracer().Enabled() {
+		t.Fatal("tracer not enabled after SetTraceSink")
+	}
+
+	route, err := sys.RouteTo(members[0], members[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NearestMember(members[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	rt := traces[0]
+	if rt.Op != "route" {
+		t.Fatalf("trace op = %q", rt.Op)
+	}
+	// One hop per path member (the first carries 0 RTT).
+	if len(rt.Hops) != len(route.Path) {
+		t.Fatalf("route trace has %d hops, path has %d members", len(rt.Hops), len(route.Path))
+	}
+	if rt.Hops[0].RTTMs != 0 || rt.Hops[0].Zone == "" {
+		t.Fatalf("first hop = %+v", rt.Hops[0])
+	}
+	nt := traces[1]
+	if nt.Op != "nearest" || len(nt.Hops) == 0 {
+		t.Fatalf("nearest trace = %+v", nt)
+	}
+	for _, h := range nt.Hops {
+		if h.Node == "" || h.RTTMs <= 0 {
+			t.Fatalf("probe hop = %+v", h)
+		}
+	}
+
+	// Detach: no further traces, queries still work.
+	sys.SetTraceSink(nil)
+	if _, err := sys.NearestMember(members[3]); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("detached tracer still emitted (%d traces)", len(traces))
+	}
+}

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 
 	"gsso/internal/landmark"
@@ -118,19 +119,9 @@ func RunExtOrdering(sc Scale) ([]*Table, error) {
 	t.AddRowf("vector ranking, top candidate", 1, vectorStretch)
 	t.AddRowf(fmt.Sprintf("hybrid (top %d probed)", sc.RTTs), sc.RTTs, hybridStretch)
 	t.Note(fmt.Sprintf("ordering clusters: %d distinct orders over %d hosts, largest %v, mean %.1f",
-		len(clusters), len(hosts), int(maxFloat(sizes)), meanFloat(sizes)))
+		len(clusters), len(hosts), int(slices.Max(sizes)), meanFloat(sizes)))
 	t.Note("paper §2: landmark ordering 'cannot differentiate nodes with same landmark orders'")
 	return []*Table{t}, nil
-}
-
-func maxFloat(xs []float64) float64 {
-	m := 0.0
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
 }
 
 func meanFloat(xs []float64) float64 {

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"slices"
 
 	"gsso/internal/ecan"
 	"gsso/internal/simrand"
@@ -34,7 +35,7 @@ func runStretchFig(id string, kind TopoKind, lat LatKind, sc Scale) ([]*Table, e
 		st, err := buildStack(net, sc, stackConfig{
 			overlayN:  sc.OverlayN,
 			landmarks: lm,
-			maxReturn: maxInt(32, maxIntSlice(sc.RTTSweep)),
+			maxReturn: max(32, slices.Max(sc.RTTSweep)),
 			label:     fmt.Sprintf("%s/lm%d", id, lm),
 		})
 		if err != nil {
@@ -216,21 +217,4 @@ func RunFig16(sc Scale) ([]*Table, error) {
 	t.Note("reduction rate 2^d condenses each region's map into 1/2^d of the region")
 	t.Note("paper: stretch is insensitive to the rate as long as tens of entries per node remain")
 	return []*Table{t}, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxIntSlice(xs []int) int {
-	m := 0
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
 }

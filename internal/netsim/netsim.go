@@ -15,7 +15,20 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gsso/internal/obs"
 	"gsso/internal/topology"
+)
+
+// The env's meters are mirrored onto the process-global telemetry
+// registry so harnesses (cmd/topobench) can report per-run overhead even
+// for environments created deep inside an experiment. Per-Env totals
+// remain authoritative; the mirror aggregates across all Envs of the
+// process.
+var (
+	globalMessages = obs.Default().Counter("sim_messages_total",
+		"Overlay messages metered across all simulation environments, by category.", "category")
+	globalProbes = obs.Default().Counter("sim_probes_total",
+		"RTT probes metered across all simulation environments.").With()
 )
 
 // Time is virtual simulation time in milliseconds.
@@ -63,6 +76,7 @@ type Env struct {
 
 	mu       sync.Mutex
 	messages map[string]int64
+	mirrors  map[string]*obs.Counter // global-registry series, cached per category
 	down     map[topology.NodeID]struct{}
 }
 
@@ -101,6 +115,7 @@ func (e *Env) Latency(a, b topology.NodeID) float64 {
 // returns +Inf (the probe times out) — and still costs a probe.
 func (e *Env) ProbeRTT(a, b topology.NodeID) float64 {
 	atomic.AddInt64(&e.probes, 1)
+	globalProbes.Inc()
 	if e.IsDown(a) || e.IsDown(b) {
 		return math.Inf(1)
 	}
@@ -142,7 +157,16 @@ func (e *Env) ResetProbes() int64 { return atomic.SwapInt64(&e.probes, 0) }
 func (e *Env) CountMessages(category string, n int) {
 	e.mu.Lock()
 	e.messages[category] += int64(n)
+	mirror := e.mirrors[category]
+	if mirror == nil {
+		mirror = globalMessages.With(category)
+		if e.mirrors == nil {
+			e.mirrors = make(map[string]*obs.Counter)
+		}
+		e.mirrors[category] = mirror
+	}
 	e.mu.Unlock()
+	mirror.Add(float64(n))
 }
 
 // Messages returns the count in one category.

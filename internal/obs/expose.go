@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus encodes a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families sorted by
+// name, series by label values.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if s.Hist != nil {
+				if err := writeHistSeries(w, f, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, labelString(f.Labels, s.LabelValues, "", ""), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistSeries emits the _bucket/_sum/_count triplet of one histogram
+// series.
+func writeHistSeries(w io.Writer, f FamilySnapshot, s SeriesSnapshot) error {
+	cum := uint64(0)
+	for i, bound := range s.Hist.Bounds {
+		cum += s.Hist.Counts[i]
+		le := formatValue(bound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.Name, labelString(f.Labels, s.LabelValues, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Hist.Counts[len(s.Hist.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		f.Name, labelString(f.Labels, s.LabelValues, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		f.Name, labelString(f.Labels, s.LabelValues, "", ""), formatValue(s.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		f.Name, labelString(f.Labels, s.LabelValues, "", ""), s.Hist.Count)
+	return err
+}
+
+// labelString renders {k="v",...}, optionally appending one extra pair
+// (the histogram "le" label), or "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslashes, quotes, and newlines as the format wants.
+		fmt.Fprintf(&b, "%s=%q", name, values[i])
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// integers without exponents, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteJSON encodes a snapshot as indented JSON.
+func WriteJSON(w io.Writer, snap Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Handler returns an http.Handler exposing the registry live:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  JSON snapshot
+//	/healthz       "ok"
+//
+// Mount it as the root handler of a metrics listener.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return mux
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one family of each kind and
+// deterministic contents.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	req := r.Counter("wire_requests_total", "Requests served by message type.", "type")
+	req.With("ping").Add(7)
+	req.With("query").Add(2)
+	r.Gauge("softstate_entries_live", "Live soft-state records.").With().Set(42)
+	h := r.Histogram("wire_serve_latency_ms", "Request service time.", []float64{0.5, 1, 5}).With()
+	// Exactly representable values keep sums and the golden file stable.
+	for _, v := range []float64{0.25, 0.5, 0.75, 3, 12} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Fatalf("prometheus encoding drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusFormatDetails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE wire_requests_total counter",
+		`wire_requests_total{type="ping"} 7`,
+		"# TYPE softstate_entries_live gauge",
+		"softstate_entries_live 42",
+		// Buckets are cumulative: 2 + 1 + 1 + 1 observations.
+		`wire_serve_latency_ms_bucket{le="0.5"} 2`,
+		`wire_serve_latency_ms_bucket{le="1"} 3`,
+		`wire_serve_latency_ms_bucket{le="5"} 4`,
+		`wire_serve_latency_ms_bucket{le="+Inf"} 5`,
+		"wire_serve_latency_ms_sum 16.5",
+		"wire_serve_latency_ms_count 5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Value("wire_requests_total", "query"); !ok || v != 2 {
+		t.Fatalf("round-tripped value = %v/%v", v, ok)
+	}
+	f, ok := snap.Family("wire_serve_latency_ms")
+	if !ok || f.Series[0].Hist == nil || f.Series[0].Hist.Count != 5 {
+		t.Fatalf("round-tripped histogram wrong: %+v", f)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler(goldenRegistry()))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, `wire_requests_total{type="ping"} 7`) {
+		t.Fatalf("/metrics body wrong:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	body, ctype = get("/metrics.json")
+	if !strings.Contains(body, `"wire_requests_total"`) || ctype != "application/json" {
+		t.Fatalf("/metrics.json wrong (%q):\n%s", ctype, body)
+	}
+	if body, _ := get("/healthz"); body != "ok\n" {
+		t.Fatalf("/healthz = %q", body)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		3:    "3",
+		-2:   "-2",
+		0.25: "0.25",
+		16.5: "16.5",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Fatalf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

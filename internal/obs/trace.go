@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Hop is one step of a traced overlay operation.
+type Hop struct {
+	// Node identifies the hop's node (an address for wire nodes, a
+	// host/zone label for simulated members).
+	Node string `json:"node"`
+	// Zone is the node's zone path (empty when not applicable).
+	Zone string `json:"zone,omitempty"`
+	// RTTMs is this hop's latency contribution in milliseconds.
+	RTTMs float64 `json:"rtt_ms"`
+}
+
+// Trace is one recorded operation: a lookup's hop-by-hop path or a
+// nearest-neighbor query's probe sequence.
+type Trace struct {
+	// Op names the operation ("route", "nearest", ...).
+	Op string `json:"op"`
+	// Hops are the steps in order.
+	Hops []Hop `json:"hops"`
+	// TotalMs is the accumulated latency of all hops.
+	TotalMs float64 `json:"total_ms"`
+	// Err records a failed operation.
+	Err string `json:"err,omitempty"`
+	// Start is the wall-clock start (zero for simulated operations).
+	Start time.Time `json:"start"`
+}
+
+// Hop appends one hop. Nil-safe: recording into a nil trace (tracing
+// disabled) is a no-op.
+func (t *Trace) Hop(node, zone string, rttMs float64) {
+	if t == nil {
+		return
+	}
+	t.Hops = append(t.Hops, Hop{Node: node, Zone: zone, RTTMs: rttMs})
+	t.TotalMs += rttMs
+}
+
+// Fail records an operation failure. Nil-safe.
+func (t *Trace) Fail(err error) {
+	if t == nil || err == nil {
+		return
+	}
+	t.Err = err.Error()
+}
+
+// sinkHolder wraps the sink function so it can live in an
+// atomic.Pointer (function values are not directly atomically storable).
+type sinkHolder struct{ fn func(Trace) }
+
+// Tracer hands out traces when a sink is attached and nils when not, so
+// an instrumented hot path pays exactly one atomic load while tracing is
+// off. All methods are safe on a nil *Tracer, which is permanently
+// disabled.
+type Tracer struct {
+	sink atomic.Pointer[sinkHolder]
+}
+
+// NewTracer returns a tracer with no sink (disabled).
+func NewTracer() *Tracer { return &Tracer{} }
+
+// SetSink installs the trace consumer; nil detaches it and disables
+// tracing. The sink is called synchronously from the traced operation
+// and must not block.
+func (t *Tracer) SetSink(fn func(Trace)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&sinkHolder{fn: fn})
+}
+
+// Enabled reports whether a sink is attached.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink.Load() != nil }
+
+// Begin returns a new trace for op, or nil when tracing is off — the
+// nil trace absorbs Hop/Fail calls for free, so callers need no
+// branches beyond the ones they want for skipping expensive labels.
+func (t *Tracer) Begin(op string) *Trace {
+	if t == nil || t.sink.Load() == nil {
+		return nil
+	}
+	return &Trace{Op: op, Start: time.Now()}
+}
+
+// Emit delivers a finished trace to the sink. Nil-safe in both receiver
+// and argument; a trace begun while enabled is dropped if the sink was
+// detached in between.
+func (t *Tracer) Emit(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	if h := t.sink.Load(); h != nil {
+		h.fn(*tr)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.SetSink(func(Trace) {})
+	trace := tr.Begin("route")
+	if trace != nil {
+		t.Fatal("nil tracer handed out a trace")
+	}
+	trace.Hop("a", "z", 1) // nil trace: no-op
+	trace.Fail(errors.New("x"))
+	tr.Emit(trace)
+}
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	tr := NewTracer()
+	if tr.Enabled() {
+		t.Fatal("fresh tracer enabled")
+	}
+	if tr.Begin("route") != nil {
+		t.Fatal("disabled tracer handed out a trace")
+	}
+}
+
+func TestTracerRecordsHops(t *testing.T) {
+	tr := NewTracer()
+	var got []Trace
+	tr.SetSink(func(t Trace) { got = append(got, t) })
+	if !tr.Enabled() {
+		t.Fatal("tracer with sink not enabled")
+	}
+
+	trace := tr.Begin("route")
+	trace.Hop("n1", "0", 2.5)
+	trace.Hop("n2", "01", 1.5)
+	tr.Emit(trace)
+
+	fail := tr.Begin("nearest")
+	fail.Fail(errors.New("no candidates"))
+	tr.Emit(fail)
+
+	if len(got) != 2 {
+		t.Fatalf("emitted %d traces, want 2", len(got))
+	}
+	r := got[0]
+	if r.Op != "route" || len(r.Hops) != 2 || r.TotalMs != 4 {
+		t.Fatalf("trace = %+v", r)
+	}
+	if r.Hops[1].Node != "n2" || r.Hops[1].Zone != "01" || r.Hops[1].RTTMs != 1.5 {
+		t.Fatalf("hop = %+v", r.Hops[1])
+	}
+	if got[1].Err != "no candidates" {
+		t.Fatalf("failed trace = %+v", got[1])
+	}
+}
+
+func TestTracerDetach(t *testing.T) {
+	tr := NewTracer()
+	fired := 0
+	tr.SetSink(func(Trace) { fired++ })
+	trace := tr.Begin("route")
+	tr.SetSink(nil)
+	tr.Emit(trace) // sink detached mid-flight: dropped
+	if fired != 0 || tr.Enabled() {
+		t.Fatalf("detached tracer delivered (fired=%d)", fired)
+	}
+}
+
+// TestTracerConcurrent exercises enable/disable racing Begin/Emit; run
+// under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			tr.SetSink(func(Trace) { mu.Lock(); count++; mu.Unlock() })
+			tr.SetSink(nil)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			trace := tr.Begin("op")
+			trace.Hop("n", "", 1)
+			tr.Emit(trace)
+		}
+	}()
+	wg.Wait()
+}

@@ -26,6 +26,7 @@ import (
 	"gsso/internal/ecan"
 	"gsso/internal/landmark"
 	"gsso/internal/netsim"
+	"gsso/internal/obs"
 	"gsso/internal/topology"
 )
 
@@ -157,6 +158,36 @@ type Store struct {
 	vectors map[*can.Member]landmark.Vector
 	numbers map[*can.Member]uint64
 	sink    func(Event)
+	metrics *storeMetrics
+}
+
+// storeMetrics mirrors map churn into a telemetry registry: a live-entry
+// gauge plus one counter per event kind (published, refreshed, removed,
+// expired, load-changed). Nil when the store is uninstrumented.
+type storeMetrics struct {
+	live   *obs.Gauge
+	events map[EventKind]*obs.Counter
+}
+
+// Instrument mirrors the store's churn into reg: the gauge
+// softstate_entries_live and the counter family
+// softstate_events_total{kind}. Call once, before publishing.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	events := reg.Counter("softstate_events_total",
+		"Soft-state map mutations, by event kind.", "kind")
+	m := &storeMetrics{
+		live: reg.Gauge("softstate_entries_live",
+			"Entries currently held across all region maps.").With(),
+		events: make(map[EventKind]*obs.Counter),
+	}
+	for _, k := range []EventKind{EventPublished, EventRefreshed, EventRemoved, EventExpired, EventLoadChanged} {
+		m.events[k] = events.With(k.String())
+	}
+	m.live.Set(float64(s.TotalEntries()))
+	s.metrics = m
 }
 
 // NewStore builds an empty store over ov.
@@ -195,6 +226,15 @@ func (s *Store) Overlay() *ecan.Overlay { return s.overlay }
 func (s *Store) SetEventSink(fn func(Event)) { s.sink = fn }
 
 func (s *Store) emit(ev Event) {
+	if m := s.metrics; m != nil {
+		m.events[ev.Kind].Inc()
+		switch ev.Kind {
+		case EventPublished:
+			m.live.Add(1)
+		case EventRemoved, EventExpired:
+			m.live.Add(-1)
+		}
+	}
 	if s.sink != nil {
 		s.sink(ev)
 	}

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"time"
+
+	"gsso/internal/obs"
+)
+
+// nodeMetrics holds a node's pre-resolved metric series so the serve and
+// dial hot paths never take the registry's family locks.
+type nodeMetrics struct {
+	reg *obs.Registry
+
+	// requests and errors are resolved per known message type; the
+	// "other" slot bounds label cardinality against garbage frames.
+	requests map[MsgType]*obs.Counter
+	errors   map[MsgType]*obs.Counter
+	serve    *obs.Histogram
+	dial     *obs.Histogram
+	records  *obs.Gauge
+}
+
+// knownRequestTypes are the request types a node serves (response types
+// never reach dispatch).
+var knownRequestTypes = []MsgType{MsgPing, MsgStore, MsgQuery, MsgStats}
+
+// msgTypeOther labels requests of unrecognized type.
+const msgTypeOther = "other"
+
+func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	requests := reg.Counter("wire_requests_total",
+		"Requests served, by message type.", "type")
+	errors := reg.Counter("wire_request_errors_total",
+		"Requests answered with an error, by message type.", "type")
+	m := &nodeMetrics{
+		reg:      reg,
+		requests: make(map[MsgType]*obs.Counter, len(knownRequestTypes)+1),
+		errors:   make(map[MsgType]*obs.Counter, len(knownRequestTypes)+1),
+		serve: reg.Histogram("wire_serve_latency_ms",
+			"Time to serve one request, milliseconds.", obs.DefBuckets).With(),
+		dial: reg.Histogram("wire_dial_rtt_ms",
+			"Client-side round-trip times (landmark pings, candidate probes), milliseconds.",
+			obs.DefBuckets).With(),
+		records: reg.Gauge("wire_records",
+			"Soft-state records currently stored on this node.").With(),
+	}
+	for _, t := range knownRequestTypes {
+		m.requests[t] = requests.With(string(t))
+		m.errors[t] = errors.With(string(t))
+	}
+	m.requests[msgTypeOther] = requests.With(msgTypeOther)
+	m.errors[msgTypeOther] = errors.With(msgTypeOther)
+	return m
+}
+
+// request returns the request counter for a message type.
+func (m *nodeMetrics) request(t MsgType) *obs.Counter {
+	if c, ok := m.requests[t]; ok {
+		return c
+	}
+	return m.requests[msgTypeOther]
+}
+
+// err returns the error counter for a message type.
+func (m *nodeMetrics) err(t MsgType) *obs.Counter {
+	if c, ok := m.errors[t]; ok {
+		return c
+	}
+	return m.errors[msgTypeOther]
+}
+
+// observeDial records one client-side round trip.
+func (m *nodeMetrics) observeDial(rtt time.Duration) {
+	m.dial.Observe(float64(rtt.Microseconds()) / 1000)
+}

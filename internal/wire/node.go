@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gsso/internal/hilbert"
+	"gsso/internal/obs"
 )
 
 // SpaceConfig is the landmark-space contract every node of a deployment
@@ -71,9 +72,10 @@ type Node struct {
 	peers []string // full deployment peer list, sorted; owner = number ring
 	ttl   time.Duration
 
-	ln   net.Listener
-	addr string
-	stop chan struct{}
+	ln      net.Listener
+	addr    string
+	stop    chan struct{}
+	metrics *nodeMetrics
 
 	mu      sync.Mutex
 	records map[string]Record // by Addr
@@ -83,8 +85,17 @@ type Node struct {
 
 // NewNode creates a node listening on listenAddr (use "127.0.0.1:0" for
 // an ephemeral port). peers is the deployment's full address list
-// (including this node once started); ttl bounds record lifetime.
+// (including this node once started); ttl bounds record lifetime. The
+// node gets a private telemetry registry; use NewNodeWithRegistry to
+// share one across co-located nodes.
 func NewNode(listenAddr string, cfg SpaceConfig, peers []string, ttl time.Duration) (*Node, error) {
+	return NewNodeWithRegistry(listenAddr, cfg, peers, ttl, nil)
+}
+
+// NewNodeWithRegistry is NewNode with an explicit telemetry registry
+// (nil creates a fresh one). Sharing a registry aggregates the metrics
+// of several nodes in one process, as cmd/overlayd's demo mode does.
+func NewNodeWithRegistry(listenAddr string, cfg SpaceConfig, peers []string, ttl time.Duration, reg *obs.Registry) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -102,6 +113,7 @@ func NewNode(listenAddr string, cfg SpaceConfig, peers []string, ttl time.Durati
 		ln:      ln,
 		addr:    ln.Addr().String(),
 		stop:    make(chan struct{}),
+		metrics: newNodeMetrics(reg),
 		records: make(map[string]Record),
 	}
 	sort.Strings(n.peers)
@@ -112,6 +124,10 @@ func NewNode(listenAddr string, cfg SpaceConfig, peers []string, ttl time.Durati
 
 // Addr returns the node's dialable address.
 func (n *Node) Addr() string { return n.addr }
+
+// Registry returns the node's telemetry registry (serve it with
+// obs.Handler, or scrape it remotely through the STATS op).
+func (n *Node) Registry() *obs.Registry { return n.metrics.reg }
 
 // Close stops the server, the refresh loop if running, and waits for
 // in-flight handlers.
@@ -179,7 +195,13 @@ func (n *Node) handle(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	start := time.Now()
 	resp := n.dispatch(req)
+	n.metrics.serve.Observe(float64(time.Since(start).Microseconds()) / 1000)
+	n.metrics.request(req.Type).Inc()
+	if resp.Type == MsgError {
+		n.metrics.err(req.Type).Inc()
+	}
 	_ = WriteMessage(bw, resp)
 }
 
@@ -193,7 +215,9 @@ func (n *Node) dispatch(req Message) Message {
 		}
 		n.mu.Lock()
 		n.records[req.Record.Addr] = *req.Record
+		count := len(n.records)
 		n.mu.Unlock()
+		n.metrics.records.Set(float64(count))
 		return Message{Type: MsgStored, Seq: req.Seq}
 	case MsgQuery:
 		max := req.Max
@@ -201,6 +225,9 @@ func (n *Node) dispatch(req Message) Message {
 			max = 8
 		}
 		return Message{Type: MsgRecords, Seq: req.Seq, Records: n.nearest(req.Number, max)}
+	case MsgStats:
+		snap := n.metrics.reg.Snapshot()
+		return Message{Type: MsgStatsReply, Seq: req.Seq, Stats: &snap}
 	default:
 		return Message{Type: MsgError, Seq: req.Seq, Err: fmt.Sprintf("unknown type %q", req.Type)}
 	}
@@ -219,7 +246,9 @@ func (n *Node) nearest(number uint64, max int) []Record {
 		}
 		live = append(live, rec)
 	}
+	count := len(n.records)
 	n.mu.Unlock()
+	n.metrics.records.Set(float64(count))
 	absDiff := func(a, b uint64) uint64 {
 		if a > b {
 			return a - b
@@ -263,6 +292,7 @@ func (n *Node) MeasureVector(pings int, timeout time.Duration) ([]float64, error
 				lastErr = err
 				continue
 			}
+			n.metrics.observeDial(rtt)
 			if ms := float64(rtt.Microseconds()) / 1000; ms < best {
 				best = ms
 			}
@@ -352,6 +382,7 @@ func (n *Node) FindNearest(budget int, timeout time.Duration) (string, time.Dura
 		if err != nil {
 			continue // dead record: the reactive maintenance case
 		}
+		n.metrics.observeDial(rtt)
 		probes++
 		if rtt < bestRTT {
 			bestAddr, bestRTT = rec.Addr, rtt

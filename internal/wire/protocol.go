@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"gsso/internal/obs"
 )
 
 // MsgType enumerates protocol messages.
@@ -27,13 +29,15 @@ type MsgType string
 
 // Protocol messages.
 const (
-	MsgPing    MsgType = "ping"
-	MsgPong    MsgType = "pong"
-	MsgStore   MsgType = "store"
-	MsgStored  MsgType = "stored"
-	MsgQuery   MsgType = "query"
-	MsgRecords MsgType = "records"
-	MsgError   MsgType = "error"
+	MsgPing       MsgType = "ping"
+	MsgPong       MsgType = "pong"
+	MsgStore      MsgType = "store"
+	MsgStored     MsgType = "stored"
+	MsgQuery      MsgType = "query"
+	MsgRecords    MsgType = "records"
+	MsgStats      MsgType = "stats"
+	MsgStatsReply MsgType = "stats-reply"
+	MsgError      MsgType = "error"
 )
 
 // Record is one soft-state entry: a peer's position in the landmark
@@ -67,6 +71,9 @@ type Message struct {
 	Max int `json:"max,omitempty"`
 	// Records ride on query responses.
 	Records []Record `json:"records,omitempty"`
+	// Stats rides on stats-reply responses: the serving node's full
+	// telemetry snapshot, so peers can scrape each other.
+	Stats *obs.Snapshot `json:"stats,omitempty"`
 	// Err describes failures on MsgError.
 	Err string `json:"err,omitempty"`
 }
@@ -164,4 +171,17 @@ func Query(addr string, number uint64, max int, timeout time.Duration) ([]Record
 		return nil, fmt.Errorf("wire: unexpected response %q to query", resp.Type)
 	}
 	return resp.Records, nil
+}
+
+// FetchStats scrapes the telemetry snapshot of the peer at addr through
+// the STATS wire op.
+func FetchStats(addr string, timeout time.Duration) (obs.Snapshot, error) {
+	resp, err := roundTrip(addr, Message{Type: MsgStats, Seq: 4}, timeout)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	if resp.Type != MsgStatsReply || resp.Stats == nil {
+		return obs.Snapshot{}, fmt.Errorf("wire: unexpected response %q to stats", resp.Type)
+	}
+	return *resp.Stats, nil
 }
