@@ -1,11 +1,13 @@
 # Developer conveniences; everything is plain `go` underneath.
 
-.PHONY: all build test race check bench results quick-results examples clean
+.PHONY: all build vet test race check soak bench results quick-results examples clean
 
 all: build test
 
 build:
 	go build ./...
+
+vet:
 	go vet ./...
 
 test:
@@ -16,7 +18,13 @@ race:
 
 # The full pre-merge gate: compile, vet, and every test under the race
 # detector.
-check: build race
+check: build vet race
+
+# Churn soak: the full-scale ext-churn reconvergence gate — record recall
+# must climb back above 99% within three virtual refresh intervals of the
+# last fault wave, deterministically.
+soak:
+	SOAK=1 go test -run TestChurnReconvergence -count=1 -v ./internal/experiment
 
 # One testing.B benchmark per paper table/figure, plus package micro-benches.
 bench:

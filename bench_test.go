@@ -51,6 +51,7 @@ func BenchmarkExtHierLandmarks(b *testing.B)        { benchExperiment(b, "ext-hi
 func BenchmarkExtTACANImbalance(b *testing.B)       { benchExperiment(b, "ext-tacan") }
 func BenchmarkExtGroupedLandmarks(b *testing.B)     { benchExperiment(b, "ext-groups") }
 func BenchmarkExtFailureRepair(b *testing.B)        { benchExperiment(b, "ext-failure") }
+func BenchmarkExtChurnRecall(b *testing.B)          { benchExperiment(b, "ext-churn") }
 func BenchmarkExtPastrySelection(b *testing.B)      { benchExperiment(b, "ext-pastry") }
 func BenchmarkExtSVDDenoising(b *testing.B)         { benchExperiment(b, "ext-svd") }
 func BenchmarkExtOrderingBaseline(b *testing.B)     { benchExperiment(b, "ext-ordering") }

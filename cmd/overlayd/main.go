@@ -16,6 +16,11 @@
 // /metrics (Prometheus text format), /metrics.json, and /healthz. Peers
 // can also scrape each other in-band through the STATS wire op.
 //
+// Resilience knobs: -retries caps attempts per wire call (with capped
+// exponential backoff and jitter between them), -replicas sets how many
+// ring owners each published record is stored on, and -handle-timeout
+// bounds how long the server side holds a connection.
+//
 // Output is logfmt (log/slog): one line per event, machine-parseable
 // key=value pairs. -v enables debug-level lines.
 package main
@@ -97,6 +102,10 @@ func run(args []string, out io.Writer) error {
 		metrics   = fs.String("metrics", "", "serve /metrics, /metrics.json, /healthz on this address")
 		hold      = fs.Duration("hold", 0, "demo only: keep the cluster (and -metrics endpoint) up this long after the flow")
 		verbose   = fs.Bool("v", false, "debug-level logging")
+
+		handleTO = fs.Duration("handle-timeout", 10*time.Second, "server-side per-connection deadline")
+		replicas = fs.Int("replicas", 2, "ring owners each record is stored on")
+		retries  = fs.Int("retries", 3, "attempts per wire call (capped exponential backoff between them)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,7 +123,13 @@ func run(args []string, out io.Writer) error {
 		BitsPerDim: *bits,
 		MaxRTTMs:   *maxRTT,
 	}
-	node, err := wire.NewNode(*listen, cfg, splitCSV(*peersCSV), *ttl)
+	pol := wire.DefaultRetryPolicy()
+	pol.MaxAttempts = *retries
+	node, err := wire.NewNode(*listen, cfg, splitCSV(*peersCSV), *ttl,
+		wire.WithHandleTimeout(*handleTO),
+		wire.WithReplication(*replicas),
+		wire.WithRetryPolicy(pol),
+		wire.WithLogger(logger))
 	if err != nil {
 		return err
 	}
@@ -134,7 +149,8 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("publish: %w", err)
 		}
-		logger.Info("published", "number", rec.Number, "owner", node.OwnerOf(rec.Number))
+		logger.Info("published", "number", rec.Number,
+			"owner", node.OwnerOf(rec.Number), "replicas", node.Replication())
 		logger.Debug("vector", "rtts_ms", fmt.Sprintf("%.3v", rec.Vector))
 		if !*oneshot {
 			node.StartRefresh(*refresh, *pings, *timeout)
@@ -197,7 +213,8 @@ func runDemo(n int, ttl, timeout time.Duration, metricsAddr string, hold time.Du
 	reg := obs.NewRegistry()
 	nodes := make([]*wire.Node, n)
 	for i := range nodes {
-		node, err := wire.NewNodeWithRegistry(addrs[i], cfg, addrs, ttl, reg)
+		node, err := wire.NewNodeWithRegistry(addrs[i], cfg, addrs, ttl, reg,
+			wire.WithLogger(logger))
 		if err != nil {
 			return err
 		}

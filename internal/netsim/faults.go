@@ -1,0 +1,244 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+// This file is the simulator's fault-injection side: a FaultPlan is a
+// deterministic, seeded failure schedule over virtual time. Experiments
+// install one on an Env and replay identical failure traces run after
+// run — probabilistic packet loss per link, network partitions, slow-link
+// degradation, and churn waves (crash/recover schedules). All decisions
+// are pure functions of (seed, endpoints, virtual time or probe sequence
+// number), so the same seed and the same probe sequence yield the same
+// trace.
+
+// SlowWindow degrades links during [From, Until) of virtual time: RTTs of
+// affected links inflate by Factor. An empty Hosts set degrades every
+// link; otherwise only links touching a listed host are slowed.
+type SlowWindow struct {
+	From, Until Time
+	// Factor multiplies the link latency; values <= 1 are inert.
+	Factor float64
+	// Hosts limits the degradation to links with at least one endpoint in
+	// the set. Empty means all links.
+	Hosts map[topology.NodeID]struct{}
+}
+
+func (w SlowWindow) active(now Time) bool { return now >= w.From && now < w.Until }
+
+// PartitionWindow bisects the network during [From, Until): probes between
+// a SideA host and a non-SideA host are black-holed (time out), while
+// probes within a side are unaffected.
+type PartitionWindow struct {
+	From, Until Time
+	// SideA holds one side of the cut; everything else is side B.
+	SideA map[topology.NodeID]struct{}
+}
+
+func (w PartitionWindow) active(now Time) bool { return now >= w.From && now < w.Until }
+
+// BisectByStub builds the paper-natural partition: stub domains with index
+// below StubCount/2 (plus the transit domains with index below
+// TransitDomains/2) form side A. It models an inter-provider cut rather
+// than random host-level loss.
+func BisectByStub(net *topology.Network, from, until Time) PartitionWindow {
+	side := make(map[topology.NodeID]struct{})
+	halfStubs := net.StubCount() / 2
+	halfTransit := net.Spec().TransitDomains / 2
+	for id := topology.NodeID(0); int(id) < net.Len(); id++ {
+		n := net.Node(id)
+		if n.Stub >= 0 {
+			if n.Stub < halfStubs {
+				side[id] = struct{}{}
+			}
+		} else if n.Domain < halfTransit {
+			side[id] = struct{}{}
+		}
+	}
+	return PartitionWindow{From: from, Until: until, SideA: side}
+}
+
+// ChurnWave crashes a host set during [From, Until): probes to or from a
+// crashed host time out, exactly as Env.SetDown models, but driven by the
+// virtual clock so recovery is part of the schedule.
+type ChurnWave struct {
+	From, Until Time
+	Down        map[topology.NodeID]struct{}
+}
+
+func (w ChurnWave) active(now Time) bool { return now >= w.From && now < w.Until }
+
+// CrashWaves builds a churn schedule: waves evenly spaced every period
+// starting at start, each crashing a fresh rng-sampled fraction of hosts
+// for downFor of virtual time. The schedule depends only on the rng stream
+// and the host list, so a split-labelled source reproduces it exactly.
+func CrashWaves(rng *simrand.Source, hosts []topology.NodeID, waves int, start, period, downFor Time, fraction float64) []ChurnWave {
+	if fraction < 0 {
+		fraction = 0
+	}
+	k := int(fraction * float64(len(hosts)))
+	out := make([]ChurnWave, 0, waves)
+	for w := 0; w < waves; w++ {
+		down := make(map[topology.NodeID]struct{}, k)
+		for _, idx := range rng.Sample(len(hosts), k) {
+			down[hosts[idx]] = struct{}{}
+		}
+		from := start + Time(w)*period
+		out = append(out, ChurnWave{From: from, Until: from + downFor, Down: down})
+	}
+	return out
+}
+
+// FaultPlan is a complete, replayable failure schedule. The zero value
+// injects nothing. Plans are immutable once installed on an Env; all
+// methods are read-only and safe for concurrent use.
+type FaultPlan struct {
+	// Seed roots the per-probe loss stream.
+	Seed uint64
+	// LossRate drops each probe independently with this probability.
+	LossRate float64
+	// LossExempt links touching these hosts never lose probes (typically
+	// the landmark infrastructure, mirroring NodeJitter.Exempt).
+	LossExempt map[topology.NodeID]struct{}
+	// Slow lists slow-link degradation windows.
+	Slow []SlowWindow
+	// Partitions lists network cuts.
+	Partitions []PartitionWindow
+	// Churn lists crash/recover waves.
+	Churn []ChurnWave
+}
+
+// DownAt reports whether the churn schedule has host crashed at now.
+func (p *FaultPlan) DownAt(host topology.NodeID, now Time) bool {
+	for _, w := range p.Churn {
+		if !w.active(now) {
+			continue
+		}
+		if _, down := w.Down[host]; down {
+			return true
+		}
+	}
+	return false
+}
+
+// Severed reports whether a partition separates a and b at now.
+func (p *FaultPlan) Severed(a, b topology.NodeID, now Time) bool {
+	for _, w := range p.Partitions {
+		if !w.active(now) {
+			continue
+		}
+		_, inA := w.SideA[a]
+		_, inB := w.SideA[b]
+		if inA != inB {
+			return true
+		}
+	}
+	return false
+}
+
+// SlowFactor returns the combined latency inflation for the (a, b) link at
+// now; 1 when no window applies. Overlapping windows compound.
+func (p *FaultPlan) SlowFactor(a, b topology.NodeID, now Time) float64 {
+	f := 1.0
+	for _, w := range p.Slow {
+		if !w.active(now) || w.Factor <= 1 {
+			continue
+		}
+		if len(w.Hosts) > 0 {
+			_, hitA := w.Hosts[a]
+			_, hitB := w.Hosts[b]
+			if !hitA && !hitB {
+				continue
+			}
+		}
+		f *= w.Factor
+	}
+	return f
+}
+
+// DropProbe reports whether the seq-th probe of the run, on link (a, b),
+// is lost. The decision hashes (Seed, a, b, seq), so a fixed seed and a
+// fixed probe ordering replay an identical drop trace.
+func (p *FaultPlan) DropProbe(a, b topology.NodeID, seq uint64) bool {
+	if p.LossRate <= 0 {
+		return false
+	}
+	if _, ok := p.LossExempt[a]; ok {
+		return false
+	}
+	if _, ok := p.LossExempt[b]; ok {
+		return false
+	}
+	return unitFrom(pairHash(p.Seed^lossSeedSalt, a, b, int64(seq))) < p.LossRate
+}
+
+// lossSeedSalt decorrelates the loss stream from the jitter streams that
+// share pairHash.
+const lossSeedSalt = 0xfa17ab1e5eed
+
+// Shifted returns a copy of the plan with every scheduled window moved
+// forward by d. Plans are authored against t=0; shifting rebases one onto
+// a clock that has already advanced (for example between experiment runs
+// sharing an Env), so the same relative schedule replays. Host sets are
+// shared with the original, and the probe-loss stream is unaffected: it
+// keys on probe sequence, not time.
+func (p *FaultPlan) Shifted(d Time) *FaultPlan {
+	if p == nil || d == 0 {
+		return p
+	}
+	q := *p
+	q.Slow = make([]SlowWindow, len(p.Slow))
+	for i, w := range p.Slow {
+		w.From += d
+		w.Until += d
+		q.Slow[i] = w
+	}
+	q.Partitions = make([]PartitionWindow, len(p.Partitions))
+	for i, w := range p.Partitions {
+		w.From += d
+		w.Until += d
+		q.Partitions[i] = w
+	}
+	q.Churn = make([]ChurnWave, len(p.Churn))
+	for i, w := range p.Churn {
+		w.From += d
+		w.Until += d
+		q.Churn[i] = w
+	}
+	return &q
+}
+
+// Trace renders the plan's scheduled events in virtual-time order, for
+// logging and for determinism assertions in tests. Probabilistic loss is
+// summarized by its rate; scheduled windows are listed explicitly.
+func (p *FaultPlan) Trace() []string {
+	type ev struct {
+		at   Time
+		line string
+	}
+	var evs []ev
+	for i, w := range p.Partitions {
+		evs = append(evs, ev{w.From, line("partition", i, w.From, w.Until, len(w.SideA))})
+	}
+	for i, w := range p.Slow {
+		evs = append(evs, ev{w.From, line("slow", i, w.From, w.Until, len(w.Hosts))})
+	}
+	for i, w := range p.Churn {
+		evs = append(evs, ev{w.From, line("churn", i, w.From, w.Until, len(w.Down))})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	out := make([]string, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, e.line)
+	}
+	return out
+}
+
+func line(kind string, i int, from, until Time, n int) string {
+	return fmt.Sprintf("%s[%d] from=%v until=%v hosts=%d", kind, i, from, until, n)
+}

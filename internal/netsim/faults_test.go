@@ -1,0 +1,252 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+func testNet(t *testing.T) *topology.Network {
+	t.Helper()
+	return topology.MustGenerate(topology.Spec{
+		TransitDomains:        2,
+		TransitNodesPerDomain: 2,
+		StubsPerTransitNode:   2,
+		NodesPerStub:          4,
+		Latency:               topology.GTITMLatency(),
+	}, simrand.New(7))
+}
+
+// probeTrace replays a fixed probe schedule against an Env and returns
+// which probes timed out.
+func probeTrace(e *Env, hosts []topology.NodeID, rounds int) []bool {
+	var out []bool
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < len(hosts); i++ {
+			for j := i + 1; j < len(hosts); j++ {
+				out = append(out, math.IsInf(e.ProbeRTT(hosts[i], hosts[j]), 1))
+			}
+		}
+		e.Clock().Advance(10)
+	}
+	return out
+}
+
+func TestFaultPlanLossDeterministic(t *testing.T) {
+	net := testNet(t)
+	hosts := net.StubHosts()
+	plan := &FaultPlan{Seed: 42, LossRate: 0.3}
+
+	mk := func() []bool {
+		e := New(net)
+		e.SetFaultPlan(plan)
+		return probeTrace(e, hosts, 3)
+	}
+	a, b := mk(), mk()
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe %d diverged between identical runs", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("loss rate 0.3 dropped %d of %d probes", drops, len(a))
+	}
+
+	// A different seed must give a different trace.
+	e := New(net)
+	e.SetFaultPlan(&FaultPlan{Seed: 43, LossRate: 0.3})
+	c := probeTrace(e, hosts, 3)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical drop traces")
+	}
+}
+
+func TestFaultPlanLossExempt(t *testing.T) {
+	net := testNet(t)
+	hosts := net.StubHosts()
+	lm := hosts[0]
+	plan := &FaultPlan{Seed: 1, LossRate: 1,
+		LossExempt: map[topology.NodeID]struct{}{lm: {}}}
+	e := New(net)
+	e.SetFaultPlan(plan)
+	if math.IsInf(e.ProbeRTT(lm, hosts[1]), 1) {
+		t.Fatal("probe touching an exempt host was dropped")
+	}
+	if !math.IsInf(e.ProbeRTT(hosts[1], hosts[2]), 1) {
+		t.Fatal("rate-1 loss did not drop a non-exempt probe")
+	}
+}
+
+func TestBisectByStubPartitionWindow(t *testing.T) {
+	net := testNet(t)
+	plan := &FaultPlan{Partitions: []PartitionWindow{BisectByStub(net, 100, 200)}}
+	e := New(net)
+	e.SetFaultPlan(plan)
+
+	// Find a cross-cut and a same-side pair of stub hosts.
+	w := plan.Partitions[0]
+	var inA, inB, inA2 topology.NodeID = -1, -1, -1
+	for _, h := range net.StubHosts() {
+		if _, ok := w.SideA[h]; ok {
+			if inA < 0 {
+				inA = h
+			} else if inA2 < 0 {
+				inA2 = h
+			}
+		} else if inB < 0 {
+			inB = h
+		}
+	}
+	if inA < 0 || inB < 0 || inA2 < 0 {
+		t.Fatal("bisection did not split the stub hosts")
+	}
+
+	// Before the window: all reachable.
+	if math.IsInf(e.ProbeRTT(inA, inB), 1) {
+		t.Fatal("severed before the partition window")
+	}
+	e.Clock().Advance(150)
+	if !math.IsInf(e.ProbeRTT(inA, inB), 1) {
+		t.Fatal("cross-cut probe survived during the partition")
+	}
+	if math.IsInf(e.ProbeRTT(inA, inA2), 1) {
+		t.Fatal("same-side probe severed during the partition")
+	}
+	e.Clock().Advance(100) // past Until: healed
+	if math.IsInf(e.ProbeRTT(inA, inB), 1) {
+		t.Fatal("partition did not heal after the window")
+	}
+}
+
+func TestCrashWavesScheduleAndRecovery(t *testing.T) {
+	net := testNet(t)
+	hosts := net.StubHosts()
+	rng := simrand.New(5).Split("churn")
+	waves := CrashWaves(rng, hosts, 2, 100, 300, 150, 0.25)
+	if len(waves) != 2 {
+		t.Fatalf("built %d waves", len(waves))
+	}
+	want := int(0.25 * float64(len(hosts)))
+	for i, w := range waves {
+		if len(w.Down) != want {
+			t.Fatalf("wave %d crashes %d hosts, want %d", i, len(w.Down), want)
+		}
+	}
+	// Same rng path rebuilds the identical schedule.
+	again := CrashWaves(simrand.New(5).Split("churn"), hosts, 2, 100, 300, 150, 0.25)
+	for i := range waves {
+		for h := range waves[i].Down {
+			if _, ok := again[i].Down[h]; !ok {
+				t.Fatalf("wave %d differs across identical seeds", i)
+			}
+		}
+	}
+
+	plan := &FaultPlan{Churn: waves}
+	e := New(net)
+	e.SetFaultPlan(plan)
+	var victim topology.NodeID = -1
+	for h := range waves[0].Down {
+		victim = h
+		break
+	}
+	if e.Crashed(victim) {
+		t.Fatal("victim down before its wave")
+	}
+	e.Clock().Advance(120) // inside wave 0
+	if !e.Crashed(victim) {
+		t.Fatal("victim alive inside its wave")
+	}
+	if !math.IsInf(e.ProbeRTT(victim, hosts[0]), 1) && victim != hosts[0] {
+		t.Fatal("probe to crashed host did not time out")
+	}
+	e.Clock().Advance(200) // past wave 0's Until (100+150), before wave 1 (400)
+	if e.Crashed(victim) {
+		t.Fatal("victim did not recover after its wave")
+	}
+}
+
+func TestSlowWindowInflatesRTT(t *testing.T) {
+	net := testNet(t)
+	hosts := net.StubHosts()
+	a, b := hosts[0], hosts[1]
+	e := New(net)
+	base := e.ProbeRTT(a, b)
+	e.SetFaultPlan(&FaultPlan{Slow: []SlowWindow{{From: 0, Until: 100, Factor: 3}}})
+	got := e.ProbeRTT(a, b)
+	if math.Abs(got-3*base) > 1e-9 {
+		t.Fatalf("slow window RTT = %v, want %v", got, 3*base)
+	}
+	e.Clock().Advance(150)
+	if got := e.ProbeRTT(a, b); math.Abs(got-base) > 1e-9 {
+		t.Fatalf("RTT after window = %v, want %v", got, base)
+	}
+}
+
+// TestSetDownWithPerturbation pins the SetDown × Perturbation interplay:
+// a probe on a downed host must return +Inf and still cost a probe even
+// when a latency perturbation is installed.
+func TestSetDownWithPerturbation(t *testing.T) {
+	net := testNet(t)
+	hosts := net.StubHosts()
+	a, b := hosts[0], hosts[1]
+	e := New(net)
+	e.SetPerturbation(StaticJitter{Seed: 9, Amplitude: 0.5})
+	e.SetDown(b, true)
+
+	before := e.Probes()
+	if rtt := e.ProbeRTT(a, b); !math.IsInf(rtt, 1) {
+		t.Fatalf("probe to downed host under perturbation = %v, want +Inf", rtt)
+	}
+	if e.Probes() != before+1 {
+		t.Fatalf("timed-out probe not metered: %d -> %d", before, e.Probes())
+	}
+	// Same with a fault plan installed on top.
+	e.SetFaultPlan(&FaultPlan{Seed: 3})
+	if rtt := e.ProbeRTT(a, b); !math.IsInf(rtt, 1) {
+		t.Fatalf("probe with plan installed = %v, want +Inf", rtt)
+	}
+	if e.Probes() != before+2 {
+		t.Fatal("plan path dropped the probe accounting")
+	}
+	// Recovery restores finite, perturbed RTTs.
+	e.SetDown(b, false)
+	if rtt := e.ProbeRTT(a, b); math.IsInf(rtt, 1) || rtt <= 0 {
+		t.Fatalf("recovered probe = %v", rtt)
+	}
+}
+
+func TestFaultPlanTraceOrdered(t *testing.T) {
+	net := testNet(t)
+	plan := &FaultPlan{
+		Partitions: []PartitionWindow{BisectByStub(net, 500, 600)},
+		Slow:       []SlowWindow{{From: 50, Until: 80, Factor: 2}},
+		Churn:      CrashWaves(simrand.New(1), net.StubHosts(), 1, 200, 100, 100, 0.5),
+	}
+	tr := plan.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace has %d events: %v", len(tr), tr)
+	}
+	// Virtual-time order: slow (50), churn (200), partition (500).
+	for i, prefix := range []string{"slow", "churn", "partition"} {
+		if len(tr[i]) < len(prefix) || tr[i][:len(prefix)] != prefix {
+			t.Fatalf("trace[%d] = %q, want %s event", i, tr[i], prefix)
+		}
+	}
+}

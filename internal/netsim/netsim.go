@@ -71,6 +71,7 @@ type Env struct {
 	net     *topology.Network
 	clock   *Clock
 	perturb Perturbation
+	plan    *FaultPlan
 
 	probes int64 // atomic
 
@@ -98,6 +99,14 @@ func (e *Env) Clock() *Clock { return e.clock }
 // SetPerturbation installs (or clears, with nil) the latency perturbation.
 func (e *Env) SetPerturbation(p Perturbation) { e.perturb = p }
 
+// SetFaultPlan installs (or clears, with nil) the failure schedule. Like
+// SetPerturbation it must be called before concurrent probing starts; the
+// plan itself is immutable and replayable.
+func (e *Env) SetFaultPlan(p *FaultPlan) { e.plan = p }
+
+// FaultPlan returns the installed failure schedule, or nil.
+func (e *Env) FaultPlan() *FaultPlan { return e.plan }
+
 // Latency returns the current (possibly perturbed) one-way latency between
 // a and b. It does NOT count as a measurement; it is the simulator's
 // ground truth used for routing costs and oracle comparisons.
@@ -113,13 +122,32 @@ func (e *Env) Latency(a, b topology.NodeID) float64 {
 // the probe counter. This is what the paper's algorithms spend; every call
 // is one unit on the "# RTT measurements" axes. Probing a crashed host
 // returns +Inf (the probe times out) — and still costs a probe.
+// The probe sequence number feeds the fault plan's loss stream: a fixed
+// seed plus a fixed probe ordering replays an identical drop trace (note
+// ResetProbes therefore also rewinds the loss stream).
 func (e *Env) ProbeRTT(a, b topology.NodeID) float64 {
-	atomic.AddInt64(&e.probes, 1)
+	seq := uint64(atomic.AddInt64(&e.probes, 1))
 	globalProbes.Inc()
-	if e.IsDown(a) || e.IsDown(b) {
+	if e.Crashed(a) || e.Crashed(b) {
 		return math.Inf(1)
 	}
+	if p := e.plan; p != nil {
+		now := e.clock.Now()
+		if p.Severed(a, b, now) || p.DropProbe(a, b, seq) {
+			return math.Inf(1)
+		}
+		return 2 * e.Latency(a, b) * p.SlowFactor(a, b, now)
+	}
 	return 2 * e.Latency(a, b)
+}
+
+// Crashed reports whether a host is down, either manually (SetDown) or by
+// the fault plan's churn schedule at the current virtual time.
+func (e *Env) Crashed(host topology.NodeID) bool {
+	if e.IsDown(host) {
+		return true
+	}
+	return e.plan != nil && e.plan.DownAt(host, e.clock.Now())
 }
 
 // SetDown marks a host as crashed (true) or recovered (false). Crashed

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// Serve/dial fast-path benchmarks: the resilience layer (retry wrapper,
+// breaker check) must not measurably slow the no-fault path. Compare
+// PingDirect (bare package helper, single attempt) against PingResilient
+// (node-side call through breaker + retry machinery) — the two should sit
+// within noise of each other, since a healthy call takes the first
+// attempt with no backoff and one mutex-guarded breaker check.
+
+func benchTargets(b *testing.B) (*Node, *Node) {
+	b.Helper()
+	server, err := NewNode("127.0.0.1:0", stubCfg(), nil, time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = server.Close() })
+	client, err := NewNode("127.0.0.1:0", stubCfg(), nil, time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = client.Close() })
+	return server, client
+}
+
+func BenchmarkPingDirect(b *testing.B) {
+	server, _ := benchTargets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Ping(server.Addr(), time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPingResilient(b *testing.B) {
+	server, client := benchTargets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ping(server.Addr(), time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeQuery(b *testing.B) {
+	server, _ := benchTargets(b)
+	rec := Record{Addr: "x:1", Number: 12, ExpiresUnixMilli: time.Now().Add(time.Hour).UnixMilli()}
+	if err := Store(server.Addr(), rec, time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Query(server.Addr(), 12, 4, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreReplicated(b *testing.B) {
+	// Full Publish path minus measurement: store one record at both ring
+	// owners, the k=2 soft-state write amplification.
+	server, client := benchTargets(b)
+	server2, err := NewNode("127.0.0.1:0", stubCfg(), nil, time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = server2.Close() })
+	rec := Record{Addr: client.Addr(), Number: 5, ExpiresUnixMilli: time.Now().Add(time.Hour).UnixMilli()}
+	owners := []string{server.Addr(), server2.Addr()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range owners {
+			if err := client.store(o, rec, time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultProxy is a TCP fault injector for integration tests against real
+// nodes: it listens on an ephemeral port and forwards connections to a
+// backend address, but — per its current knobs — drops connections at
+// accept (connection loss), black-holes them (accepted, never answered,
+// the client's deadline fires), or delays them before forwarding (slow
+// link). Decisions draw from a seeded PCG stream, so a fixed seed and a
+// fixed connection order replay the same fault trace.
+//
+// Point a cluster's peer (or landmark) list at proxy addresses to put
+// every Store/Query/Ping of the real stack through the injector.
+type FaultProxy struct {
+	backend string
+	ln      net.Listener
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	loss      float64
+	delay     time.Duration
+	blackhole bool
+	closed    bool
+
+	dropped    atomic.Int64
+	blackholed atomic.Int64
+	forwarded  atomic.Int64
+}
+
+// NewFaultProxy starts a proxy in front of backend, listening on an
+// ephemeral localhost port, injecting nothing until knobs are set.
+func NewFaultProxy(backend string, seed uint64) (*FaultProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &FaultProxy{
+		backend: backend,
+		ln:      ln,
+		stop:    make(chan struct{}),
+		rng:     rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's dialable address.
+func (p *FaultProxy) Addr() string { return p.ln.Addr().String() }
+
+// Backend returns the address the proxy forwards to.
+func (p *FaultProxy) Backend() string { return p.backend }
+
+// SetLoss drops each incoming connection independently with probability
+// rate (the client sees a reset/EOF, the retry layer's bread and butter).
+func (p *FaultProxy) SetLoss(rate float64) {
+	p.mu.Lock()
+	p.loss = rate
+	p.mu.Unlock()
+}
+
+// SetDelay holds each forwarded connection for d before dialing the
+// backend, modeling a degraded link.
+func (p *FaultProxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// SetBlackhole accepts connections but never forwards or answers them;
+// clients hang until their own deadline fires — the failure mode that
+// distinguishes a timeout from a refused dial.
+func (p *FaultProxy) SetBlackhole(on bool) {
+	p.mu.Lock()
+	p.blackhole = on
+	p.mu.Unlock()
+}
+
+// Dropped returns how many connections were dropped at accept.
+func (p *FaultProxy) Dropped() int64 { return p.dropped.Load() }
+
+// Blackholed returns how many connections were black-holed.
+func (p *FaultProxy) Blackholed() int64 { return p.blackholed.Load() }
+
+// Forwarded returns how many connections reached the backend.
+func (p *FaultProxy) Forwarded() int64 { return p.forwarded.Load() }
+
+// Close stops accepting, unblocks black-holed and delayed connections,
+// and waits for the pipes to drain.
+func (p *FaultProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *FaultProxy) serve() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		drop, delay, blackhole := p.decide()
+		if drop {
+			p.dropped.Add(1)
+			_ = conn.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.pipe(conn, delay, blackhole)
+	}
+}
+
+// decide samples the fate of one connection under the current knobs.
+func (p *FaultProxy) decide() (drop bool, delay time.Duration, blackhole bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.loss > 0 && p.rng.Float64() < p.loss {
+		drop = true
+	}
+	return drop, p.delay, p.blackhole
+}
+
+func (p *FaultProxy) pipe(client net.Conn, delay time.Duration, blackhole bool) {
+	defer p.wg.Done()
+	defer client.Close()
+	if blackhole {
+		p.blackholed.Add(1)
+		// Swallow the client's bytes until it gives up (its deadline) or
+		// the proxy closes; never answer.
+		readDone := make(chan struct{})
+		go func() {
+			_, _ = io.Copy(io.Discard, client)
+			close(readDone)
+		}()
+		select {
+		case <-p.stop:
+		case <-readDone:
+		}
+		return
+	}
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-p.stop:
+			t.Stop()
+			return
+		}
+	}
+	server, err := net.DialTimeout("tcp", p.backend, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	p.forwarded.Add(1)
+	// One request/response per connection in this protocol, so the pipes
+	// are short-lived; bound them anyway against wedged endpoints.
+	deadline := time.Now().Add(time.Minute)
+	_ = client.SetDeadline(deadline)
+	_ = server.SetDeadline(deadline)
+	var once sync.Once
+	closeBoth := func() { _ = client.Close(); _ = server.Close() }
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_, _ = io.Copy(server, client)
+		once.Do(closeBoth)
+	}()
+	_, _ = io.Copy(client, server)
+	once.Do(closeBoth)
+}

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultProxyForwards(t *testing.T) {
+	n := startNode(t, stubCfg(), nil)
+	p, err := NewFaultProxy(n.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := Ping(p.Addr(), testTimeout); err != nil {
+		t.Fatalf("ping through clean proxy: %v", err)
+	}
+	rec := Record{Addr: "x:1", Number: 9, ExpiresUnixMilli: time.Now().Add(time.Minute).UnixMilli()}
+	if err := Store(p.Addr(), rec, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Query(p.Addr(), 9, 4, testTimeout); err != nil || len(got) != 1 {
+		t.Fatalf("query through proxy = %v, %v", got, err)
+	}
+	if p.Forwarded() != 3 || p.Dropped() != 0 {
+		t.Fatalf("forwarded=%d dropped=%d", p.Forwarded(), p.Dropped())
+	}
+}
+
+func TestFaultProxyLossHealedByRetry(t *testing.T) {
+	n := startNode(t, stubCfg(), nil)
+	p, err := NewFaultProxy(n.Addr(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetLoss(0.5)
+
+	pol := RetryPolicy{MaxAttempts: 12, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	for i := 0; i < 10; i++ {
+		if _, err := Ping(p.Addr(), testTimeout, pol); err != nil {
+			t.Fatalf("ping %d through 50%% loss with retries: %v", i, err)
+		}
+	}
+	if p.Dropped() == 0 {
+		t.Fatal("loss rate 0.5 dropped nothing across 10+ connections")
+	}
+}
+
+func TestFaultProxyBlackholeTimesOut(t *testing.T) {
+	n := startNode(t, stubCfg(), nil)
+	p, err := NewFaultProxy(n.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetBlackhole(true)
+
+	start := time.Now()
+	if _, err := Ping(p.Addr(), 150*time.Millisecond); err == nil {
+		t.Fatal("ping through blackhole succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("blackhole failed fast (%v); it must hang until the deadline", elapsed)
+	}
+	if p.Blackholed() != 1 {
+		t.Fatalf("blackholed = %d", p.Blackholed())
+	}
+	// Close with a blackholed connection pending must not hang.
+	p.SetBlackhole(false)
+}
+
+func TestFaultProxyDelay(t *testing.T) {
+	n := startNode(t, stubCfg(), nil)
+	p, err := NewFaultProxy(n.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDelay(80 * time.Millisecond)
+
+	start := time.Now()
+	if _, err := Ping(p.Addr(), testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("delayed ping returned in %v", elapsed)
+	}
+}
+
+func TestFaultProxyCloseIdempotent(t *testing.T) {
+	n := startNode(t, stubCfg(), nil)
+	p, err := NewFaultProxy(n.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,9 +15,15 @@ type nodeMetrics struct {
 	// "other" slot bounds label cardinality against garbage frames.
 	requests map[MsgType]*obs.Counter
 	errors   map[MsgType]*obs.Counter
+	retries  map[MsgType]*obs.Counter
 	serve    *obs.Histogram
 	dial     *obs.Histogram
 	records  *obs.Gauge
+
+	failover        *obs.Counter
+	refreshFailures *obs.Counter
+	vectorFallback  *obs.Counter
+	breakerState    *obs.GaugeVec // one series per peer, resolved lazily
 }
 
 // knownRequestTypes are the request types a node serves (response types
@@ -35,10 +41,13 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 		"Requests served, by message type.", "type")
 	errors := reg.Counter("wire_request_errors_total",
 		"Requests answered with an error, by message type.", "type")
+	retries := reg.Counter("wire_retries_total",
+		"Client call re-attempts after transport failures, by message type.", "type")
 	m := &nodeMetrics{
 		reg:      reg,
 		requests: make(map[MsgType]*obs.Counter, len(knownRequestTypes)+1),
 		errors:   make(map[MsgType]*obs.Counter, len(knownRequestTypes)+1),
+		retries:  make(map[MsgType]*obs.Counter, len(knownRequestTypes)+1),
 		serve: reg.Histogram("wire_serve_latency_ms",
 			"Time to serve one request, milliseconds.", obs.DefBuckets).With(),
 		dial: reg.Histogram("wire_dial_rtt_ms",
@@ -46,13 +55,23 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 			obs.DefBuckets).With(),
 		records: reg.Gauge("wire_records",
 			"Soft-state records currently stored on this node.").With(),
+		failover: reg.Counter("wire_failover_total",
+			"Queries served by a replica owner after the primary failed.").With(),
+		refreshFailures: reg.Counter("wire_refresh_failures_total",
+			"Refresh-loop publishes that failed (healed on a later tick).").With(),
+		vectorFallback: reg.Counter("wire_vector_fallback_total",
+			"Landmark dimensions filled from the last known RTT because the landmark was unreachable.").With(),
+		breakerState: reg.Gauge("wire_breaker_state",
+			"Per-peer failure detector state: 0 closed, 1 half-open, 2 open.", "peer"),
 	}
 	for _, t := range knownRequestTypes {
 		m.requests[t] = requests.With(string(t))
 		m.errors[t] = errors.With(string(t))
+		m.retries[t] = retries.With(string(t))
 	}
 	m.requests[msgTypeOther] = requests.With(msgTypeOther)
 	m.errors[msgTypeOther] = errors.With(msgTypeOther)
+	m.retries[msgTypeOther] = retries.With(msgTypeOther)
 	return m
 }
 
@@ -70,6 +89,14 @@ func (m *nodeMetrics) err(t MsgType) *obs.Counter {
 		return c
 	}
 	return m.errors[msgTypeOther]
+}
+
+// retry returns the retry counter for a message type.
+func (m *nodeMetrics) retry(t MsgType) *obs.Counter {
+	if c, ok := m.retries[t]; ok {
+		return c
+	}
+	return m.retries[msgTypeOther]
 }
 
 // observeDial records one client-side round trip.

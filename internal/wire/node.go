@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"sort"
@@ -65,12 +66,90 @@ func (c SpaceConfig) Number(vector []float64) (uint64, error) {
 	return curve.Encode(coords)
 }
 
+// nodeOptions collects the tunables a Node is built with; NodeOption
+// values mutate it.
+type nodeOptions struct {
+	handleTimeout    time.Duration
+	retry            RetryPolicy
+	replication      int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	logger           *slog.Logger
+}
+
+func defaultOptions() nodeOptions {
+	return nodeOptions{
+		handleTimeout:    10 * time.Second,
+		retry:            DefaultRetryPolicy(),
+		replication:      2,
+		breakerThreshold: 3,
+		breakerCooldown:  2 * time.Second,
+		logger:           slog.Default(),
+	}
+}
+
+// NodeOption customizes a Node at construction.
+type NodeOption func(*nodeOptions)
+
+// WithHandleTimeout sets the server-side per-connection deadline (default
+// 10s).
+func WithHandleTimeout(d time.Duration) NodeOption {
+	return func(o *nodeOptions) {
+		if d > 0 {
+			o.handleTimeout = d
+		}
+	}
+}
+
+// WithRetryPolicy sets the retry policy the node's client calls (pings,
+// stores, queries) run under.
+func WithRetryPolicy(p RetryPolicy) NodeOption {
+	return func(o *nodeOptions) { o.retry = p.normalized() }
+}
+
+// WithReplication sets how many ring owners receive the node's record on
+// Publish (default 2; clamped to the peer count). Queries fail over down
+// the same owner list.
+func WithReplication(k int) NodeOption {
+	return func(o *nodeOptions) {
+		if k >= 1 {
+			o.replication = k
+		}
+	}
+}
+
+// WithBreaker tunes the per-peer failure detector: threshold consecutive
+// call failures open the breaker; open calls fail fast for cooldown, then
+// one half-open probe decides.
+func WithBreaker(threshold int, cooldown time.Duration) NodeOption {
+	return func(o *nodeOptions) {
+		if threshold >= 1 {
+			o.breakerThreshold = threshold
+		}
+		if cooldown > 0 {
+			o.breakerCooldown = cooldown
+		}
+	}
+}
+
+// WithLogger sets the node's structured logger (default slog.Default()).
+// The node logs only at debug level: refresh failures, replica store
+// failures, landmark fallbacks.
+func WithLogger(l *slog.Logger) NodeOption {
+	return func(o *nodeOptions) {
+		if l != nil {
+			o.logger = l
+		}
+	}
+}
+
 // Node is one wire participant: a TCP server holding a shard of the
 // soft-state plus a client side for measuring, publishing and querying.
 type Node struct {
 	cfg   SpaceConfig
 	peers []string // full deployment peer list, sorted; owner = number ring
 	ttl   time.Duration
+	opt   nodeOptions
 
 	ln      net.Listener
 	addr    string
@@ -81,6 +160,12 @@ type Node struct {
 	records map[string]Record // by Addr
 	closed  bool
 	wg      sync.WaitGroup
+
+	// Per-peer failure detectors and the last known landmark RTTs used
+	// for graceful degradation, both client-side state.
+	bmu      sync.Mutex
+	breakers map[string]*breaker
+	lastRTT  []float64 // by landmark index; NaN = never measured
 }
 
 // NewNode creates a node listening on listenAddr (use "127.0.0.1:0" for
@@ -88,33 +173,43 @@ type Node struct {
 // (including this node once started); ttl bounds record lifetime. The
 // node gets a private telemetry registry; use NewNodeWithRegistry to
 // share one across co-located nodes.
-func NewNode(listenAddr string, cfg SpaceConfig, peers []string, ttl time.Duration) (*Node, error) {
-	return NewNodeWithRegistry(listenAddr, cfg, peers, ttl, nil)
+func NewNode(listenAddr string, cfg SpaceConfig, peers []string, ttl time.Duration, opts ...NodeOption) (*Node, error) {
+	return NewNodeWithRegistry(listenAddr, cfg, peers, ttl, nil, opts...)
 }
 
 // NewNodeWithRegistry is NewNode with an explicit telemetry registry
 // (nil creates a fresh one). Sharing a registry aggregates the metrics
 // of several nodes in one process, as cmd/overlayd's demo mode does.
-func NewNodeWithRegistry(listenAddr string, cfg SpaceConfig, peers []string, ttl time.Duration, reg *obs.Registry) (*Node, error) {
+func NewNodeWithRegistry(listenAddr string, cfg SpaceConfig, peers []string, ttl time.Duration, reg *obs.Registry, opts ...NodeOption) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if ttl <= 0 {
 		return nil, errors.New("wire: ttl must be > 0")
 	}
+	opt := defaultOptions()
+	for _, o := range opts {
+		o(&opt)
+	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{
-		cfg:     cfg,
-		peers:   append([]string(nil), peers...),
-		ttl:     ttl,
-		ln:      ln,
-		addr:    ln.Addr().String(),
-		stop:    make(chan struct{}),
-		metrics: newNodeMetrics(reg),
-		records: make(map[string]Record),
+		cfg:      cfg,
+		peers:    append([]string(nil), peers...),
+		ttl:      ttl,
+		opt:      opt,
+		ln:       ln,
+		addr:     ln.Addr().String(),
+		stop:     make(chan struct{}),
+		metrics:  newNodeMetrics(reg),
+		records:  make(map[string]Record),
+		breakers: make(map[string]*breaker),
+		lastRTT:  make([]float64, len(cfg.Landmarks)),
+	}
+	for i := range n.lastRTT {
+		n.lastRTT[i] = math.NaN()
 	}
 	sort.Strings(n.peers)
 	n.wg.Add(1)
@@ -163,7 +258,10 @@ func (n *Node) StartRefresh(interval time.Duration, pings int, timeout time.Dura
 			case <-n.stop:
 				return
 			case <-ticker.C:
-				_, _ = n.Publish(pings, timeout)
+				if _, err := n.Publish(pings, timeout); err != nil {
+					n.metrics.refreshFailures.Inc()
+					n.opt.logger.Debug("wire: refresh publish failed", "node", n.addr, "err", err)
+				}
 			}
 		}
 	}()
@@ -188,7 +286,7 @@ func (n *Node) serve() {
 // handle serves one connection: one request, one response.
 func (n *Node) handle(conn net.Conn) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(n.opt.handleTimeout))
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	req, err := ReadMessage(br)
@@ -275,46 +373,167 @@ func (n *Node) RecordCount() int {
 	return len(n.records)
 }
 
+// breakerFor returns (creating on first use) the failure detector for a
+// peer address.
+func (n *Node) breakerFor(addr string) *breaker {
+	n.bmu.Lock()
+	defer n.bmu.Unlock()
+	b, ok := n.breakers[addr]
+	if !ok {
+		b = newBreaker(n.opt.breakerThreshold, n.opt.breakerCooldown,
+			n.metrics.breakerState.With(addr))
+		n.breakers[addr] = b
+	}
+	return b
+}
+
+// errBreakerOpen fails calls fast while a peer's breaker is open.
+var errBreakerOpen = errors.New("wire: circuit breaker open")
+
+// call runs one client RPC to addr through the per-peer failure detector
+// and the node's retry policy. attempt performs a single round trip; it
+// is re-run on transport failures with backoff. The breaker counts whole
+// calls: retries happen inside one call, so only a call that exhausts its
+// attempt budget (or hits a permanent error) counts as a failure.
+func (n *Node) call(op MsgType, addr string, attempt func() error) error {
+	br := n.breakerFor(addr)
+	if !br.allow(time.Now()) {
+		return fmt.Errorf("%w for %s", errBreakerOpen, addr)
+	}
+	err := withRetry(n.opt.retry, func() { n.metrics.retry(op).Inc() }, n.stop, attempt)
+	if err != nil {
+		br.failure(time.Now())
+		return err
+	}
+	br.success()
+	return nil
+}
+
+// ping is the node-side Ping: breaker + retry + dial histogram. The RTT
+// times only the successful attempt.
+func (n *Node) ping(addr string, timeout time.Duration) (time.Duration, error) {
+	var rtt time.Duration
+	err := n.call(MsgPing, addr, func() error {
+		start := time.Now()
+		resp, err := roundTrip(addr, Message{Type: MsgPing, Seq: 1}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgPong {
+			return permanent(fmt.Errorf("wire: unexpected response %q to ping", resp.Type))
+		}
+		rtt = time.Since(start)
+		return nil
+	})
+	if err == nil {
+		n.metrics.observeDial(rtt)
+	}
+	return rtt, err
+}
+
+// store is the node-side Store under breaker + retry.
+func (n *Node) store(addr string, rec Record, timeout time.Duration) error {
+	return n.call(MsgStore, addr, func() error {
+		resp, err := roundTrip(addr, Message{Type: MsgStore, Seq: 2, Record: &rec}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgStored {
+			return permanent(fmt.Errorf("wire: unexpected response %q to store", resp.Type))
+		}
+		return nil
+	})
+}
+
+// query is the node-side Query under breaker + retry.
+func (n *Node) query(addr string, number uint64, max int, timeout time.Duration) ([]Record, error) {
+	var recs []Record
+	err := n.call(MsgQuery, addr, func() error {
+		resp, err := roundTrip(addr, Message{Type: MsgQuery, Seq: 3, Number: number, Max: max}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgRecords {
+			return permanent(fmt.Errorf("wire: unexpected response %q to query", resp.Type))
+		}
+		recs = resp.Records
+		return nil
+	})
+	return recs, err
+}
+
 // MeasureVector pings every landmark (pings per landmark, keeping the
 // minimum, as real deployments do to shed scheduler noise) and returns
 // the landmark vector in ms.
 func (n *Node) MeasureVector(pings int, timeout time.Duration) ([]float64, error) {
+	vec, _, err := n.MeasureVectorFull(pings, timeout)
+	return vec, err
+}
+
+// MeasureVectorFull is MeasureVector with graceful degradation made
+// visible: when a landmark is unreachable but was measured before, its
+// dimension is filled from the last known RTT and flagged in the returned
+// stale mask instead of failing the whole vector. Only a landmark that
+// has never been measured makes the call fail — with no prior, a made-up
+// coordinate would place the node arbitrarily in the space.
+func (n *Node) MeasureVectorFull(pings int, timeout time.Duration) (vec []float64, stale []bool, err error) {
 	if pings < 1 {
 		pings = 1
 	}
-	vec := make([]float64, len(n.cfg.Landmarks))
+	vec = make([]float64, len(n.cfg.Landmarks))
+	stale = make([]bool, len(n.cfg.Landmarks))
 	for i, lm := range n.cfg.Landmarks {
 		best := math.Inf(1)
 		var lastErr error
 		for p := 0; p < pings; p++ {
-			rtt, err := Ping(lm, timeout)
+			rtt, err := n.ping(lm, timeout)
 			if err != nil {
 				lastErr = err
+				if errors.Is(err, errBreakerOpen) {
+					break // fail fast for the remaining pings too
+				}
 				continue
 			}
-			n.metrics.observeDial(rtt)
 			if ms := float64(rtt.Microseconds()) / 1000; ms < best {
 				best = ms
 			}
 		}
 		if math.IsInf(best, 1) {
-			return nil, fmt.Errorf("wire: landmark %s unreachable: %w", lm, lastErr)
+			if last, ok := n.lastKnownRTT(i); ok {
+				vec[i] = last
+				stale[i] = true
+				n.metrics.vectorFallback.Inc()
+				n.opt.logger.Debug("wire: landmark unreachable, using last known RTT",
+					"node", n.addr, "landmark", lm, "rtt_ms", last, "err", lastErr)
+				continue
+			}
+			return nil, nil, fmt.Errorf("wire: landmark %s unreachable: %w", lm, lastErr)
 		}
 		vec[i] = best
+		n.setLastKnownRTT(i, best)
 	}
-	return vec, nil
+	return vec, stale, nil
 }
 
-// OwnerOf returns the peer responsible for a landmark number: the peers
-// are laid out on the number ring in sorted-address order, and the owner
-// is the one whose slot covers the number (a one-hop ring).
-func (n *Node) OwnerOf(number uint64) string {
-	if len(n.peers) == 0 {
-		return n.addr
-	}
+// lastKnownRTT returns the cached RTT for a landmark index, if any.
+func (n *Node) lastKnownRTT(i int) (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v := n.lastRTT[i]
+	return v, !math.IsNaN(v)
+}
+
+func (n *Node) setLastKnownRTT(i int, ms float64) {
+	n.mu.Lock()
+	n.lastRTT[i] = ms
+	n.mu.Unlock()
+}
+
+// ownerSlot maps a landmark number to its primary slot on the peer ring.
+func (n *Node) ownerSlot(number uint64) int {
 	curve, err := n.cfg.curve()
 	if err != nil {
-		return n.peers[0]
+		return 0
 	}
 	span := curve.MaxIndex() + 1
 	var slot uint64
@@ -326,13 +545,50 @@ func (n *Node) OwnerOf(number uint64) string {
 	if slot >= uint64(len(n.peers)) {
 		slot = uint64(len(n.peers)) - 1
 	}
-	return n.peers[slot]
+	return int(slot)
 }
 
+// OwnerOf returns the peer responsible for a landmark number: the peers
+// are laid out on the number ring in sorted-address order, and the owner
+// is the one whose slot covers the number (a one-hop ring).
+func (n *Node) OwnerOf(number uint64) string {
+	if len(n.peers) == 0 {
+		return n.addr
+	}
+	return n.peers[n.ownerSlot(number)]
+}
+
+// OwnersOf returns the k peers responsible for a landmark number: the
+// primary owner followed by its ring successors. Replicated publishes
+// write to all of them; queries fail over down the same list, so records
+// survive any k-1 owner crashes until the next refresh.
+func (n *Node) OwnersOf(number uint64, k int) []string {
+	if len(n.peers) == 0 {
+		return []string{n.addr}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(n.peers) {
+		k = len(n.peers)
+	}
+	slot := n.ownerSlot(number)
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, n.peers[(slot+i)%len(n.peers)])
+	}
+	return out
+}
+
+// Replication returns the node's configured replication factor.
+func (n *Node) Replication() int { return n.opt.replication }
+
 // Publish measures this node's landmark vector, derives its number, and
-// stores its record at the owning peer. It returns the published record.
+// stores its record at the replication-factor nearest ring owners. It
+// succeeds if at least one replica is stored (soft-state heals the rest
+// on the next refresh) and returns the published record.
 func (n *Node) Publish(pings int, timeout time.Duration) (Record, error) {
-	vec, err := n.MeasureVector(pings, timeout)
+	vec, _, err := n.MeasureVectorFull(pings, timeout)
 	if err != nil {
 		return Record{}, err
 	}
@@ -346,17 +602,31 @@ func (n *Node) Publish(pings int, timeout time.Duration) (Record, error) {
 		Number:           num,
 		ExpiresUnixMilli: time.Now().Add(n.ttl).UnixMilli(),
 	}
-	if err := Store(n.OwnerOf(num), rec, timeout); err != nil {
-		return Record{}, err
+	owners := n.OwnersOf(num, n.opt.replication)
+	stored := 0
+	var lastErr error
+	for _, owner := range owners {
+		if err := n.store(owner, rec, timeout); err != nil {
+			lastErr = err
+			n.opt.logger.Debug("wire: replica store failed",
+				"node", n.addr, "owner", owner, "err", err)
+			continue
+		}
+		stored++
+	}
+	if stored == 0 {
+		return Record{}, fmt.Errorf("wire: publish: no owner of %d reachable: %w", num, lastErr)
 	}
 	return rec, nil
 }
 
 // FindNearest queries the soft-state for candidates near this node's
 // landmark position and RTT-probes up to budget of them, returning the
-// closest responding peer and its measured RTT.
+// closest responding peer and its measured RTT. The query fails over
+// down the owner list: a crashed primary's shard is served by the
+// replicas written at publish time.
 func (n *Node) FindNearest(budget int, timeout time.Duration) (string, time.Duration, error) {
-	vec, err := n.MeasureVector(1, timeout)
+	vec, _, err := n.MeasureVectorFull(1, timeout)
 	if err != nil {
 		return "", 0, err
 	}
@@ -364,9 +634,22 @@ func (n *Node) FindNearest(budget int, timeout time.Duration) (string, time.Dura
 	if err != nil {
 		return "", 0, err
 	}
-	recs, err := Query(n.OwnerOf(num), num, 3*budget, timeout)
-	if err != nil {
-		return "", 0, err
+	owners := n.OwnersOf(num, n.opt.replication)
+	var recs []Record
+	var qerr error
+	for i, owner := range owners {
+		recs, qerr = n.query(owner, num, 3*budget, timeout)
+		if qerr == nil {
+			if i > 0 {
+				n.metrics.failover.Inc()
+			}
+			break
+		}
+		n.opt.logger.Debug("wire: owner query failed",
+			"node", n.addr, "owner", owner, "err", qerr)
+	}
+	if qerr != nil {
+		return "", 0, fmt.Errorf("wire: all %d owners unreachable: %w", len(owners), qerr)
 	}
 	bestAddr := ""
 	bestRTT := time.Duration(math.MaxInt64)
@@ -378,11 +661,10 @@ func (n *Node) FindNearest(budget int, timeout time.Duration) (string, time.Dura
 		if probes >= budget {
 			break
 		}
-		rtt, err := Ping(rec.Addr, timeout)
+		rtt, err := n.ping(rec.Addr, timeout)
 		if err != nil {
 			continue // dead record: the reactive maintenance case
 		}
-		n.metrics.observeDial(rtt)
 		probes++
 		if rtt < bestRTT {
 			bestAddr, bestRTT = rec.Addr, rtt

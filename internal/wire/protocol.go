@@ -127,61 +127,86 @@ func roundTrip(addr string, req Message, timeout time.Duration) (Message, error)
 	if err != nil {
 		return Message{}, err
 	}
+	// Protocol-level failures are permanent: the peer is reachable and
+	// answering, so retrying the identical request cannot help.
 	if resp.Type == MsgError {
-		return resp, fmt.Errorf("wire: remote error: %s", resp.Err)
+		return resp, permanent(fmt.Errorf("wire: remote error: %s", resp.Err))
 	}
 	if resp.Seq != req.Seq {
-		return resp, fmt.Errorf("wire: response seq %d for request %d", resp.Seq, req.Seq)
+		return resp, permanent(fmt.Errorf("wire: response seq %d for request %d", resp.Seq, req.Seq))
 	}
 	return resp, nil
 }
 
-// Ping measures the RTT to addr with one request/response round trip.
-func Ping(addr string, timeout time.Duration) (time.Duration, error) {
-	start := time.Now()
-	resp, err := roundTrip(addr, Message{Type: MsgPing, Seq: 1}, timeout)
-	if err != nil {
-		return 0, err
-	}
-	if resp.Type != MsgPong {
-		return 0, fmt.Errorf("wire: unexpected response %q to ping", resp.Type)
-	}
-	return time.Since(start), nil
+// The client helpers below take an optional trailing RetryPolicy; without
+// one they perform a single attempt. Transport failures retry under the
+// policy (capped exponential backoff, full jitter); protocol errors never
+// retry.
+
+// Ping measures the RTT to addr with one request/response round trip. The
+// returned RTT times only the successful attempt.
+func Ping(addr string, timeout time.Duration, policy ...RetryPolicy) (time.Duration, error) {
+	var rtt time.Duration
+	err := withRetry(optPolicy(policy), nil, nil, func() error {
+		start := time.Now()
+		resp, err := roundTrip(addr, Message{Type: MsgPing, Seq: 1}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgPong {
+			return permanent(fmt.Errorf("wire: unexpected response %q to ping", resp.Type))
+		}
+		rtt = time.Since(start)
+		return nil
+	})
+	return rtt, err
 }
 
 // Store publishes a record to the peer at addr.
-func Store(addr string, rec Record, timeout time.Duration) error {
-	resp, err := roundTrip(addr, Message{Type: MsgStore, Seq: 2, Record: &rec}, timeout)
-	if err != nil {
-		return err
-	}
-	if resp.Type != MsgStored {
-		return fmt.Errorf("wire: unexpected response %q to store", resp.Type)
-	}
-	return nil
+func Store(addr string, rec Record, timeout time.Duration, policy ...RetryPolicy) error {
+	return withRetry(optPolicy(policy), nil, nil, func() error {
+		resp, err := roundTrip(addr, Message{Type: MsgStore, Seq: 2, Record: &rec}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgStored {
+			return permanent(fmt.Errorf("wire: unexpected response %q to store", resp.Type))
+		}
+		return nil
+	})
 }
 
 // Query asks the peer at addr for up to max records nearest to number.
-func Query(addr string, number uint64, max int, timeout time.Duration) ([]Record, error) {
-	resp, err := roundTrip(addr, Message{Type: MsgQuery, Seq: 3, Number: number, Max: max}, timeout)
-	if err != nil {
-		return nil, err
-	}
-	if resp.Type != MsgRecords {
-		return nil, fmt.Errorf("wire: unexpected response %q to query", resp.Type)
-	}
-	return resp.Records, nil
+func Query(addr string, number uint64, max int, timeout time.Duration, policy ...RetryPolicy) ([]Record, error) {
+	var recs []Record
+	err := withRetry(optPolicy(policy), nil, nil, func() error {
+		resp, err := roundTrip(addr, Message{Type: MsgQuery, Seq: 3, Number: number, Max: max}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgRecords {
+			return permanent(fmt.Errorf("wire: unexpected response %q to query", resp.Type))
+		}
+		recs = resp.Records
+		return nil
+	})
+	return recs, err
 }
 
 // FetchStats scrapes the telemetry snapshot of the peer at addr through
 // the STATS wire op.
-func FetchStats(addr string, timeout time.Duration) (obs.Snapshot, error) {
-	resp, err := roundTrip(addr, Message{Type: MsgStats, Seq: 4}, timeout)
-	if err != nil {
-		return obs.Snapshot{}, err
-	}
-	if resp.Type != MsgStatsReply || resp.Stats == nil {
-		return obs.Snapshot{}, fmt.Errorf("wire: unexpected response %q to stats", resp.Type)
-	}
-	return *resp.Stats, nil
+func FetchStats(addr string, timeout time.Duration, policy ...RetryPolicy) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := withRetry(optPolicy(policy), nil, nil, func() error {
+		resp, err := roundTrip(addr, Message{Type: MsgStats, Seq: 4}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgStatsReply || resp.Stats == nil {
+			return permanent(fmt.Errorf("wire: unexpected response %q to stats", resp.Type))
+		}
+		snap = *resp.Stats
+		return nil
+	})
+	return snap, err
 }

@@ -72,6 +72,30 @@ func TestCloseStopsRefresh(t *testing.T) {
 	}
 }
 
+func TestRefreshFailuresCounted(t *testing.T) {
+	// A refresh loop whose publishes cannot succeed (unreachable landmark,
+	// no prior measurement to fall back on) must count every failed tick
+	// in wire_refresh_failures_total instead of dropping the error.
+	cfg := testConfig([]string{"127.0.0.1:1"}) // nothing listens on port 1
+	n, err := NewNode("127.0.0.1:0", cfg, nil, time.Minute,
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.StartRefresh(5*time.Millisecond, 1, 50*time.Millisecond)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, _ := n.Registry().Snapshot().Value("wire_refresh_failures_total"); v >= 2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	v, _ := n.Registry().Snapshot().Value("wire_refresh_failures_total")
+	t.Fatalf("wire_refresh_failures_total = %v after failing refreshes, want >= 2", v)
+}
+
 func TestStartRefreshDefaultInterval(t *testing.T) {
 	nodes := cluster(t, 2, 1)
 	n := nodes[1]

@@ -249,12 +249,14 @@ func TestPublishAndFindNearest(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Each publish writes the record to its replication-factor (default 2)
+	// distinct ring owners.
 	total := 0
 	for _, nd := range nodes {
 		total += nd.RecordCount()
 	}
-	if total != len(nodes) {
-		t.Fatalf("published %d records across the cluster", total)
+	if want := len(nodes) * nodes[0].Replication(); total != want {
+		t.Fatalf("published %d records across the cluster, want %d", total, want)
 	}
 	addr, rtt, err := nodes[0].FindNearest(3, testTimeout)
 	if err != nil {
