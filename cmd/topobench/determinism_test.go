@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"gsso/internal/experiment"
+)
+
+// TestSuiteOutputIdenticalAcrossWorkerCounts is the engine's golden
+// contract: the full quick-scale suite must render byte-identical output at
+// every pool width, because units are identified by ordinal and seeded by
+// identity, never by the worker that happens to execute them.
+func TestSuiteOutputIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole quick suite three times")
+	}
+	widths := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var golden []byte
+	for _, j := range widths {
+		var buf bytes.Buffer
+		if err := run([]string{"-run", "all", "-scale", "quick", "-j", strconv.Itoa(j)}, &buf); err != nil {
+			t.Fatalf("-j %d: %v", j, err)
+		}
+		if golden == nil {
+			golden = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), golden) {
+			t.Fatalf("-j %d output differs from -j %d output\n--- j=%d ---\n%s\n--- j=%d ---\n%s",
+				j, widths[0], widths[0], golden, j, buf.Bytes())
+		}
+	}
+}
+
+// TestTopologyGeneratedOncePerKey asserts the shared cache's whole point:
+// re-running the suite in the same process generates zero new topologies —
+// every (kind, latency, scale, seed) key is built at most once.
+func TestTopologyGeneratedOncePerKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole quick suite twice")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "all", "-scale", "quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	gens1, _ := experiment.TopologyGenerations()
+	if gens1 < 1 {
+		t.Fatalf("no topology generations recorded after a full run")
+	}
+	buf.Reset()
+	if err := run([]string{"-run", "all", "-scale", "quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	gens2, hits2 := experiment.TopologyGenerations()
+	if gens2 != gens1 {
+		t.Fatalf("second identical run generated %d new topologies (want 0)", gens2-gens1)
+	}
+	if hits2 == 0 {
+		t.Fatal("cache reported no hits across two full runs")
+	}
+}

@@ -5,11 +5,18 @@
 //	topobench -list
 //	topobench -run fig14                 # one experiment, quick scale
 //	topobench -run all -scale full       # the whole evaluation, paper scale
+//	topobench -run all -scale full -j 8  # fan experiments out over 8 workers
 //	topobench -run fig16 -csv out/       # also write CSV series
 //
 // Quick scale shrinks the topologies and overlays ~10x so the full suite
 // finishes in seconds; full scale reproduces the paper's ~10k-host
 // topologies and 4096-member overlays.
+//
+// Experiments fan out across the worker pool of internal/experiment/engine
+// and further split into sweep-point units inside; the cell values, table
+// order, and telemetry lines are byte-identical at every -j because every
+// random stream derives from the unit's identity, never the worker's.
+// Timing (-bench-json) goes to a file, not stdout, for the same reason.
 package main
 
 import (
@@ -19,10 +26,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"gsso/internal/experiment"
+	"gsso/internal/experiment/engine"
 	"gsso/internal/obs"
 )
 
@@ -36,12 +47,16 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("topobench", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list experiments and exit")
-		runID  = fs.String("run", "", "experiment id to run, or 'all'")
-		scale  = fs.String("scale", "quick", "quick or full")
-		seed   = fs.Uint64("seed", 1, "root random seed")
-		csvDir = fs.String("csv", "", "directory to also write per-table CSV files")
-		plot   = fs.Bool("plot", false, "also render numeric tables as ASCII charts")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		runID      = fs.String("run", "", "experiment id to run, or 'all'")
+		scale      = fs.String("scale", "quick", "quick or full")
+		seed       = fs.Uint64("seed", 1, "root random seed")
+		csvDir     = fs.String("csv", "", "directory to also write per-table CSV files")
+		plot       = fs.Bool("plot", false, "also render numeric tables as ASCII charts")
+		jobs       = fs.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		benchJSON  = fs.String("bench-json", "", "append per-experiment wall-clock timings to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +71,19 @@ func run(args []string, out io.Writer) error {
 	if *runID == "" {
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -run <id|all> or -list")
+	}
+
+	engine.SetWorkers(*jobs)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var sc experiment.Scale
@@ -84,14 +112,37 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	for _, e := range todo {
+	// Fan experiments out as top-level units. Results are stitched back in
+	// registry order below, so stdout is identical at every pool width; the
+	// run-labeled telemetry mirrors keep each experiment's meters separate
+	// from its concurrent neighbors'.
+	type outcome struct {
+		tables  []*experiment.Table
+		tel     telemetry
+		elapsed time.Duration
+	}
+	suiteStart := time.Now()
+	results, err := engine.Map(len(todo), func(i int) (outcome, error) {
+		e := todo[i]
 		before := obs.Default().Snapshot()
+		start := time.Now()
 		tables, err := e.Run(sc)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return outcome{}, fmt.Errorf("%s: %w", e.ID, err)
 		}
-		tel := telemetryDelta(e.ID, before, obs.Default().Snapshot())
-		for _, t := range tables {
+		return outcome{
+			tables:  tables,
+			tel:     telemetryDelta(e.ID, before, obs.Default().Snapshot()),
+			elapsed: time.Since(start),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	suiteElapsed := time.Since(suiteStart)
+
+	for _, res := range results {
+		for _, t := range res.tables {
 			if err := t.Render(out); err != nil {
 				return err
 			}
@@ -106,19 +157,123 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 		}
-		tel.render(out)
+		res.tel.render(out)
 		if *csvDir != "" {
-			if err := tel.writeJSON(*csvDir); err != nil {
+			if err := res.tel.writeJSON(*csvDir); err != nil {
 				return err
 			}
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	if *benchJSON != "" {
+		report := benchReport{
+			Scale:      sc.Name,
+			Seed:       *seed,
+			Workers:    engine.Workers(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			WallMS:     ms(suiteElapsed),
+			PeakRSSKB:  peakRSSKB(),
+		}
+		report.TopologyGenerations, report.TopologyCacheHits = experiment.TopologyGenerations()
+		for i, e := range todo {
+			report.Experiments = append(report.Experiments, benchExperiment{
+				ID:     e.ID,
+				WallMS: ms(results[i].elapsed),
+			})
+		}
+		if err := appendBenchReport(*benchJSON, report); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
+// ms rounds a duration to milliseconds with microsecond resolution.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// benchReport is one topobench invocation's timing record.
+type benchReport struct {
+	Scale               string            `json:"scale"`
+	Seed                uint64            `json:"seed"`
+	Workers             int               `json:"workers"`
+	GOMAXPROCS          int               `json:"gomaxprocs"`
+	WallMS              float64           `json:"wall_ms"`
+	SpeedupVsJ1         float64           `json:"speedup_vs_j1,omitempty"`
+	PeakRSSKB           int64             `json:"peak_rss_kb"`
+	TopologyGenerations int64             `json:"topology_generations"`
+	TopologyCacheHits   int64             `json:"topology_cache_hits"`
+	Experiments         []benchExperiment `json:"experiments"`
+}
+
+// benchExperiment is one experiment's wall-clock within a run.
+type benchExperiment struct {
+	ID          string  `json:"id"`
+	WallMS      float64 `json:"wall_ms"`
+	SpeedupVsJ1 float64 `json:"speedup_vs_j1,omitempty"`
+}
+
+// benchFile accumulates reports across invocations so a -j 1 baseline and
+// a parallel run land in the same file for comparison.
+type benchFile struct {
+	Runs []benchReport `json:"runs"`
+}
+
+// appendBenchReport appends report to path, computing speedups against the
+// most recent workers==1 run at the same scale already in the file.
+func appendBenchReport(path string, report benchReport) error {
+	var file benchFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("bench-json %s: %w", path, err)
+		}
+	}
+	for i := len(file.Runs) - 1; i >= 0; i-- {
+		base := file.Runs[i]
+		if base.Scale != report.Scale || base.Workers != 1 {
+			continue
+		}
+		if report.WallMS > 0 {
+			report.SpeedupVsJ1 = base.WallMS / report.WallMS
+		}
+		baseByID := make(map[string]float64, len(base.Experiments))
+		for _, e := range base.Experiments {
+			baseByID[e.ID] = e.WallMS
+		}
+		for j, e := range report.Experiments {
+			if b, ok := baseByID[e.ID]; ok && e.WallMS > 0 {
+				report.Experiments[j].SpeedupVsJ1 = b / e.WallMS
+			}
+		}
+		break
+	}
+	file.Runs = append(file.Runs, report)
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // telemetry is the per-experiment cost summary, computed by diffing the
-// process-global registry around the run. It reports what the paper's
-// axes meter: RTT probes spent and overlay messages sent, by category.
+// experiment's own run-labeled series of the process-global registry
+// around the run. It reports what the paper's axes meter: RTT probes spent
+// and overlay messages sent, by category.
 type telemetry struct {
 	Experiment string           `json:"experiment"`
 	Probes     int64            `json:"probes"`
@@ -126,15 +281,20 @@ type telemetry struct {
 }
 
 // telemetryDelta subtracts the registry counters at before from those at
-// after. The sim_* mirrors are process-wide monotone counters, so the
-// difference is exactly what the bracketed run spent.
+// after, considering only series whose run label is the experiment's ID.
+// Concurrent experiments write disjoint run labels and shared cache fills
+// land under run "shared", so the delta is exactly what this run spent —
+// at any worker count, in any completion order.
 func telemetryDelta(id string, before, after obs.Snapshot) telemetry {
 	tel := telemetry{Experiment: id, Messages: map[string]int64{}}
-	pb, _ := before.Value("sim_probes_total")
-	pa, _ := after.Value("sim_probes_total")
+	pb, _ := before.Value("sim_probes_total", id)
+	pa, _ := after.Value("sim_probes_total", id)
 	tel.Probes = int64(pa - pb)
 	if f, ok := after.Family("sim_messages_total"); ok {
 		for _, s := range f.Series {
+			if len(s.LabelValues) != 2 || s.LabelValues[1] != id {
+				continue
+			}
 			prev, _ := before.Value("sim_messages_total", s.LabelValues...)
 			if d := int64(s.Value - prev); d != 0 {
 				tel.Messages[s.LabelValues[0]] = d

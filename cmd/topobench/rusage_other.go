@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// peakRSSKB is unavailable off unix; bench reports record 0.
+func peakRSSKB() int64 { return 0 }

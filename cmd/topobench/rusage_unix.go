@@ -1,0 +1,15 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// peakRSSKB reports the process's peak resident set size in KiB, as kernel
+// accounting sees it (ru_maxrss is KiB on Linux). Returns 0 if unavailable.
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss)
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdinalOrder(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		SetWorkers(w)
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestMapSequentialWhenSingleWorker(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	// With one worker every unit runs inline in call order; a shared
+	// variable without synchronization must not race (run under -race).
+	seen := make([]int, 0, 50)
+	if _, err := Map(50, func(i int) (struct{}, error) {
+		seen = append(seen, i)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("single worker ran out of order: seen[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapNestedDoesNotDeadlock(t *testing.T) {
+	SetWorkers(2)
+	defer SetWorkers(0)
+	// Every outer unit fans out inner units; with only one spare slot the
+	// inline fallback must keep all of them progressing.
+	out, err := Map(8, func(i int) (int, error) {
+		inner, err := Map(8, func(j int) (int, error) { return i + j, nil })
+		if err != nil {
+			return 0, err
+		}
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		want := 8*i + 28
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	e3 := errors.New("unit 3")
+	e7 := errors.New("unit 7")
+	_, err := Map(10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, e3
+		case 7:
+			return 0, e7
+		}
+		return i, nil
+	})
+	if err != e3 {
+		t.Fatalf("err = %v, want the lowest-indexed unit's error %v", err, e3)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	if _, err := Map(64, func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Fatalf("observed %d concurrent units with 3 workers", peak.Load())
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	var m Memo[int, string]
+	var fills atomic.Int64
+	SetWorkers(8)
+	defer SetWorkers(0)
+	// Many concurrent callers per key; each key must fill exactly once.
+	if _, err := Map(64, func(i int) (struct{}, error) {
+		v, err := m.Do(i%4, func() (string, error) {
+			fills.Add(1)
+			return fmt.Sprintf("key%d", i%4), nil
+		})
+		if err != nil {
+			return struct{}{}, err
+		}
+		if want := fmt.Sprintf("key%d", i%4); v != want {
+			return struct{}{}, fmt.Errorf("got %q want %q", v, want)
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fills.Load() != 4 {
+		t.Fatalf("fill ran %d times for 4 distinct keys", fills.Load())
+	}
+	hits, misses := m.Stats()
+	if misses != 4 || hits != 60 {
+		t.Fatalf("stats = %d hits / %d misses, want 60/4", hits, misses)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+}
+
+func TestMemoCachesErrors(t *testing.T) {
+	var m Memo[string, int]
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := m.Do("k", func() (int, error) { calls++; return 0, boom })
+		if err != boom {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing fill ran %d times, want 1", calls)
+	}
+}

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a process-wide single-flight cache: the first Do for a key runs
+// fill exactly once while concurrent callers for the same key block on it;
+// every later Do returns the cached value instantly. Values are never
+// evicted — the cache holds expensive immutable artifacts (generated
+// topologies, landmark-vector matrices) whose distinct-key population is
+// bounded by the experiment suite's parameter space.
+//
+// Cached values MUST be treated as immutable by every caller: the same
+// pointer is handed to all of them, possibly concurrently. Mutable
+// per-caller state (clocks, meters, perturbations) belongs in a wrapper
+// layered over the cached artifact, never inside it.
+type Memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the cached value for key, running fill to produce it on first
+// use. A fill error is cached too: the suite's artifacts are deterministic,
+// so retrying an identical build would fail identically.
+func (m *Memo[K, V]) Do(key K, fill func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[K]*memoEntry[V])
+	}
+	e, ok := m.entries[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		m.entries[key] = e
+		m.misses.Add(1)
+	} else {
+		m.hits.Add(1)
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fill() })
+	return e.val, e.err
+}
+
+// Stats returns how many Do calls hit an existing entry and how many
+// created one. Misses equals the number of distinct keys ever filled —
+// the "≤ one generation per distinct key" invariant is misses == Len().
+func (m *Memo[K, V]) Stats() (hits, misses int64) {
+	return m.hits.Load(), m.misses.Load()
+}
+
+// Len returns the number of distinct keys cached.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

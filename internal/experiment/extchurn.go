@@ -204,10 +204,14 @@ func RunExtChurn(sc Scale) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Deliberately a single unit: every scenario × k cell advances the one
+	// shared virtual clock, so the sequence must not be reordered or
+	// interleaved by the engine.
 	st, err := buildStack(net, sc, stackConfig{
 		overlayN:  sc.OverlayN / 2,
 		landmarks: sc.Landmarks,
 		label:     "extchurn",
+		run:       "ext-churn",
 	})
 	if err != nil {
 		return nil, err

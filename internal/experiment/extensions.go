@@ -7,6 +7,7 @@ import (
 	"gsso/internal/can"
 	"gsso/internal/chord"
 	"gsso/internal/ecan"
+	"gsso/internal/experiment/engine"
 	"gsso/internal/landmark"
 	"gsso/internal/loadbal"
 	"gsso/internal/netsim"
@@ -31,26 +32,31 @@ func RunExtLoad(sc Scale) ([]*Table, error) {
 		Title:   "Load-aware neighbor selection (§6): stretch vs peak utilization",
 		Columns: []string{"alpha", "stretch", "max util", "mean util"},
 	}
-	for _, alpha := range []float64{0, 0.5, 1, 2, 4} {
+	// One unit per alpha: the feedback rounds mutate the stack's store and
+	// overlay, so each unit owns a private stack seeded by its alpha label.
+	alphas := []float64{0, 0.5, 1, 2, 4}
+	reports, err := engine.Map(len(alphas), func(i int) (loadbal.Report, error) {
+		alpha := alphas[i]
 		st, err := buildStack(net, sc, stackConfig{
 			overlayN:  sc.OverlayN,
 			landmarks: sc.Landmarks,
 			label:     fmt.Sprintf("extload/a%v", alpha),
+			run:       "ext-load",
 		})
 		if err != nil {
-			return nil, err
+			return loadbal.Report{}, err
 		}
 		members := st.overlay.CAN().Members()
 		caps := loadbal.AssignHeterogeneousCapacities(members, 0.2, 20*float64(sc.OverlayN)/64, 2*float64(sc.OverlayN)/64, st.rng.Split("caps"))
 		if err := st.store.PublishAll(func(m *can.Member) []softstate.PublishOption {
 			return []softstate.PublishOption{softstate.WithCapacity(caps[m])}
 		}); err != nil {
-			return nil, err
+			return loadbal.Report{}, err
 		}
 		sel, err := loadbal.NewSelector(st.store, sc.RTTs, alpha,
 			ecan.RandomSelector{RNG: st.rng.Split("fb")})
 		if err != nil {
-			return nil, err
+			return loadbal.Report{}, err
 		}
 		st.overlay.SetSelector(sel)
 		loads := map[*can.Member]float64{}
@@ -59,7 +65,7 @@ func RunExtLoad(sc Scale) ([]*Table, error) {
 			rep, err = loadbal.RunTraffic(st.overlay, st.env, caps, loads,
 				sc.QueriesFor(sc.OverlayN)/2, st.rng.Split(fmt.Sprintf("traffic%d", round)))
 			if err != nil {
-				return nil, err
+				return loadbal.Report{}, err
 			}
 			for m, l := range loads {
 				st.store.UpdateLoad(m, l)
@@ -68,6 +74,13 @@ func RunExtLoad(sc Scale) ([]*Table, error) {
 				st.overlay.InvalidateEntries(m)
 			}
 		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, alpha := range alphas {
+		rep := reports[i]
 		t.AddRowf(alpha, rep.MeanStretch, rep.MaxUtilization, rep.MeanUtilization)
 	}
 	t.Note("alpha=0 is pure proximity selection; growing alpha repels load from saturated nodes")
@@ -105,6 +118,7 @@ func RunExtPubSub(sc Scale) ([]*Table, error) {
 			overlayN:  sc.OverlayN / 2, // churn experiment: keep it nimble
 			landmarks: sc.Landmarks,
 			label:     "extpubsub",
+			run:       "ext-pubsub",
 		})
 		if err != nil {
 			return outcome{}, err
@@ -288,11 +302,18 @@ func RunExtPubSub(sc Scale) ([]*Table, error) {
 		Columns: []string{"policy", "stretch@first", "stretch@last",
 			"overlay msgs", "refresh probes", "selection probes"},
 	}
-	for _, policy := range []string{"stale", "poll", "pubsub"} {
-		o, err := run(policy)
-		if err != nil {
-			return nil, err
-		}
+	// One unit per policy: each run builds a private stack from the same
+	// "extpubsub" label, so the policies see identical geometry and jitter
+	// and differ only in maintenance behaviour.
+	policies := []string{"stale", "poll", "pubsub"}
+	outcomes, err := engine.Map(len(policies), func(i int) (outcome, error) {
+		return run(policies[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, policy := range policies {
+		o := outcomes[i]
 		t.AddRowf(policy, o.firstStretch, o.lastStretch, o.messages, o.refreshProbes, o.selectProbes)
 	}
 	t.Note("stale = reactive repair only; poll = full periodic re-selection; pubsub = demand-driven re-selection on soft-state notifications")
@@ -309,7 +330,9 @@ func RunExtChord(sc Scale) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := netsim.New(net)
+	// Single unit: the query RNG is shared between the Chord walk and the
+	// random baseline below, so the methods must run in sequence.
+	env := netsim.NewRun(net, "ext-chord")
 	rng := simrand.New(sc.Seed).Split("extchord")
 	hosts := net.RandomStubHosts(rng.Split("hosts"), sc.OverlayN)
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"gsso/internal/can"
+	"gsso/internal/experiment/engine"
 	"gsso/internal/landmark"
 	"gsso/internal/netsim"
 	"gsso/internal/proximity"
@@ -25,7 +26,7 @@ func RunExtTACAN(sc Scale) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := netsim.New(net)
+	env := netsim.NewRun(net, "ext-tacan")
 	rng := simrand.New(sc.Seed).Split("exttacan")
 	hosts := net.RandomStubHosts(rng.Split("hosts"), sc.OverlayN)
 	set, err := landmark.Choose(net, sc.Landmarks, rng.Split("lm"))
@@ -34,12 +35,18 @@ func RunExtTACAN(sc Scale) ([]*Table, error) {
 	}
 	maxRTT := landmark.EstimateMaxRTT(net, set, net.RandomStubHosts(rng.Split("est"), 32))
 
+	// The point streams are pre-split so the two concurrent builds below
+	// never touch the parent source.
+	ptRNGs := map[bool]*simrand.Source{
+		false: rng.Split("pts/false"),
+		true:  rng.Split("pts/true"),
+	}
 	build := func(topoAware bool) (*can.Overlay, error) {
 		overlay, err := can.New(2)
 		if err != nil {
 			return nil, err
 		}
-		ptRNG := rng.Split(fmt.Sprintf("pts/%v", topoAware))
+		ptRNG := ptRNGs[topoAware]
 		for _, h := range hosts {
 			var p can.Point
 			if topoAware {
@@ -85,20 +92,21 @@ func RunExtTACAN(sc Scale) ([]*Table, error) {
 		Columns: []string{"layout", "space held by largest 10% of zones",
 			"max neighbors", "mean neighbors"},
 	}
-	uniform, err := build(false)
+	// Two units, one per layout; the topology-aware build pays the
+	// landmark measurements, the uniform build is pure RNG.
+	layouts := []struct {
+		name      string
+		topoAware bool
+	}{{"uniform CAN", false}, {"topologically-aware CAN", true}}
+	overlays, err := engine.Map(len(layouts), func(i int) (*can.Overlay, error) {
+		return build(layouts[i].topoAware)
+	})
 	if err != nil {
 		return nil, err
 	}
-	tacan, err := build(true)
-	if err != nil {
-		return nil, err
-	}
-	for _, row := range []struct {
-		name string
-		o    *can.Overlay
-	}{{"uniform CAN", uniform}, {"topologically-aware CAN", tacan}} {
-		v, maxNb, meanNb := profile(row.o)
-		t.AddRowf(row.name, fmt.Sprintf("%.1f%%", 100*v), maxNb, meanNb)
+	for i, layout := range layouts {
+		v, maxNb, meanNb := profile(overlays[i])
+		t.AddRowf(layout.name, fmt.Sprintf("%.1f%%", 100*v), maxNb, meanNb)
 	}
 	t.Note("paper §1: in a topology-aware CAN a small fraction of nodes can occupy 80-98%% of the space")
 	t.Note("the skew is why the paper keeps the overlay uniform and moves proximity into soft-state instead")
@@ -125,7 +133,7 @@ func RunExtGroups(sc Scale) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := netsim.New(net)
+	env := netsim.NewRun(net, "ext-groups")
 	rng := simrand.New(sc.Seed).Split("extgroups")
 	hosts := net.StubHosts()
 	// Twice the default landmark count so groups stay meaningful.
@@ -164,15 +172,23 @@ func RunExtGroups(sc Scale) ([]*Table, error) {
 		Title:   fmt.Sprintf("Landmark groups (§5.4 optimization 1), tsk-small, budget=%d probes", budget),
 		Columns: []string{"groups", "nearest-neighbor stretch"},
 	}
-	for _, groups := range []int{1, 2, 3} {
-		gi, err := proximity.BuildGroupedIndex(env, set, groups, 6, maxRTT, hosts)
+	// One unit per group count: index builds probe through the shared env
+	// (atomic meters), searches are read-only.
+	groupCounts := []int{1, 2, 3}
+	stretches, err := engine.Map(len(groupCounts), func(i int) (float64, error) {
+		gi, err := proximity.BuildGroupedIndex(env, set, groupCounts[i], 6, maxRTT, hosts)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		s := meanStretchOf(func(qi int) proximity.Result {
+		return meanStretchOf(func(qi int) proximity.Result {
 			return gi.SearchHybrid(env, hosts[qi], budget)
-		})
-		t.AddRowf(groups, s)
+		}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, groups := range groupCounts {
+		t.AddRowf(groups, stretches[i])
 	}
 	t.Note("groups=1 is the baseline single-curve reduction")
 	t.Note("paper §5.4: joining positions from several landmark groups reduces false clustering")
@@ -194,7 +210,7 @@ func RunExtHier(sc Scale) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := netsim.New(net)
+	env := netsim.NewRun(net, "ext-hier")
 	rng := simrand.New(sc.Seed).Split("exthier")
 	hosts := net.StubHosts()
 
@@ -258,16 +274,23 @@ func RunExtHier(sc Scale) ([]*Table, error) {
 			budget),
 		Columns: []string{"method", "landmarks", "nearest-neighbor stretch"},
 	}
-	t.AddRowf("global only", globalCount, meanOf(func(q topology.NodeID) proximity.Result {
-		return hx.GlobalOnly().SearchHybrid(env, q, budget)
-	}))
-	t.AddRowf("flat, same total", flatSet.Len(), meanOf(func(q topology.NodeID) proximity.Result {
-		return flat.SearchHybrid(env, q, budget)
-	}))
-	t.AddRowf(fmt.Sprintf("hierarchical %d+%d", globalCount, localSet.Len()), hx.JoinProbesPerHost(),
-		meanOf(func(q topology.NodeID) proximity.Result {
-			return hx.SearchHybrid(env, q, budget)
-		}))
+	// The index builds above are sequential (the local and flat stages
+	// derive from the global maxRTT); the three measurements are read-only
+	// and run as units.
+	searches := []func(q topology.NodeID) proximity.Result{
+		func(q topology.NodeID) proximity.Result { return hx.GlobalOnly().SearchHybrid(env, q, budget) },
+		func(q topology.NodeID) proximity.Result { return flat.SearchHybrid(env, q, budget) },
+		func(q topology.NodeID) proximity.Result { return hx.SearchHybrid(env, q, budget) },
+	}
+	stretches, err := engine.Map(len(searches), func(i int) (float64, error) {
+		return meanOf(searches[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("global only", globalCount, stretches[0])
+	t.AddRowf("flat, same total", flatSet.Len(), stretches[1])
+	t.AddRowf(fmt.Sprintf("hierarchical %d+%d", globalCount, localSet.Len()), hx.JoinProbesPerHost(), stretches[2])
 	t.Note("paper §5.4: scattered landmarks pre-select, localized landmarks refine")
 	t.Note("measured shape: the hierarchy clearly improves on its own global stage; against an equal-size")
 	t.Note("flat set it trails on tsk-small, whose two-domain backbone makes per-domain landmarks barely")

@@ -6,6 +6,7 @@ import (
 
 	"gsso/internal/can"
 	"gsso/internal/ecan"
+	"gsso/internal/experiment/engine"
 	"gsso/internal/softstate"
 )
 
@@ -42,6 +43,7 @@ func RunExtFailure(sc Scale) ([]*Table, error) {
 			overlayN:  sc.OverlayN / 2,
 			landmarks: sc.Landmarks,
 			label:     "extfailure",
+			run:       "ext-failure",
 		})
 		if err != nil {
 			return outcome{}, err
@@ -133,11 +135,17 @@ func RunExtFailure(sc Scale) ([]*Table, error) {
 		Columns: []string{"policy", "stretch after repair", "dead entries hit in selection",
 			"liveness probes", "withdrawals", "members still stale"},
 	}
-	for _, policy := range []string{"reactive", "poll", "proactive"} {
-		o, err := run(policy)
-		if err != nil {
-			return nil, err
-		}
+	// One unit per policy: each run owns a private stack built from the
+	// same "extfailure" label, so all three see the identical crash set.
+	policies := []string{"reactive", "poll", "proactive"}
+	outcomes, err := engine.Map(len(policies), func(i int) (outcome, error) {
+		return run(policies[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, policy := range policies {
+		o := outcomes[i]
 		t.AddRowf(policy, o.stretch, o.deadEncounters, o.livenessProbes, o.withdrawals, o.staleEntries)
 	}
 	t.Note("reactive = purge on probe timeout; poll = owners probe entry liveness; proactive = departing nodes withdraw")

@@ -6,6 +6,7 @@ import (
 	"slices"
 	"strings"
 
+	"gsso/internal/experiment/engine"
 	"gsso/internal/landmark"
 	"gsso/internal/netsim"
 	"gsso/internal/proximity"
@@ -25,7 +26,7 @@ func RunExtOrdering(sc Scale) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := netsim.New(net)
+	env := netsim.NewRun(net, "ext-ordering")
 	rng := simrand.New(sc.Seed).Split("extordering")
 	hosts := net.StubHosts()
 
@@ -84,31 +85,49 @@ func RunExtOrdering(sc Scale) ([]*Table, error) {
 		return total / float64(n)
 	}
 
-	orderingStretch := meanOf(func(q topology.NodeID) topology.NodeID {
-		cluster := clusters[orderKey(q)]
-		// A random other member of the same ordering cluster; clusters of
-		// one fall back to a uniformly random host (the technique has
-		// nothing to say about them).
-		for attempt := 0; attempt < 8; attempt++ {
-			var pick topology.NodeID
-			if len(cluster) > 1 {
-				pick = cluster[pickRNG.Intn(len(cluster))]
-			} else {
-				pick = hosts[pickRNG.Intn(len(hosts))]
-			}
-			if pick != q {
-				env.ProbeRTT(q, pick) // the single confirmation probe
-				return pick
-			}
-		}
-		return topology.None
+	// Three units, one per technique. The ordering unit owns pickRNG (its
+	// stream is consumed sequentially inside the unit); the two hybrid
+	// units are read-only index searches.
+	measurements := []func() float64{
+		func() float64 {
+			return meanOf(func(q topology.NodeID) topology.NodeID {
+				cluster := clusters[orderKey(q)]
+				// A random other member of the same ordering cluster;
+				// clusters of one fall back to a uniformly random host (the
+				// technique has nothing to say about them).
+				for attempt := 0; attempt < 8; attempt++ {
+					var pick topology.NodeID
+					if len(cluster) > 1 {
+						pick = cluster[pickRNG.Intn(len(cluster))]
+					} else {
+						pick = hosts[pickRNG.Intn(len(hosts))]
+					}
+					if pick != q {
+						env.ProbeRTT(q, pick) // the single confirmation probe
+						return pick
+					}
+				}
+				return topology.None
+			})
+		},
+		func() float64 {
+			return meanOf(func(q topology.NodeID) topology.NodeID {
+				return index.SearchHybrid(env, q, 1).Found
+			})
+		},
+		func() float64 {
+			return meanOf(func(q topology.NodeID) topology.NodeID {
+				return index.SearchHybrid(env, q, sc.RTTs).Found
+			})
+		},
+	}
+	stretches, err := engine.Map(len(measurements), func(i int) (float64, error) {
+		return measurements[i](), nil
 	})
-	vectorStretch := meanOf(func(q topology.NodeID) topology.NodeID {
-		return index.SearchHybrid(env, q, 1).Found
-	})
-	hybridStretch := meanOf(func(q topology.NodeID) topology.NodeID {
-		return index.SearchHybrid(env, q, sc.RTTs).Found
-	})
+	if err != nil {
+		return nil, err
+	}
+	orderingStretch, vectorStretch, hybridStretch := stretches[0], stretches[1], stretches[2]
 
 	t := &Table{
 		ID:      "ext-ordering",

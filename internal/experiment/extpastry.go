@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gsso/internal/experiment/engine"
 	"gsso/internal/landmark"
 	"gsso/internal/netsim"
 	"gsso/internal/pastry"
@@ -23,7 +24,7 @@ func RunExtPastry(sc Scale) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := netsim.New(net)
+	env := netsim.NewRun(net, "ext-pastry")
 	rng := simrand.New(sc.Seed).Split("extpastry")
 	hosts := net.RandomStubHosts(rng.Split("hosts"), sc.OverlayN)
 
@@ -134,23 +135,28 @@ func RunExtPastry(sc Scale) ([]*Table, error) {
 			sc.OverlayN, budget),
 		Columns: []string{"selector", "stretch"},
 	}
-	for _, cfg := range []struct {
+	// One unit per selector: each unit builds its own ring (the join and
+	// pair streams are fresh per unit) and only reads the shared index/env.
+	configs := []struct {
 		name string
 		sel  pastry.Selector
 	}{
 		{"random", pastry.RandomSelector{RNG: simrand.New(sc.Seed).Split("extpastry/rand")}},
 		{fmt.Sprintf("landmark+rtt (%d probes)", budget), landmarkSel},
 		{"optimal (oracle)", oracleSel},
-	} {
-		o, err := build(cfg.sel, cfg.name)
+	}
+	stretches, err := engine.Map(len(configs), func(i int) (float64, error) {
+		o, err := build(configs[i].sel, configs[i].name)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		s, err := stretchOf(o)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowf(cfg.name, s)
+		return stretchOf(o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range configs {
+		t.AddRowf(cfg.name, stretches[i])
 	}
 	t.Note("conclusion: 'the techniques are generic for overlay networks such as Pastry, Chord, and ecan'")
 	t.Note("the identical landmark machinery that drives eCAN fills Pastry's routing tables")

@@ -5,6 +5,7 @@ import (
 
 	"gsso/internal/can"
 	"gsso/internal/ecan"
+	"gsso/internal/experiment/engine"
 	"gsso/internal/simrand"
 )
 
@@ -12,6 +13,11 @@ import (
 // at several dimensionalities versus a 2-d eCAN, as the overlay grows.
 // The expected shape: CAN grows as (d/4)N^(1/d); eCAN grows as
 // log_4(N) and beats every CAN dimensionality at scale.
+//
+// Every table cell is an independent unit: each builds its own overlay
+// from streams labeled by (dimensionality, size) alone, so the grid
+// measures concurrently with no shared state beyond the immutable
+// topology.
 func RunFig2(sc Scale) ([]*Table, error) {
 	net, err := buildNet(TSKLarge, LatGTITM, sc)
 	if err != nil {
@@ -27,20 +33,25 @@ func RunFig2(sc Scale) ([]*Table, error) {
 	}
 	table.Columns = append(table.Columns, "eCAN d=2")
 
-	for _, n := range sc.OverlaySweep {
-		row := []interface{}{n}
+	// Cell u is (size, method): methods 0..len(CANDims)-1 are basic CAN at
+	// that dimensionality, the last method is the 2-d eCAN.
+	methods := len(sc.CANDims) + 1
+	cells, err := engine.Map(len(sc.OverlaySweep)*methods, func(u int) (float64, error) {
+		n := sc.OverlaySweep[u/methods]
+		m := u % methods
 		queries := sc.QueriesFor(n)
 
-		for _, d := range sc.CANDims {
+		if m < len(sc.CANDims) {
+			d := sc.CANDims[m]
 			rng := simrand.New(sc.Seed).Split(fmt.Sprintf("fig2/can/%d/%d", d, n))
 			overlay, err := can.New(d)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			ptRNG := rng.Split("pts")
 			for _, h := range net.RandomStubHosts(rng.Split("hosts"), n) {
 				if _, err := overlay.JoinRandom(h, ptRNG); err != nil {
-					return nil, err
+					return 0, err
 				}
 			}
 			members := overlay.Members()
@@ -50,18 +61,18 @@ func RunFig2(sc Scale) ([]*Table, error) {
 				from := members[qRNG.Intn(len(members))]
 				path, err := overlay.Route(from, can.RandomPoint(d, qRNG))
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				hops += len(path) - 1
 			}
-			row = append(row, float64(hops)/float64(queries))
+			return float64(hops) / float64(queries), nil
 		}
 
 		rng := simrand.New(sc.Seed).Split(fmt.Sprintf("fig2/ecan/%d", n))
 		overlay, err := ecan.BuildUniform(net, n, 2, 0,
 			ecan.RandomSelector{RNG: rng.Split("sel")}, rng)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		members := overlay.CAN().Members()
 		qRNG := rng.Split("queries")
@@ -70,11 +81,21 @@ func RunFig2(sc Scale) ([]*Table, error) {
 			from := members[qRNG.Intn(len(members))]
 			res, err := overlay.Route(from, can.RandomPoint(2, qRNG))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			hops += res.Hops()
 		}
-		row = append(row, float64(hops)/float64(queries))
+		return float64(hops) / float64(queries), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, n := range sc.OverlaySweep {
+		row := []interface{}{n}
+		for m := 0; m < methods; m++ {
+			row = append(row, cells[i*methods+m])
+		}
 		table.AddRowf(row...)
 	}
 	table.Note("paper: a 2-d eCAN 'easily outperforms the basic CAN with a dimensionality up to 5'")

@@ -3,71 +3,29 @@ package experiment
 import (
 	"math"
 
-	"gsso/internal/can"
-	"gsso/internal/landmark"
+	"gsso/internal/experiment/engine"
 	"gsso/internal/netsim"
 	"gsso/internal/proximity"
-	"gsso/internal/simrand"
-	"gsso/internal/topology"
 )
 
 // nnHarness is the shared setup of Figures 3-6: every stub host of the
 // topology participates, indexed both by landmark position (for the
 // hybrid) and as a full-population 2-d CAN (for expanding-ring search).
+// The expensive immutable core (topology, landmark matrix, CAN, query
+// set) is cached process-wide and shared across the four figures; the
+// harness wraps it with a per-experiment Env so probe accounting stays
+// attributed to the figure doing the measuring.
 type nnHarness struct {
-	net     *topology.Network
-	env     *netsim.Env
-	index   *proximity.Index
-	ers     *proximity.ERS
-	hosts   []topology.NodeID
-	queries []topology.NodeID
+	*nnCore
+	env *netsim.Env
 }
 
-func buildNNHarness(kind TopoKind, sc Scale) (*nnHarness, error) {
-	net, err := buildNet(kind, LatGTITM, sc)
+func buildNNHarness(kind TopoKind, sc Scale, run string) (*nnHarness, error) {
+	core, err := sharedNNCore(kind, sc)
 	if err != nil {
 		return nil, err
 	}
-	env := netsim.New(net)
-	rng := simrand.New(sc.Seed).Split("nn/" + string(kind))
-	hosts := net.StubHosts()
-
-	set, err := landmark.Choose(net, sc.Landmarks, rng.Split("landmarks"))
-	if err != nil {
-		return nil, err
-	}
-	space, err := landmark.NewSpace(set, 3, 6,
-		landmark.EstimateMaxRTT(net, set, net.RandomStubHosts(rng.Split("est"), 32)))
-	if err != nil {
-		return nil, err
-	}
-	index, err := proximity.BuildIndex(env, space, hosts)
-	if err != nil {
-		return nil, err
-	}
-
-	overlay, err := can.New(2)
-	if err != nil {
-		return nil, err
-	}
-	joinRNG := rng.Split("join")
-	for _, h := range hosts {
-		if _, err := overlay.JoinRandom(h, joinRNG); err != nil {
-			return nil, err
-		}
-	}
-	ers, err := proximity.NewERS(overlay)
-	if err != nil {
-		return nil, err
-	}
-
-	qRNG := rng.Split("queries")
-	qIdx := qRNG.Sample(len(hosts), sc.NNQueries)
-	queries := make([]topology.NodeID, len(qIdx))
-	for i, q := range qIdx {
-		queries[i] = hosts[q]
-	}
-	return &nnHarness{net: net, env: env, index: index, ers: ers, hosts: hosts, queries: queries}, nil
+	return &nnHarness{nnCore: core, env: netsim.NewRun(core.net, run)}, nil
 }
 
 // meanHybridStretch averages hybrid-search stretch over the query set.
@@ -127,9 +85,11 @@ func (h *nnHarness) meanHillClimbStretch(budget int) float64 {
 // RunFig3 reproduces Figure 3: nearest-neighbor stretch of ERS vs the
 // hybrid landmark+RTT scheme on tsk-large, over small probe budgets. The
 // hill-climbing heuristic the paper dismisses for its local-minimum
-// pitfalls is included as a third series.
+// pitfalls is included as a third series. One unit per budget: every
+// search is a read-only walk over the shared index, so budgets measure
+// concurrently without affecting each other's results.
 func RunFig3(sc Scale) ([]*Table, error) {
-	h, err := buildNNHarness(TSKLarge, sc)
+	h, err := buildNNHarness(TSKLarge, sc, "fig3")
 	if err != nil {
 		return nil, err
 	}
@@ -138,8 +98,15 @@ func RunFig3(sc Scale) ([]*Table, error) {
 		Title:   "Nearest-neighbor stretch vs #RTT probes (tsk-large): ERS vs hybrid",
 		Columns: []string{"rtts", "ERS", "hillclimb", "lmk+rtt"},
 	}
-	for _, b := range sc.RTTSweep {
-		t.AddRowf(b, h.meanERSStretch(b), h.meanHillClimbStretch(b), h.meanHybridStretch(b))
+	rows, err := engine.Map(len(sc.RTTSweep), func(i int) ([3]float64, error) {
+		b := sc.RTTSweep[i]
+		return [3]float64{h.meanERSStretch(b), h.meanHillClimbStretch(b), h.meanHybridStretch(b)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range sc.RTTSweep {
+		t.AddRowf(b, rows[i][0], rows[i][1], rows[i][2])
 	}
 	t.Note("budget 1 on the lmk+rtt series is landmark clustering alone")
 	t.Note("hillclimb: greedy descent over overlay neighbors — plateaus at local minima (§1's critique)")
@@ -150,7 +117,7 @@ func RunFig3(sc Scale) ([]*Table, error) {
 // RunFig4 reproduces Figure 4: ERS alone on tsk-large with probe budgets
 // into the thousands, showing how many nodes blind flooding must test.
 func RunFig4(sc Scale) ([]*Table, error) {
-	h, err := buildNNHarness(TSKLarge, sc)
+	h, err := buildNNHarness(TSKLarge, sc, "fig4")
 	if err != nil {
 		return nil, err
 	}
@@ -159,8 +126,14 @@ func RunFig4(sc Scale) ([]*Table, error) {
 		Title:   "Expanding-ring search on tsk-large: stretch vs #RTT probes",
 		Columns: []string{"rtts", "ERS"},
 	}
-	for _, b := range sc.ERSSweep {
-		t.AddRowf(b, h.meanERSStretch(b))
+	rows, err := engine.Map(len(sc.ERSSweep), func(i int) (float64, error) {
+		return h.meanERSStretch(sc.ERSSweep[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range sc.ERSSweep {
+		t.AddRowf(b, rows[i])
 	}
 	t.Note("paper: ERS 'is not effective unless a large number (thousands) of nodes have been tested'")
 	return []*Table{t}, nil
@@ -169,7 +142,7 @@ func RunFig4(sc Scale) ([]*Table, error) {
 // RunFig5 reproduces Figure 5: the hybrid on tsk-small. Dense stubs defeat
 // landmark resolution, so more probes are needed than on tsk-large.
 func RunFig5(sc Scale) ([]*Table, error) {
-	h, err := buildNNHarness(TSKSmall, sc)
+	h, err := buildNNHarness(TSKSmall, sc, "fig5")
 	if err != nil {
 		return nil, err
 	}
@@ -181,8 +154,14 @@ func RunFig5(sc Scale) ([]*Table, error) {
 	budgets := append([]int(nil), sc.RTTSweep...)
 	last := budgets[len(budgets)-1]
 	budgets = append(budgets, 2*last, 3*last) // the paper pushes to ~90 probes here
-	for _, b := range budgets {
-		t.AddRowf(b, h.meanHybridStretch(b))
+	rows, err := engine.Map(len(budgets), func(i int) (float64, error) {
+		return h.meanHybridStretch(budgets[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range budgets {
+		t.AddRowf(b, rows[i])
 	}
 	t.Note("paper: on tsk-small even the hybrid must test more nodes — landmarks cannot differentiate close-by stub nodes")
 	return []*Table{t}, nil
@@ -190,7 +169,7 @@ func RunFig5(sc Scale) ([]*Table, error) {
 
 // RunFig6 reproduces Figure 6: ERS alone on tsk-small.
 func RunFig6(sc Scale) ([]*Table, error) {
-	h, err := buildNNHarness(TSKSmall, sc)
+	h, err := buildNNHarness(TSKSmall, sc, "fig6")
 	if err != nil {
 		return nil, err
 	}
@@ -199,8 +178,14 @@ func RunFig6(sc Scale) ([]*Table, error) {
 		Title:   "Expanding-ring search on tsk-small: stretch vs #RTT probes",
 		Columns: []string{"rtts", "ERS"},
 	}
-	for _, b := range sc.ERSSweep {
-		t.AddRowf(b, h.meanERSStretch(b))
+	rows, err := engine.Map(len(sc.ERSSweep), func(i int) (float64, error) {
+		return h.meanERSStretch(sc.ERSSweep[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range sc.ERSSweep {
+		t.AddRowf(b, rows[i])
 	}
 	return []*Table{t}, nil
 }

@@ -30,8 +30,10 @@ const (
 	LatManual LatKind = "manual"
 )
 
-// buildNet generates the requested preset topology at the scale's size.
-func buildNet(kind TopoKind, lat LatKind, sc Scale) (*topology.Network, error) {
+// generateNet generates the requested preset topology at the scale's
+// size. Callers go through buildNet (shared.go), which memoizes the
+// result per distinct (kind, lat, TopoScale, Seed).
+func generateNet(kind TopoKind, lat LatKind, sc Scale) (*topology.Network, error) {
 	model := topology.GTITMLatency()
 	if lat == LatManual {
 		model = topology.ManualLatency()
@@ -68,17 +70,20 @@ type stackConfig struct {
 	condense  int
 	maxReturn int
 	label     string // seed-split label, distinct per configuration
+	run       string // telemetry run label, normally the experiment ID
 }
 
 // buildStack assembles the system over an existing network. The overlay's
 // initial selector is random; callers install the selector under test via
-// SetSelector.
+// SetSelector. Every seed stream derives from sc.Seed and cfg.label alone,
+// so two stacks with the same config are identical regardless of build
+// order or worker placement.
 func buildStack(net *topology.Network, sc Scale, cfg stackConfig) (*stack, error) {
 	if cfg.maxReturn == 0 {
 		cfg.maxReturn = 32
 	}
 	rng := simrand.New(sc.Seed).Split("stack/" + cfg.label)
-	env := netsim.New(net)
+	env := netsim.NewRun(net, cfg.run)
 	overlay, err := ecan.BuildUniform(net, cfg.overlayN, 2, 0,
 		ecan.RandomSelector{RNG: rng.Split("select")}, rng.Split("overlay"))
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"gsso/internal/ecan"
+	"gsso/internal/experiment/engine"
 	"gsso/internal/simrand"
 	"gsso/internal/softstate"
 )
@@ -12,6 +13,14 @@ import (
 // runStretchFig is the engine behind Figures 10-13: routing stretch of the
 // global-soft-state overlay as a function of the per-selection RTT budget,
 // for several landmark counts, against the oracle-optimal selection.
+//
+// The unit of parallelism is one landmark count (one table column): each
+// unit owns its stack outright — eCAN overlays cache routing entries
+// during measurement, so a stack must never be shared between concurrent
+// units — and walks the RTT axis sequentially. Every seed stream derives
+// from (sc.Seed, figure, landmark count, rtts), never from scheduling, and
+// SetSelector clears cached entries before each measurement, so cell
+// values are independent of both the walk order and the worker count.
 func runStretchFig(id string, kind TopoKind, lat LatKind, sc Scale) ([]*Table, error) {
 	net, err := buildNet(kind, lat, sc)
 	if err != nil {
@@ -28,56 +37,62 @@ func runStretchFig(id string, kind TopoKind, lat LatKind, sc Scale) ([]*Table, e
 	}
 	t.Columns = append(t.Columns, "optimal")
 
-	// One stack per landmark count (the space and store depend on it); the
-	// same measurement pairs throughout for comparability.
-	stacks := make([]*stack, len(sc.LandmarkSweep))
-	for i, lm := range sc.LandmarkSweep {
+	// column i holds the stretch for landmark count i at every RTT budget;
+	// unit 0 additionally measures the landmark-independent oracle column
+	// (the oracle is insensitive to the landmark system, so measuring it on
+	// the first stack matches the paper's methodology).
+	type column struct {
+		cells   []float64
+		optimal float64
+	}
+	cols, err := engine.Map(len(sc.LandmarkSweep), func(i int) (column, error) {
+		lm := sc.LandmarkSweep[i]
 		st, err := buildStack(net, sc, stackConfig{
 			overlayN:  sc.OverlayN,
 			landmarks: lm,
 			maxReturn: max(32, slices.Max(sc.RTTSweep)),
 			label:     fmt.Sprintf("%s/lm%d", id, lm),
+			run:       id,
 		})
 		if err != nil {
-			return nil, err
+			return column{}, err
 		}
-		stacks[i] = st
-	}
-	pairRNG := simrand.New(sc.Seed).Split(id + "/pairs")
-	pairs := samplePairs(stacks[0].overlay, sc.QueriesFor(sc.OverlayN), pairRNG)
-
-	// The optimal column is landmark-independent; measure it once on the
-	// first stack (same overlay geometry for all landmark counts is not
-	// guaranteed, but the oracle is insensitive to the landmark system).
-	optimal, err := stretchWithSelector(stacks[0], ecan.ClosestSelector{Env: stacks[0].env}, pairs)
+		// The same measurement pairs throughout for comparability; the
+		// pair stream depends only on the figure's label, so every column
+		// samples the identical host-pair sequence over its own overlay.
+		pairs := samplePairs(st.overlay, sc.QueriesFor(sc.OverlayN),
+			simrand.New(sc.Seed).Split(id+"/pairs"))
+		col := column{cells: make([]float64, len(sc.RTTSweep))}
+		if i == 0 {
+			col.optimal, err = stretchWithSelector(st, ecan.ClosestSelector{Env: st.env}, pairs)
+			if err != nil {
+				return column{}, err
+			}
+		}
+		for j, rtts := range sc.RTTSweep {
+			sel, err := softstate.NewSelector(st.store, rtts,
+				ecan.RandomSelector{RNG: simrand.New(sc.Seed).Split(fmt.Sprintf("%s/fb/%d/%d", id, i, rtts))})
+			if err != nil {
+				return column{}, err
+			}
+			s, err := stretchWithSelector(st, sel, pairs)
+			if err != nil {
+				return column{}, err
+			}
+			col.cells[j] = s
+		}
+		return col, nil
+	})
 	if err != nil {
 		return nil, err
 	}
 
-	for _, rtts := range sc.RTTSweep {
+	for j, rtts := range sc.RTTSweep {
 		row := []interface{}{rtts}
 		for i := range sc.LandmarkSweep {
-			st := stacks[i]
-			// Pairs reference members of stack 0's overlay; each stack has
-			// its own overlay, so re-sample pairs per stack by host
-			// identity via a per-stack pair set.
-			sel, err := softstate.NewSelector(st.store, rtts,
-				ecan.RandomSelector{RNG: simrand.New(sc.Seed).Split(fmt.Sprintf("%s/fb/%d/%d", id, i, rtts))})
-			if err != nil {
-				return nil, err
-			}
-			stPairs := pairs
-			if st != stacks[0] {
-				stPairs = samplePairs(st.overlay, sc.QueriesFor(sc.OverlayN),
-					simrand.New(sc.Seed).Split(id+"/pairs"))
-			}
-			s, err := stretchWithSelector(st, sel, stPairs)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, s)
+			row = append(row, cols[i].cells[j])
 		}
-		row = append(row, optimal)
+		row = append(row, cols[0].optimal)
 		t.AddRowf(row...)
 	}
 	t.Note("optimal = oracle closest-in-region selection (infinite RTT budget)")
@@ -99,7 +114,8 @@ func RunFig13(sc Scale) ([]*Table, error) { return runStretchFig("fig13", TSKSma
 
 // runSizeFig is the engine behind Figures 14-15: stretch vs overlay size,
 // global-soft-state selection against random neighbor selection, on both
-// topologies, at the default landmark count and RTT budget.
+// topologies, at the default landmark count and RTT budget. One unit per
+// (overlay size, topology) cell; each unit builds its own stack.
 func runSizeFig(id string, lat LatKind, sc Scale) ([]*Table, error) {
 	t := &Table{
 		ID: id,
@@ -108,52 +124,47 @@ func runSizeFig(id string, lat LatKind, sc Scale) ([]*Table, error) {
 		Columns: []string{"nodes", "large transit", "small transit",
 			"large transit (random)", "small transit (random)"},
 	}
-	netLarge, err := buildNet(TSKLarge, lat, sc)
-	if err != nil {
-		return nil, err
-	}
-	netSmall, err := buildNet(TSKSmall, lat, sc)
-	if err != nil {
-		return nil, err
-	}
 	kinds := []TopoKind{TSKLarge, TSKSmall}
-	for _, n := range sc.OverlaySweep {
-		row := []interface{}{n}
-		var globals, randoms []float64
-		for _, kind := range kinds {
-			net := netLarge
-			if kind == TSKSmall {
-				net = netSmall
-			}
-			st, err := buildStack(net, sc, stackConfig{
-				overlayN:  n,
-				landmarks: sc.Landmarks,
-				label:     fmt.Sprintf("%s/%s/%d", id, kind, n),
-			})
-			if err != nil {
-				return nil, err
-			}
-			pairs := samplePairs(st.overlay, sc.QueriesFor(n),
-				simrand.New(sc.Seed).Split(fmt.Sprintf("%s/pairs/%s/%d", id, kind, n)))
-			sel, err := softstate.NewSelector(st.store, sc.RTTs,
-				ecan.RandomSelector{RNG: simrand.New(sc.Seed).Split(id + "/fb")})
-			if err != nil {
-				return nil, err
-			}
-			gs, err := stretchWithSelector(st, sel, pairs)
-			if err != nil {
-				return nil, err
-			}
-			rnd, err := stretchWithSelector(st,
-				ecan.RandomSelector{RNG: simrand.New(sc.Seed).Split(id + "/rand")}, pairs)
-			if err != nil {
-				return nil, err
-			}
-			globals = append(globals, gs)
-			randoms = append(randoms, rnd)
+	type cell struct{ global, random float64 }
+	cells, err := engine.Map(len(sc.OverlaySweep)*len(kinds), func(u int) (cell, error) {
+		n, kind := sc.OverlaySweep[u/len(kinds)], kinds[u%len(kinds)]
+		net, err := buildNet(kind, lat, sc)
+		if err != nil {
+			return cell{}, err
 		}
-		row = append(row, globals[0], globals[1], randoms[0], randoms[1])
-		t.AddRowf(row...)
+		st, err := buildStack(net, sc, stackConfig{
+			overlayN:  n,
+			landmarks: sc.Landmarks,
+			label:     fmt.Sprintf("%s/%s/%d", id, kind, n),
+			run:       id,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		pairs := samplePairs(st.overlay, sc.QueriesFor(n),
+			simrand.New(sc.Seed).Split(fmt.Sprintf("%s/pairs/%s/%d", id, kind, n)))
+		sel, err := softstate.NewSelector(st.store, sc.RTTs,
+			ecan.RandomSelector{RNG: simrand.New(sc.Seed).Split(id + "/fb")})
+		if err != nil {
+			return cell{}, err
+		}
+		gs, err := stretchWithSelector(st, sel, pairs)
+		if err != nil {
+			return cell{}, err
+		}
+		rnd, err := stretchWithSelector(st,
+			ecan.RandomSelector{RNG: simrand.New(sc.Seed).Split(id + "/rand")}, pairs)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{global: gs, random: rnd}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sc.OverlaySweep {
+		large, small := cells[i*len(kinds)], cells[i*len(kinds)+1]
+		t.AddRowf(n, large.global, small.global, large.random, small.random)
 	}
 	t.Note("paper: global state with landmark clustering improves stretch ~15-45%% over random neighbor selection")
 	t.Note("paper: the improvement is larger for small-transit/large-stub topologies")
@@ -167,7 +178,8 @@ func RunFig14(sc Scale) ([]*Table, error) { return runSizeFig("fig14", LatGTITM,
 func RunFig15(sc Scale) ([]*Table, error) { return runSizeFig("fig15", LatManual, sc) }
 
 // RunFig16 reproduces Figure 16: the effect of the map condense/reduction
-// rate on map entries per hosting node and on routing stretch.
+// rate on map entries per hosting node and on routing stretch. One unit
+// per condense depth.
 func RunFig16(sc Scale) ([]*Table, error) {
 	net, err := buildNet(TSKLarge, LatManual, sc)
 	if err != nil {
@@ -179,15 +191,23 @@ func RunFig16(sc Scale) ([]*Table, error) {
 		Columns: []string{"reduction rate", "entries/node (mean)", "entries/node (max)",
 			"map owners", "stretch"},
 	}
-	for _, depth := range sc.CondenseSweep {
+	type row struct {
+		mean    float64
+		maxC    int
+		owners  int
+		stretch float64
+	}
+	rows, err := engine.Map(len(sc.CondenseSweep), func(i int) (row, error) {
+		depth := sc.CondenseSweep[i]
 		st, err := buildStack(net, sc, stackConfig{
 			overlayN:  sc.OverlayN,
 			landmarks: sc.Landmarks,
 			condense:  depth,
 			label:     fmt.Sprintf("fig16/c%d", depth),
+			run:       "fig16",
 		})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		counts := st.store.EntriesPerOwner()
 		total, maxC := 0, 0
@@ -206,13 +226,20 @@ func RunFig16(sc Scale) ([]*Table, error) {
 		sel, err := softstate.NewSelector(st.store, sc.RTTs,
 			ecan.RandomSelector{RNG: simrand.New(sc.Seed).Split("fig16/fb")})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		s, err := stretchWithSelector(st, sel, pairs)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		t.AddRowf(1<<uint(depth), mean, maxC, len(counts), s)
+		return row{mean: mean, maxC: maxC, owners: len(counts), stretch: s}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, depth := range sc.CondenseSweep {
+		r := rows[i]
+		t.AddRowf(1<<uint(depth), r.mean, r.maxC, r.owners, r.stretch)
 	}
 	t.Note("reduction rate 2^d condenses each region's map into 1/2^d of the region")
 	t.Note("paper: stretch is insensitive to the rate as long as tens of entries per node remain")

@@ -18,6 +18,7 @@ func RunTab1(sc Scale) ([]*Table, error) {
 		overlayN:  sc.OverlayN,
 		landmarks: sc.Landmarks,
 		label:     "tab1",
+		run:       "tab1",
 	})
 	if err != nil {
 		return nil, err

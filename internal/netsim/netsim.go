@@ -22,13 +22,19 @@ import (
 // The env's meters are mirrored onto the process-global telemetry
 // registry so harnesses (cmd/topobench) can report per-run overhead even
 // for environments created deep inside an experiment. Per-Env totals
-// remain authoritative; the mirror aggregates across all Envs of the
-// process.
+// remain authoritative; the mirror aggregates across all Envs sharing a
+// run label. The "run" dimension exists because experiments execute in
+// parallel: without it, concurrent runs would interleave into one series
+// and bracketing snapshots around a run would charge it for its
+// neighbors' probes. Envs created with New land in run "main"; shared
+// cache fills use run "shared" so their cost is attributed to no
+// experiment in particular (and per-experiment telemetry stays identical
+// no matter which experiment happened to trigger the fill).
 var (
 	globalMessages = obs.Default().Counter("sim_messages_total",
-		"Overlay messages metered across all simulation environments, by category.", "category")
+		"Overlay messages metered across all simulation environments, by category and run.", "category", "run")
 	globalProbes = obs.Default().Counter("sim_probes_total",
-		"RTT probes metered across all simulation environments.").With()
+		"RTT probes metered across all simulation environments, by run.", "run")
 )
 
 // Time is virtual simulation time in milliseconds.
@@ -68,10 +74,12 @@ type Perturbation interface {
 // Env couples a static topology with the simulation's dynamic state. All
 // methods are safe for concurrent use.
 type Env struct {
-	net     *topology.Network
-	clock   *Clock
-	perturb Perturbation
-	plan    *FaultPlan
+	net         *topology.Network
+	run         string
+	probeMirror *obs.Counter
+	clock       *Clock
+	perturb     Perturbation
+	plan        *FaultPlan
 
 	probes int64 // atomic
 
@@ -81,17 +89,33 @@ type Env struct {
 	down     map[topology.NodeID]struct{}
 }
 
-// New returns an Env over net with a fresh clock and no perturbation.
+// New returns an Env over net with a fresh clock and no perturbation,
+// mirroring its meters under the default run label "main".
 func New(net *topology.Network) *Env {
+	return NewRun(net, "main")
+}
+
+// NewRun is New with an explicit run label for the global telemetry
+// mirrors. Experiment harnesses pass their experiment ID so parallel runs
+// stay distinguishable; an empty run falls back to "main".
+func NewRun(net *topology.Network, run string) *Env {
+	if run == "" {
+		run = "main"
+	}
 	return &Env{
-		net:      net,
-		clock:    &Clock{},
-		messages: make(map[string]int64),
+		net:         net,
+		run:         run,
+		probeMirror: globalProbes.With(run),
+		clock:       &Clock{},
+		messages:    make(map[string]int64),
 	}
 }
 
 // Net returns the underlying topology.
 func (e *Env) Net() *topology.Network { return e.net }
+
+// Run returns the env's telemetry run label.
+func (e *Env) Run() string { return e.run }
 
 // Clock returns the virtual clock.
 func (e *Env) Clock() *Clock { return e.clock }
@@ -127,7 +151,7 @@ func (e *Env) Latency(a, b topology.NodeID) float64 {
 // ResetProbes therefore also rewinds the loss stream).
 func (e *Env) ProbeRTT(a, b topology.NodeID) float64 {
 	seq := uint64(atomic.AddInt64(&e.probes, 1))
-	globalProbes.Inc()
+	e.probeMirror.Inc()
 	if e.Crashed(a) || e.Crashed(b) {
 		return math.Inf(1)
 	}
@@ -187,7 +211,7 @@ func (e *Env) CountMessages(category string, n int) {
 	e.messages[category] += int64(n)
 	mirror := e.mirrors[category]
 	if mirror == nil {
-		mirror = globalMessages.With(category)
+		mirror = globalMessages.With(category, e.run)
 		if e.mirrors == nil {
 			e.mirrors = make(map[string]*obs.Counter)
 		}

@@ -1,0 +1,83 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/simrand"
+)
+
+// benchGraph builds a connected random graph shaped like one of the
+// generator's workloads: n nodes, ~3n edges.
+func benchGraph(n int) *Graph {
+	rng := simrand.New(7)
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(rng.Intn(i)), rng.Range(0.5, 20)); err != nil {
+			panic(err)
+		}
+	}
+	for e := 0; e < 2*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = g.AddEdge(NodeID(u), NodeID(v), rng.Range(0.5, 20))
+		}
+	}
+	return g
+}
+
+// TestDijkstraIntoMatchesDijkstra pins the scratch-reuse path to the
+// allocating one, including across reuses of the same scratch and dist.
+func TestDijkstraIntoMatchesDijkstra(t *testing.T) {
+	g := benchGraph(200)
+	var scratch DijkstraScratch
+	dist := make([]float64, g.Len())
+	for src := NodeID(0); src < 20; src++ {
+		want := g.Dijkstra(src)
+		g.DijkstraInto(src, dist, &scratch)
+		for i := range want {
+			if math.Abs(dist[i]-want[i]) > 1e-12 {
+				t.Fatalf("src %d: DijkstraInto[%d] = %v, Dijkstra = %v", src, i, dist[i], want[i])
+			}
+		}
+	}
+	// nil scratch must also work.
+	g.DijkstraInto(0, dist, nil)
+	if dist[0] != 0 {
+		t.Fatalf("nil-scratch dist[src] = %v, want 0", dist[0])
+	}
+}
+
+func TestDijkstraIntoRejectsWrongLength(t *testing.T) {
+	g := benchGraph(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dist length")
+		}
+	}()
+	g.DijkstraInto(0, make([]float64, 5), nil)
+}
+
+// BenchmarkDijkstra is the old interface: a fresh dist slice and a fresh
+// heap every call.
+func BenchmarkDijkstra(b *testing.B) {
+	g := benchGraph(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Dijkstra(NodeID(i % g.Len()))
+	}
+}
+
+// BenchmarkDijkstraInto reuses one dist slice and one scratch across
+// sources, the way Generate's all-pairs loops do.
+func BenchmarkDijkstraInto(b *testing.B) {
+	g := benchGraph(1000)
+	dist := make([]float64, g.Len())
+	var scratch DijkstraScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.DijkstraInto(NodeID(i%g.Len()), dist, &scratch)
+	}
+}

@@ -61,9 +61,9 @@ func Generate(spec Spec, rng *simrand.Source) (*Network, error) {
 	// in the last ulp between d(a,b) and d(b,a); mirror the upper triangle
 	// so the matrix is exactly symmetric.
 	net.transitDist = make([]float64, transitCount*transitCount)
+	var scratch DijkstraScratch
 	for t := 0; t < transitCount; t++ {
-		dist := backbone.Dijkstra(NodeID(t))
-		copy(net.transitDist[t*transitCount:(t+1)*transitCount], dist)
+		backbone.DijkstraInto(NodeID(t), net.transitDist[t*transitCount:(t+1)*transitCount], &scratch)
 	}
 	for t := 0; t < transitCount; t++ {
 		for u := t + 1; u < transitCount; u++ {
@@ -109,8 +109,7 @@ func Generate(spec Spec, rng *simrand.Source) (*Network, error) {
 				dist:      make([]float64, spec.NodesPerStub*spec.NodesPerStub),
 			}
 			for i := 0; i < spec.NodesPerStub; i++ {
-				d := local.Dijkstra(NodeID(i))
-				copy(sd.dist[i*spec.NodesPerStub:(i+1)*spec.NodesPerStub], d)
+				local.DijkstraInto(NodeID(i), sd.dist[i*spec.NodesPerStub:(i+1)*spec.NodesPerStub], &scratch)
 			}
 			net.stubs = append(net.stubs, sd)
 		}

@@ -80,24 +80,52 @@ func (g *Graph) EdgeCount() int {
 // node. Unreachable nodes get +Inf.
 func (g *Graph) Dijkstra(src NodeID) []float64 {
 	dist := make([]float64, len(g.adj))
+	var scratch DijkstraScratch
+	g.DijkstraInto(src, dist, &scratch)
+	return dist
+}
+
+// DijkstraScratch holds the priority-queue storage a Dijkstra run needs, so
+// callers computing many single-source trees over the same graph (the
+// generator's all-pairs precomputation sweeps every backbone and stub node)
+// can reuse one allocation instead of regrowing the heap per source. The
+// zero value is ready to use. Not safe for concurrent use.
+type DijkstraScratch struct {
+	pq arcHeap
+}
+
+// DijkstraInto computes distances from src into dist, which must have
+// length g.Len(); every entry is overwritten (unreachable nodes get +Inf).
+// scratch may be nil, in which case the queue is allocated fresh.
+func (g *Graph) DijkstraInto(src NodeID, dist []float64, scratch *DijkstraScratch) {
+	if len(dist) != len(g.adj) {
+		panic(fmt.Sprintf("topology: DijkstraInto dist length %d != node count %d", len(dist), len(g.adj)))
+	}
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
 	dist[src] = 0
-	pq := &arcHeap{{To: src, W: 0}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(Arc)
+	if scratch == nil {
+		scratch = new(DijkstraScratch)
+	}
+	// The queue is driven through the non-boxing pushArc/popArc rather than
+	// container/heap: heap.Push takes interface{}, which heap-allocates a
+	// box per relaxation — the dominant allocation in the generator's
+	// all-pairs sweeps.
+	pq := &scratch.pq
+	*pq = append((*pq)[:0], Arc{To: src, W: 0})
+	for len(*pq) > 0 {
+		cur := pq.popArc()
 		if cur.W > dist[cur.To] {
 			continue // stale queue entry
 		}
 		for _, e := range g.adj[cur.To] {
 			if nd := cur.W + e.W; nd < dist[e.To] {
 				dist[e.To] = nd
-				heap.Push(pq, Arc{To: e.To, W: nd})
+				pq.pushArc(Arc{To: e.To, W: nd})
 			}
 		}
 	}
-	return dist
 }
 
 // DijkstraSubset computes shortest-path distances from src restricted to
@@ -163,4 +191,47 @@ func (h *arcHeap) Pop() interface{} {
 	item := old[n-1]
 	*h = old[:n-1]
 	return item
+}
+
+// pushArc and popArc are the same binary-heap sift operations that
+// container/heap performs, minus the interface{} boxing of each Arc.
+
+func (h *arcHeap) pushArc(a Arc) {
+	s := append(*h, a)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].W <= s[i].W {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *arcHeap) popArc() Arc {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].W < s[l].W {
+			m = r
+		}
+		if s[i].W <= s[m].W {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
 }
