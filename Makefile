@@ -21,17 +21,22 @@ race:
 	go test -race ./...
 
 # The full pre-merge gate: compile, vet, every test under the race detector,
-# and the experiment engine hammered at a fixed pool width (GSSO_WORKERS
-# sets the default width so nested fan-out runs genuinely parallel even on
-# single-core CI boxes).
+# the experiment engine hammered at a fixed pool width (GSSO_WORKERS sets
+# the default width so nested fan-out runs genuinely parallel even on
+# single-core CI boxes), and a short coverage-guided fuzz of the CAN
+# membership machine (join/depart/crash interleavings must keep the split
+# tree invariant-clean).
 check: build vet race
 	GSSO_WORKERS=4 go test -race -count=1 ./internal/experiment/... ./internal/netsim/...
+	go test -fuzz FuzzMembership -fuzztime 10s -run '^$$' ./internal/can
 
-# Churn soak: the full-scale ext-churn reconvergence gate — record recall
-# must climb back above 99% within three virtual refresh intervals of the
-# last fault wave, deterministically.
+# Soak gates, full scale: the ext-churn reconvergence bar (record recall
+# back above 99% within three virtual refresh intervals of the last fault
+# wave, deterministically) and the ext-selfheal repair bar (discoverability
+# back within 5% of the pre-crash baseline after every crash wave with
+# repair on; degraded with it off).
 soak:
-	SOAK=1 go test -run TestChurnReconvergence -count=1 -v ./internal/experiment
+	SOAK=1 go test -run 'TestChurnReconvergence|TestSelfHealRecovery' -count=1 -v ./internal/experiment
 
 # One testing.B benchmark per paper table/figure, plus package micro-benches.
 bench:

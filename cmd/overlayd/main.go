@@ -106,6 +106,7 @@ func run(args []string, out io.Writer) error {
 		handleTO = fs.Duration("handle-timeout", 10*time.Second, "server-side per-connection deadline")
 		replicas = fs.Int("replicas", 2, "ring owners each record is stored on")
 		retries  = fs.Int("retries", 3, "attempts per wire call (capped exponential backoff between them)")
+		drainTO  = fs.Duration("drain-timeout", 2*time.Second, "graceful-drain budget on SIGINT/SIGTERM: withdraw soft-state before closing (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -170,6 +171,18 @@ func run(args []string, out io.Writer) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful drain: withdraw our soft-state before the deferred Close
+	// tears the listener down (the proactive-departure case of §5.2 —
+	// leave by deletion, not by letting peers wait out the TTL).
+	if *drainTO > 0 {
+		acked, err := node.Withdraw(*drainTO)
+		switch {
+		case err != nil:
+			logger.Warn("drain-failed", "err", err)
+		case acked > 0:
+			logger.Info("drained", "owners_acked", acked)
+		}
+	}
 	logger.Info("shutdown")
 	return nil
 }

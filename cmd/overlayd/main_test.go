@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"os/signal"
 	"regexp"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -310,4 +313,90 @@ func fetchContentType(t *testing.T, url string) string {
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	return resp.Header.Get("Content-Type")
+}
+
+// TestGracefulDrainOnSIGTERM pins the shutdown path: a serving node that
+// published must withdraw its record from every owner before exiting, so
+// peers stop learning about it immediately instead of waiting out the
+// TTL.
+func TestGracefulDrainOnSIGTERM(t *testing.T) {
+	cfgStub := wire.SpaceConfig{Landmarks: []string{"x"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	a, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	peers := []string{a.Addr(), b.Addr()}
+
+	// Keep SIGTERM routed to channels for the whole test so an early
+	// signal (sent before run installs its own handler) cannot kill the
+	// test process.
+	guard := make(chan os.Signal, 8)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	buf := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-peers", strings.Join(peers, ","),
+			"-landmarks", strings.Join(peers, ","),
+			"-publish",
+			"-timeout", "2s",
+			"-drain-timeout", "2s",
+		}, buf)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(buf.String(), "msg=published") {
+		select {
+		case err := <-done:
+			t.Fatalf("exited before publishing: %v\n%s", err, buf.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never published:\n%s", buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if a.RecordCount()+b.RecordCount() == 0 {
+		t.Fatal("publish stored nothing on the owners")
+	}
+
+	// The run goroutine registers its signal handler after publishing;
+	// resend until the drain completes in case the first signal lands in
+	// the registration window.
+	var runErr error
+	for exited := false; !exited; {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case runErr = <-done:
+			exited = true
+		case <-time.After(100 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatalf("SIGTERM did not stop the node:\n%s", buf.String())
+			}
+		}
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v\n%s", runErr, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "msg=drained owners_acked=") {
+		t.Fatalf("drain line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "msg=shutdown") {
+		t.Fatalf("shutdown line missing:\n%s", out)
+	}
+	if n := a.RecordCount() + b.RecordCount(); n != 0 {
+		t.Fatalf("%d records survived the drain", n)
+	}
 }

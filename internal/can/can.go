@@ -373,15 +373,57 @@ func (o *Overlay) split(leaf *zone) (left, right *zone) {
 // leaves inside the sibling subtree is relocated into m's zone and its old
 // zone merges with its sibling.
 func (o *Overlay) Depart(m *Member) error {
+	_, err := o.takeover(m, nil)
+	return err
+}
+
+// Handover reports the outcome of a zone takeover: who ended up owning
+// the vacated zone, and every member whose zone path changed in the
+// process (the successor plus, in the relocation case, the survivor whose
+// zone absorbed the mover's old zone). Callers repairing dependent state
+// (routing tables, region maps) need exactly this set.
+type Handover struct {
+	// Successor owns the departed member's former zone (nil only when the
+	// last member left and the overlay is empty).
+	Successor *Member
+	// Relocated lists members whose zone changed, successor included.
+	Relocated []*Member
+}
+
+// IsMember reports whether m currently belongs to the overlay.
+func (o *Overlay) IsMember(m *Member) bool {
+	_, ok := o.members[m]
+	return ok
+}
+
+// Takeover removes member m without its cooperation — the CAN ungraceful
+// recovery protocol. The zone mechanics are identical to Depart (the
+// split-tree analogue of the paper's smallest-neighbor takeover), but the
+// caller learns who must repair what via the returned Handover.
+func (o *Overlay) Takeover(m *Member) (Handover, error) {
+	return o.takeover(m, nil)
+}
+
+// TakeoverAvoiding is Takeover biased against handing zones to members
+// for which avoid returns true (typically: also crashed). Under cascading
+// crashes a fully live handover may not exist; the operation then falls
+// back to an avoided successor and stays total — a later takeover of that
+// successor finishes the repair. With a nil avoid this is exactly
+// Takeover, choice for choice.
+func (o *Overlay) TakeoverAvoiding(m *Member, avoid func(*Member) bool) (Handover, error) {
+	return o.takeover(m, avoid)
+}
+
+func (o *Overlay) takeover(m *Member, avoid func(*Member) bool) (Handover, error) {
 	if _, ok := o.members[m]; !ok {
-		return errors.New("can: departing member is not in the overlay")
+		return Handover{}, errors.New("can: departing member is not in the overlay")
 	}
 	delete(o.members, m)
 	leaf := m.leaf
 	m.leaf = nil
 	if leaf == o.root {
 		leaf.member = nil // overlay now empty
-		return nil
+		return Handover{}, nil
 	}
 	parent := o.parentOf(leaf)
 	sibling := parent.children[0]
@@ -389,16 +431,22 @@ func (o *Overlay) Depart(m *Member) error {
 		sibling = parent.children[1]
 	}
 	if sibling.isLeaf() {
-		o.mergeChildren(parent, sibling.member)
-		return nil
+		succ := sibling.member
+		o.mergeChildren(parent, succ)
+		return Handover{Successor: succ, Relocated: []*Member{succ}}, nil
 	}
-	// Relocate the owner of one leaf of a deepest sibling-leaf pair.
-	pairParent := deepestLeafPair(sibling)
+	// Relocate the owner of one leaf of a sibling-leaf pair.
+	pairParent := pickLeafPair(sibling, avoid)
 	mover := pairParent.children[0].member
-	o.mergeChildren(pairParent, pairParent.children[1].member)
+	survivor := pairParent.children[1].member
+	if avoid != nil && avoid(mover) && !avoid(survivor) {
+		// The successor inherits m's zone; prefer a live one.
+		mover, survivor = survivor, mover
+	}
+	o.mergeChildren(pairParent, survivor)
 	leaf.member = mover
 	mover.leaf = leaf
-	return nil
+	return Handover{Successor: mover, Relocated: []*Member{mover, survivor}}, nil
 }
 
 // parentOf walks from the root to find the parent of z (z != root).
@@ -411,6 +459,44 @@ func (o *Overlay) parentOf(z *zone) *zone {
 		}
 		cur = next
 	}
+}
+
+// pickLeafPair selects the internal zone whose two leaf children will be
+// merged to free a mover. With nil avoid it is deepestLeafPair — the same
+// deterministic walk Depart has always used. With an avoid predicate it
+// scans every leaf pair in the subtree (deterministic DFS order) and
+// prefers pairs untouched by avoid, then pairs with at least one
+// non-avoided member, then any pair, so takeover never gets stuck even
+// when an entire subtree has crashed.
+func pickLeafPair(z *zone, avoid func(*Member) bool) *zone {
+	if avoid == nil {
+		return deepestLeafPair(z)
+	}
+	var best *zone
+	bestScore := -1
+	var walk func(*zone)
+	walk = func(z *zone) {
+		if z.isLeaf() {
+			return
+		}
+		if z.children[0].isLeaf() && z.children[1].isLeaf() {
+			score := 0
+			if !avoid(z.children[0].member) {
+				score++
+			}
+			if !avoid(z.children[1].member) {
+				score++
+			}
+			if score > bestScore {
+				best, bestScore = z, score
+			}
+			return
+		}
+		walk(z.children[0])
+		walk(z.children[1])
+	}
+	walk(z)
+	return best
 }
 
 // deepestLeafPair returns an internal zone both of whose children are

@@ -1,0 +1,203 @@
+package can
+
+import (
+	"math"
+	"testing"
+
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+// takeoverOverlay builds a dim-2 overlay with n members.
+func takeoverOverlay(t testing.TB, n int, seed uint64) *Overlay {
+	t.Helper()
+	o, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(seed)
+	for i := 0; i < n; i++ {
+		if _, err := o.JoinRandom(topology.NodeID(i), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+// volumeSum adds the zone volumes of all members; a consistent split
+// tree partitions the unit cube, so the sum must be exactly 1.
+func volumeSum(o *Overlay) float64 {
+	s := 0.0
+	for _, m := range o.Members() {
+		s += math.Ldexp(1, -m.Path().Len)
+	}
+	return s
+}
+
+func checkHealthy(t *testing.T, o *Overlay) {
+	t.Helper()
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if v := volumeSum(o); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("zone volumes sum to %v, want 1", v)
+	}
+}
+
+func TestTakeoverHandover(t *testing.T) {
+	o := takeoverOverlay(t, 32, 1)
+	victim := o.Members()[7]
+	h, err := o.Takeover(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.IsMember(victim) {
+		t.Fatal("victim still a member")
+	}
+	if h.Successor == nil || !o.IsMember(h.Successor) {
+		t.Fatalf("successor = %v", h.Successor)
+	}
+	found := false
+	for _, r := range h.Relocated {
+		if r == h.Successor {
+			found = true
+		}
+		if !o.IsMember(r) {
+			t.Fatal("relocated member not in overlay")
+		}
+	}
+	if !found {
+		t.Fatal("successor missing from Relocated")
+	}
+	if o.Size() != 31 {
+		t.Fatalf("Size = %d", o.Size())
+	}
+	checkHealthy(t, o)
+}
+
+// TestTakeoverMatchesDepart pins the refactor: Depart is takeover with
+// no avoid predicate, so both must leave an identical split tree.
+func TestTakeoverMatchesDepart(t *testing.T) {
+	a := takeoverOverlay(t, 48, 3)
+	b := takeoverOverlay(t, 48, 3)
+	for i := 0; i < 10; i++ {
+		idx := (i * 5) % a.Size()
+		if err := a.Depart(a.Members()[idx]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Takeover(b.Members()[idx]); err != nil {
+			t.Fatal(err)
+		}
+		ma, mb := a.Members(), b.Members()
+		if len(ma) != len(mb) {
+			t.Fatalf("sizes diverged: %d vs %d", len(ma), len(mb))
+		}
+		for j := range ma {
+			if ma[j].Path() != mb[j].Path() || ma[j].Host != mb[j].Host {
+				t.Fatalf("step %d member %d: depart %v@%v, takeover %v@%v",
+					i, j, ma[j].Host, ma[j].Path(), mb[j].Host, mb[j].Path())
+			}
+		}
+	}
+}
+
+func TestTakeoverAvoidingCascade(t *testing.T) {
+	o := takeoverOverlay(t, 64, 5)
+	rng := simrand.New(99)
+	crashed := map[*Member]bool{}
+	for _, i := range rng.Sample(64, 19) { // ~30% simultaneous crashes
+		crashed[o.Members()[i]] = true
+	}
+	isCrashed := func(m *Member) bool { return crashed[m] }
+
+	// Repair rounds: take over every crashed member still holding a
+	// zone. A takeover may hand a zone to another crashed member when
+	// the whole neighborhood is dead; a later round finishes the job.
+	for round := 0; round < 10; round++ {
+		progress := false
+		for m := range crashed {
+			if !o.IsMember(m) {
+				continue
+			}
+			progress = true
+			if _, err := o.TakeoverAvoiding(m, isCrashed); err != nil {
+				t.Fatal(err)
+			}
+			checkHealthy(t, o)
+		}
+		if !progress {
+			break
+		}
+	}
+	for m := range crashed {
+		if o.IsMember(m) {
+			t.Fatal("crashed member still holds a zone after convergence")
+		}
+	}
+	if o.Size() != 64-len(crashed) {
+		t.Fatalf("Size = %d, want %d", o.Size(), 64-len(crashed))
+	}
+	for _, m := range o.Members() {
+		if crashed[m] {
+			t.Fatal("survivor set contains a crashed member")
+		}
+	}
+}
+
+// TestTakeoverAvoidingPrefersLive pins the successor preference: when a
+// two-leaf pair holds one crashed and one live member, the live one
+// inherits the vacated zone.
+func TestTakeoverAvoidingPrefersLive(t *testing.T) {
+	for trial := uint64(0); trial < 8; trial++ {
+		o := takeoverOverlay(t, 40, 11+trial)
+		rng := simrand.New(trial)
+		crashed := map[*Member]bool{}
+		for _, i := range rng.Sample(40, 8) {
+			crashed[o.Members()[i]] = true
+		}
+		var victim *Member
+		for m := range crashed {
+			victim = m
+			break
+		}
+		h, err := o.TakeoverAvoiding(victim, func(m *Member) bool { return crashed[m] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A sibling-leaf merge has no choice of successor; but whenever a
+		// pair relocation had a live member available, the live one must
+		// inherit the vacated zone.
+		if len(h.Relocated) == 2 && crashed[h.Relocated[0]] && !crashed[h.Relocated[1]] {
+			t.Fatalf("trial %d: crashed successor chosen over live survivor", trial)
+		}
+		checkHealthy(t, o)
+	}
+}
+
+func TestTakeoverErrorsAndEmpty(t *testing.T) {
+	o := takeoverOverlay(t, 2, 7)
+	outsider := &Member{Host: 999}
+	if _, err := o.Takeover(outsider); err == nil {
+		t.Fatal("non-member takeover accepted")
+	}
+	if _, err := o.Takeover(nil); err == nil {
+		t.Fatal("nil takeover accepted")
+	}
+	ms := o.Members()
+	h, err := o.Takeover(ms[0])
+	if err != nil || h.Successor != ms[1] {
+		t.Fatalf("sibling merge: %+v, %v", h, err)
+	}
+	h, err = o.Takeover(ms[1])
+	if err != nil || h.Successor != nil {
+		t.Fatalf("last member: %+v, %v", h, err)
+	}
+	if o.Size() != 0 {
+		t.Fatal("overlay not empty")
+	}
+	// The emptied overlay accepts a fresh first join.
+	if _, err := o.JoinRandom(5, simrand.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	checkHealthy(t, o)
+}

@@ -36,6 +36,10 @@ type config struct {
 	probeBudget int
 	condense    int
 	dim         int
+	ttl         netsim.Time
+	confirm     int
+	net         *topology.Network
+	run         string
 }
 
 func defaultConfig() config {
@@ -47,6 +51,8 @@ func defaultConfig() config {
 		landmarks:   8,
 		probeBudget: 10,
 		dim:         2,
+		ttl:         60_000,
+		confirm:     2,
 	}
 }
 
@@ -79,6 +85,25 @@ func WithProbeBudget(b int) Option { return func(c *config) { c.probeBudget = b 
 // WithCondenseDepth condenses region maps into 1/2^d of their region.
 func WithCondenseDepth(d int) Option { return func(c *config) { c.condense = d } }
 
+// WithSoftStateTTL overrides the soft-state entry lifetime (virtual ms).
+// Experiments that tick a fast virtual clock shrink it so expiry — the
+// paper's implicit failure signal — fires within their horizon.
+func WithSoftStateTTL(ttl netsim.Time) Option { return func(c *config) { c.ttl = ttl } }
+
+// WithConfirmThreshold sets how many independent suspicion signals
+// (entry expiries, timed-out probes, external reports) a member must
+// accumulate before the failure detector runs a confirmation probe.
+func WithConfirmThreshold(n int) Option { return func(c *config) { c.confirm = n } }
+
+// WithNetwork supplies a pre-generated physical topology instead of
+// generating one from the seed; experiment harnesses pass their memoized
+// shared network so a System costs no topology build.
+func WithNetwork(net *topology.Network) Option { return func(c *config) { c.net = net } }
+
+// WithRunLabel sets the env's telemetry run label (empty = "main"), so a
+// System embedded in an experiment meters under that experiment's ID.
+func WithRunLabel(run string) Option { return func(c *config) { c.run = run } }
+
 // System is the assembled stack.
 type System struct {
 	cfg     config
@@ -94,6 +119,7 @@ type System struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	tm     *telemetry
+	heal   *healState
 }
 
 // telemetry holds the system's pre-resolved metric series plus the
@@ -182,28 +208,34 @@ func New(opts ...Option) (*System, error) {
 	if cfg.probeBudget < 1 {
 		return nil, fmt.Errorf("core: probe budget %d, need >= 1", cfg.probeBudget)
 	}
-
-	model := topology.GTITMLatency()
-	if cfg.manual {
-		model = topology.ManualLatency()
+	if cfg.confirm < 1 {
+		return nil, fmt.Errorf("core: confirm threshold %d, need >= 1", cfg.confirm)
 	}
-	var spec topology.Spec
-	switch cfg.topoKind {
-	case "tsk-large":
-		spec = topology.TSKLarge(model)
-	case "tsk-small":
-		spec = topology.TSKSmall(model)
-	default:
-		return nil, fmt.Errorf("core: unknown topology %q", cfg.topoKind)
-	}
-	spec = spec.Scaled(cfg.topoScale)
 
 	rng := simrand.New(cfg.seed)
-	net, err := topology.Generate(spec, rng.Split("topo"))
-	if err != nil {
-		return nil, err
+	net := cfg.net
+	if net == nil {
+		model := topology.GTITMLatency()
+		if cfg.manual {
+			model = topology.ManualLatency()
+		}
+		var spec topology.Spec
+		switch cfg.topoKind {
+		case "tsk-large":
+			spec = topology.TSKLarge(model)
+		case "tsk-small":
+			spec = topology.TSKSmall(model)
+		default:
+			return nil, fmt.Errorf("core: unknown topology %q", cfg.topoKind)
+		}
+		spec = spec.Scaled(cfg.topoScale)
+		var err error
+		net, err = topology.Generate(spec, rng.Split("topo"))
+		if err != nil {
+			return nil, err
+		}
 	}
-	env := netsim.New(net)
+	env := netsim.NewRun(net, cfg.run)
 	overlay, err := ecan.BuildUniform(net, cfg.overlayN, cfg.dim, 0,
 		ecan.RandomSelector{RNG: rng.Split("bootstrap")}, rng.Split("overlay"))
 	if err != nil {
@@ -219,7 +251,7 @@ func New(opts ...Option) (*System, error) {
 		return nil, err
 	}
 	store, err := softstate.NewStore(overlay, space, env, softstate.Config{
-		TTL:           60_000,
+		TTL:           cfg.ttl,
 		CondenseDepth: cfg.condense,
 		MaxReturn:     max(16, cfg.probeBudget),
 		ExpandBudget:  8,
@@ -245,11 +277,16 @@ func New(opts ...Option) (*System, error) {
 		return nil, err
 	}
 	overlay.SetSelector(sel)
-	return &System{
+	s := &System{
 		cfg: cfg, net: net, env: env, overlay: overlay,
 		space: space, store: store, bus: bus, rng: rng,
 		reg: reg, tracer: obs.NewTracer(), tm: newTelemetry(reg),
-	}, nil
+	}
+	s.heal = newHealState(reg)
+	// The failure detector listens to map churn alongside the pub/sub bus:
+	// entry expiry is §5.2's implicit failure signal.
+	store.AddEventSink(s.observeStoreEvent)
+	return s, nil
 }
 
 // Net returns the physical topology.
@@ -456,6 +493,11 @@ func (s *System) nearestFromRegions(from topology.NodeID, vec landmark.Vector,
 		if tr != nil {
 			tr.Hop(fmt.Sprintf("host:%d", c.entry.Host), c.entry.Member.Path().String(), rtt)
 		}
+		if math.IsInf(rtt, 1) {
+			// A timed-out candidate probe is a suspicion signal (§5.2's
+			// reactive discovery path).
+			s.SuspectMember(c.entry.Member)
+		}
 		if rtt < res.RTTMs {
 			res.RTTMs = rtt
 			res.Member = c.entry.Member
@@ -522,13 +564,18 @@ func (s *System) JoinHost(host topology.NodeID) (*can.Member, NearestResult, err
 }
 
 // DepartMember removes m: its soft-state entries are withdrawn (the
-// proactive departure case of §5.2), its zone is handed over per the CAN
-// protocol, and routing state is refreshed.
+// proactive departure case of §5.2), its subscriptions are canceled (a
+// departed member must stop receiving notifications — and watchers of it
+// can never fire again), its zone is handed over per the CAN protocol,
+// and routing state is refreshed.
 func (s *System) DepartMember(m *can.Member) error {
 	if m == nil {
 		return errors.New("core: nil member")
 	}
 	s.store.Remove(m)
+	s.bus.RemoveSubscriber(m)
+	s.bus.DropWatching(m)
+	s.heal.forget(m)
 	if err := s.overlay.CAN().Depart(m); err != nil {
 		return err
 	}

@@ -185,6 +185,54 @@ func (o *Overlay) Refresh() {
 	o.nodes = make(map[*can.Member]*Node, o.can.Size())
 }
 
+// Reindex re-snapshots the region index after a membership change while
+// preserving cached routing entries — the surgical counterpart to
+// Refresh's full wipe, for repair paths that know exactly which members
+// moved. invalid marks members whose zone changed or vanished: every
+// cached slot pointing at one is cleared (next use re-selects), a node
+// owned by one is reset wholesale (its own path, hence its region
+// geometry, changed), and nodes of members no longer in the overlay are
+// dropped. Slots cached as "region empty" are re-armed too — a takeover
+// can relocate a member INTO a previously empty region. If the table
+// geometry (row count) changed, all routing state resets as in Refresh.
+func (o *Overlay) Reindex(invalid func(*can.Member) bool) {
+	o.regions = o.can.RegionIndex()
+	maxDepth := 0
+	for _, m := range o.can.Members() {
+		if d := m.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	rows := (maxDepth + o.digitLen - 1) / o.digitLen
+	if rows == 0 {
+		rows = 1
+	}
+	if rows != o.maxRows {
+		o.maxRows = rows
+		o.nodes = make(map[*can.Member]*Node, o.can.Size())
+		return
+	}
+	for m, n := range o.nodes {
+		if !o.can.IsMember(m) {
+			delete(o.nodes, m)
+			continue
+		}
+		if invalid == nil {
+			continue
+		}
+		if invalid(m) {
+			n.reset(o.maxRows, o.fanout)
+			continue
+		}
+		for i, c := range n.chosen {
+			if c && (n.digits[i] == nil || invalid(n.digits[i])) {
+				n.digits[i] = nil
+				n.chosen[i] = false
+			}
+		}
+	}
+}
+
 // RegionMembers returns the membership of a high-order region (the shared
 // index slice; do not modify). Nil if the region does not exist.
 func (o *Overlay) RegionMembers(region can.Path) []*can.Member {

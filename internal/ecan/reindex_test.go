@@ -1,0 +1,140 @@
+package ecan
+
+import (
+	"testing"
+
+	"gsso/internal/can"
+	"gsso/internal/simrand"
+)
+
+// fillTables routes from every member so the lazy tables cache entries.
+func fillTables(t *testing.T, o *Overlay, rng *simrand.Source) {
+	t.Helper()
+	members := o.CAN().Members()
+	for i := 0; i < 2*len(members); i++ {
+		from := members[rng.Intn(len(members))]
+		if _, err := o.Route(from, can.RandomPoint(2, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// cachedPointers collects every live cached slot value per member.
+func cachedPointers(o *Overlay) map[*can.Member][]*can.Member {
+	out := map[*can.Member][]*can.Member{}
+	for _, m := range o.CAN().Members() {
+		for row := 0; row < o.maxRows; row++ {
+			for digit := 0; digit < o.fanout; digit++ {
+				if e := o.CachedEntry(m, row, digit); e != nil {
+					out[m] = append(out[m], e)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestReindexSurgical(t *testing.T) {
+	net := testNet(t)
+	o := buildECAN(t, net, 64, RandomSelector{RNG: simrand.New(9)})
+	rng := simrand.New(17)
+	fillTables(t, o, rng)
+	before := cachedPointers(o)
+	if len(before) == 0 {
+		t.Fatal("no cached entries to test against")
+	}
+
+	// Take over one member; the handover names exactly who moved.
+	victim := o.CAN().Members()[11]
+	hand, err := o.CAN().Takeover(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invalid := map[*can.Member]bool{victim: true}
+	for _, r := range hand.Relocated {
+		invalid[r] = true
+	}
+	rowsBefore := o.maxRows
+	o.Reindex(func(m *can.Member) bool { return invalid[m] })
+	if o.maxRows != rowsBefore {
+		t.Skip("takeover changed table geometry; surgical path not exercised")
+	}
+
+	after := cachedPointers(o)
+	survivorsKept := 0
+	for m, entries := range after {
+		if invalid[m] {
+			t.Fatalf("relocated member %v kept stale cached entries", m.Host)
+		}
+		for _, e := range entries {
+			if invalid[e] {
+				t.Fatalf("cached slot of %v still points at relocated member %v", m.Host, e.Host)
+			}
+			if !o.CAN().IsMember(e) {
+				t.Fatalf("cached slot of %v points outside the overlay", m.Host)
+			}
+		}
+		if len(before[m]) > 0 && len(entries) > 0 {
+			survivorsKept++
+		}
+	}
+	if survivorsKept == 0 {
+		t.Fatal("Reindex wiped every cached entry; expected surgical invalidation")
+	}
+	if _, ok := after[victim]; ok {
+		t.Fatal("departed member still has a routing node")
+	}
+
+	// Routing still works end to end on the reindexed tables.
+	fillTables(t, o, rng)
+	if err := o.CAN().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReindexMatchesRefresh pins equivalence of outcomes: after the same
+// takeover, a reindexed overlay and a refreshed one route every probe to
+// the same owner (cached entries may differ; correctness may not).
+func TestReindexMatchesRefresh(t *testing.T) {
+	build := func() *Overlay {
+		o := buildECAN(t, testNet(t), 48, RandomSelector{RNG: simrand.New(4)})
+		fillTables(t, o, simrand.New(5))
+		return o
+	}
+	a, b := build(), build()
+	for _, o := range []*Overlay{a, b} {
+		victim := o.CAN().Members()[5]
+		hand, err := o.CAN().Takeover(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		invalid := map[*can.Member]bool{victim: true}
+		for _, r := range hand.Relocated {
+			invalid[r] = true
+		}
+		if o == a {
+			o.Reindex(func(m *can.Member) bool { return invalid[m] })
+		} else {
+			o.Refresh()
+		}
+	}
+	rng := simrand.New(6)
+	ma, mb := a.CAN().Members(), b.CAN().Members()
+	for i := 0; i < 80; i++ {
+		p := can.RandomPoint(2, rng)
+		idx := rng.Intn(len(ma))
+		ra, err := a.Route(ma[idx], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Route(mb[idx], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la := ra.Members[len(ra.Members)-1]
+		lb := rb.Members[len(rb.Members)-1]
+		if la.Path() != lb.Path() {
+			t.Fatalf("probe %d: reindexed route ends at %v, refreshed at %v", i, la.Path(), lb.Path())
+		}
+	}
+}

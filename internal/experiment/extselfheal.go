@@ -1,0 +1,387 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"gsso/internal/can"
+	"gsso/internal/core"
+	"gsso/internal/netsim"
+	"gsso/internal/simrand"
+	"gsso/internal/topology"
+)
+
+// RunExtSelfHeal exercises the crash half of §5.2 end to end: members
+// crash ungracefully (no withdrawal, no handover), the failure detector
+// accumulates suspicion from soft-state expiry and timed-out probes, and
+// the repair loop confirms crashes, takes the dead zones over, and
+// repairs dependent state. The experiment runs the same seeded crash
+// schedule with the repair loop on and off, at map-replication k of 1,
+// 2, and 3, and tracks two health signals per virtual refresh interval:
+//
+//   - NN recall — the fraction of nearest-member queries that find the
+//     true physically nearest live member (against the latency oracle);
+//   - route success — the fraction of member-to-member routes whose
+//     path crosses no crashed zone (plus mean stretch over successes).
+//
+// With repair off a crashed member keeps its zone forever: map spots
+// whose entire k-owner chain died can never be written again, so the
+// entries lost with the shard never come back and recall stays
+// degraded — worst at k=1, mild at k=3. With repair on, takeover hands
+// the dead zones to live successors, ownership of the condensed maps
+// follows the zones, and the next refresh repopulates the spots: recall
+// recovers to the pre-crash baseline after each wave.
+
+const (
+	// selfHealWaves crash a fresh selfHealFraction of members each, one
+	// at 3 intervals and one at 9 (period 6).
+	selfHealWaves    = 2
+	selfHealFraction = 0.15
+	// selfHealTicks gives each wave a TTL expiry (3 intervals) plus a
+	// recovery window before the next checkpoint.
+	selfHealTicks = 14
+	// selfHealPairs is the fixed routing sample measured every tick.
+	selfHealPairs = 20
+)
+
+// selfHealConfig is one cell of the repair × replication grid.
+type selfHealConfig struct {
+	repair bool
+	k      int
+}
+
+// selfHealOutcome summarizes one simulated run.
+type selfHealOutcome struct {
+	baseline  float64   // NN recall on the last pre-crash tick
+	minRecall float64   // worst post-crash recall
+	preWave2  float64   // recall on the last tick before the second wave
+	final     float64   // recall on the last tick
+	recalls   []float64 // per tick
+	routeOK   []float64 // per tick
+	stretch   []float64 // per tick, mean over successful routes
+	takeovers int
+	relocated int
+	purged    int
+	rounds    int // repair rounds that performed takeovers
+}
+
+// recovered reports whether recall returned to within frac of the
+// pre-crash baseline at both checkpoints (before the second wave, and at
+// the end).
+func (o selfHealOutcome) recovered(frac float64) bool {
+	floor := o.baseline * (1 - frac)
+	return o.preWave2 >= floor && o.final >= floor
+}
+
+// pickQueries samples n fixed query members from the pool of members
+// that never crash (the schedule is known upfront), so the query set —
+// and therefore the recall denominator — is identical on every tick of
+// every configuration.
+func pickQueries(members []*can.Member, n int, rng *simrand.Source) []*can.Member {
+	if n > len(members) {
+		n = len(members)
+	}
+	out := make([]*can.Member, 0, n)
+	for _, i := range rng.Sample(len(members), n) {
+		out = append(out, members[i])
+	}
+	return out
+}
+
+// nnRecall measures NN discoverability: for each query member, is the
+// true physically nearest live member (latency oracle) present in the
+// candidate sets its soft-state maps can offer — any of the querier's
+// enclosing digit-aligned region maps plus the top-level maps, within
+// each map's return cap? This isolates what crashes destroy (map
+// entries lost with dead owner chains) from what they cannot touch (the
+// probe-budget ranking noise of a full query), which is the same with
+// repair on or off.
+func nnRecall(sys *core.System, queries []*can.Member) float64 {
+	env, store := sys.Env(), sys.Store()
+	members := sys.Members()
+	d := sys.Overlay().DigitLen()
+	total, hit := 0, 0
+	for _, q := range queries {
+		vec := store.Vector(q)
+		if vec == nil {
+			continue
+		}
+		total++
+		var best *can.Member
+		bestL := math.Inf(1)
+		for _, m := range members {
+			if m == q || m.Host == q.Host || env.Crashed(m.Host) {
+				continue
+			}
+			if l := env.Latency(q.Host, m.Host); l < bestL {
+				bestL, best = l, m
+			}
+		}
+		if best == nil {
+			continue
+		}
+		// Deep enclosing regions first, then every top-level map.
+		regions := make([]can.Path, 0, 8)
+		for l := (q.Depth() / d) * d; l >= d; l -= d {
+			regions = append(regions, q.Path().Prefix(l))
+		}
+		for digit := uint64(0); digit < 1<<uint(d); digit++ {
+			regions = append(regions, can.Path{Bits: digit << (64 - uint(d)), Len: d})
+		}
+		found := false
+		for _, region := range regions {
+			entries, _, err := store.Lookup(region, vec)
+			if err != nil {
+				continue
+			}
+			for _, e := range entries {
+				if e.Member == best {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			hit++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}
+
+// samplePairsFrom draws n distinct-host routing pairs from a member
+// pool (samplePairs over a subset, here the never-crashing survivors).
+func samplePairsFrom(members []*can.Member, n int, rng *simrand.Source) []pair {
+	out := make([]pair, 0, n)
+	for len(out) < n {
+		src := members[rng.Intn(len(members))]
+		dst := members[rng.Intn(len(members))]
+		if src == dst || src.Host == dst.Host {
+			continue
+		}
+		out = append(out, pair{src: src, dst: dst})
+	}
+	return out
+}
+
+// routeHealth routes the fixed pair sample between live endpoints. A
+// route whose path crosses a crashed zone fails (and reports every dead
+// hop as a suspicion signal — in a deployment the forwarding neighbor
+// notices); stretch is averaged over the successes.
+func routeHealth(sys *core.System, pairs []pair) (okFrac, meanStretch float64) {
+	env := sys.Env()
+	attempted, ok := 0, 0
+	total := 0.0
+	for _, p := range pairs {
+		if env.Crashed(p.src.Host) || env.Crashed(p.dst.Host) {
+			continue
+		}
+		attempted++
+		r, err := sys.RouteTo(p.src, p.dst)
+		if err != nil {
+			continue
+		}
+		dead := false
+		for _, m := range r.Path {
+			if env.Crashed(m.Host) {
+				dead = true
+				sys.SuspectMember(m)
+			}
+		}
+		if dead {
+			continue
+		}
+		ok++
+		total += r.Stretch
+	}
+	if attempted == 0 {
+		return 1, 0
+	}
+	okFrac = float64(ok) / float64(attempted)
+	if ok > 0 {
+		meanStretch = total / float64(ok)
+	}
+	return okFrac, meanStretch
+}
+
+// runSelfHeal simulates one configuration over the shared crash
+// schedule. Each tick advances one refresh interval: pending waves
+// crash their members (permanently — no recovery), shards whose whole
+// owner chain died are lost, live members refresh their entries (a
+// publish lands only if a spot owner is alive), expiry sweeps feed the
+// detector, and — when enabled — the repair loop converges before the
+// tick's health measurements.
+func runSelfHeal(net *topology.Network, sc Scale, cfg selfHealConfig) (selfHealOutcome, error) {
+	sys, err := core.New(
+		core.WithSeed(sc.Seed),
+		core.WithNetwork(net),
+		core.WithOverlaySize(sc.OverlayN/2),
+		core.WithLandmarks(sc.Landmarks),
+		core.WithSoftStateTTL(3*churnInterval),
+		core.WithConfirmThreshold(2),
+		core.WithRunLabel("ext-selfheal"),
+	)
+	if err != nil {
+		return selfHealOutcome{}, err
+	}
+	env, store := sys.Env(), sys.Store()
+	members := sys.Members()
+	hosts := make([]topology.NodeID, len(members))
+	byHost := make(map[topology.NodeID]*can.Member, len(members))
+	for i, m := range members {
+		hosts[i] = m.Host
+		byHost[m.Host] = m
+	}
+	crashed := func(m *can.Member) bool { return env.Crashed(m.Host) }
+
+	// Replicated map placement: a publish lands only if at least one of
+	// the spot's k ring owners is alive; with every owner dead the write
+	// has nowhere to go until a takeover reassigns the spot.
+	store.SetPublishFilter(func(region can.Path, number uint64) bool {
+		owners := store.OwnersOf(region, number, cfg.k)
+		if len(owners) == 0 {
+			return true
+		}
+		for _, o := range owners {
+			if !env.Crashed(o.Host) {
+				return true
+			}
+		}
+		return false
+	})
+
+	// The schedule and samples derive from the scale seed alone, so every
+	// configuration faces the identical crash sequence, query set, and
+	// routing pairs.
+	rng := simrand.New(sc.Seed).Split("selfheal")
+	waves := netsim.CrashWaves(rng.Split("waves"), hosts, selfHealWaves,
+		3*churnInterval, 6*churnInterval, 3*churnInterval, selfHealFraction)
+	// Queries and routing pairs draw from members outside every wave, so
+	// the measurement sample is the same on every tick.
+	downAll := make(map[topology.NodeID]struct{})
+	for _, w := range waves {
+		for h := range w.Down {
+			downAll[h] = struct{}{}
+		}
+	}
+	survivors := make([]*can.Member, 0, len(members))
+	for _, m := range members {
+		if _, dead := downAll[m.Host]; !dead {
+			survivors = append(survivors, m)
+		}
+	}
+	queries := pickQueries(survivors, sc.NNQueries, rng.Split("queries"))
+	pairs := samplePairsFrom(survivors, selfHealPairs, rng.Split("pairs"))
+
+	applied := make([]bool, len(waves))
+	out := selfHealOutcome{minRecall: 1}
+	crashesStarted := false
+	for tick := 1; tick <= selfHealTicks; tick++ {
+		env.Clock().Advance(churnInterval)
+		now := env.Clock().Now()
+		for i, w := range waves {
+			if applied[i] || now < w.From {
+				continue
+			}
+			applied[i] = true
+			crashesStarted = true
+			for h := range w.Down {
+				if m := byHost[h]; m != nil && !env.Crashed(h) {
+					if err := sys.CrashMember(m); err != nil {
+						return out, err
+					}
+				}
+			}
+		}
+		store.LoseShards(crashed, cfg.k)
+		for _, m := range members {
+			if env.Crashed(m.Host) {
+				continue
+			}
+			if vec := store.Vector(m); vec != nil {
+				if err := store.Publish(m, vec); err != nil {
+					return out, err
+				}
+			} else if err := store.PublishMeasured(m); err != nil {
+				return out, err
+			}
+		}
+		store.SweepExpired()
+		if cfg.repair {
+			rep, rounds := sys.ConvergeRepairs(8)
+			out.takeovers += rep.Takeovers
+			out.relocated += rep.Relocated
+			out.purged += rep.PurgedEntries
+			if rep.Takeovers > 0 {
+				out.rounds += rounds
+			}
+		}
+
+		recall := nnRecall(sys, queries)
+		okFrac, stretch := routeHealth(sys, pairs)
+		out.recalls = append(out.recalls, recall)
+		out.routeOK = append(out.routeOK, okFrac)
+		out.stretch = append(out.stretch, stretch)
+		if !crashesStarted {
+			out.baseline = recall
+		} else if recall < out.minRecall {
+			out.minRecall = recall
+		}
+		if len(waves) > 1 && now < waves[1].From {
+			out.preWave2 = recall
+		}
+		out.final = recall
+	}
+	return out, nil
+}
+
+// RunExtSelfHeal is the registry entry point.
+func RunExtSelfHeal(sc Scale) ([]*Table, error) {
+	net, err := buildNet(TSKLarge, LatGTITM, sc)
+	if err != nil {
+		return nil, err
+	}
+	summary := &Table{
+		ID:    "ext-selfheal",
+		Title: "Self-healing membership: crash waves, repair loop on/off, map replication k",
+		Columns: []string{"repair", "replicas k", "baseline recall", "min recall",
+			"pre-wave-2 recall", "final recall", "recovered ≤5%",
+			"final route ok", "takeovers", "repair rounds", "orphans purged"},
+	}
+	series := &Table{
+		ID:    "ext-selfheal-recall",
+		Title: "NN recall and route success vs time (one refresh interval per tick)",
+		Columns: []string{"repair", "replicas k", "tick", "nn recall",
+			"route success", "stretch (ok routes)"},
+	}
+	for _, repair := range []bool{true, false} {
+		for _, k := range []int{1, 2, 3} {
+			o, err := runSelfHeal(net, sc, selfHealConfig{repair: repair, k: k})
+			if err != nil {
+				return nil, err
+			}
+			mode := "off"
+			if repair {
+				mode = "on"
+			}
+			summary.AddRowf(mode, k, o.baseline, o.minRecall, o.preWave2, o.final,
+				o.recovered(0.05), o.routeOK[len(o.routeOK)-1],
+				o.takeovers, o.rounds, o.purged)
+			for t := range o.recalls {
+				series.AddRowf(mode, k, t+1,
+					fmt.Sprintf("%.3f", o.recalls[t]),
+					fmt.Sprintf("%.3f", o.routeOK[t]),
+					fmt.Sprintf("%.3f", o.stretch[t]))
+			}
+		}
+	}
+	summary.Note("waves crash a fresh 15%% of members at ticks 3 and 9, permanently; entries expire after 3 intervals")
+	summary.Note("repair on: expiry-driven suspicion confirms the crash, the zone is taken over, and the next refresh repopulates the reassigned map spots")
+	summary.Note("repair off: spots whose whole k-owner chain died are unwritable forever — recall stays degraded, worst at k=1")
+	return []*Table{summary, series}, nil
+}

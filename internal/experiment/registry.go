@@ -44,6 +44,7 @@ func All() []Experiment {
 		{"ext-hier", "§5.4", "Hierarchical landmark spaces", RunExtHier},
 		{"ext-failure", "§5.2", "Soft-state repair after member crashes", RunExtFailure},
 		{"ext-churn", "§5.2", "Record recall under seeded churn fault plans", RunExtChurn},
+		{"ext-selfheal", "§5.2", "Self-healing membership: crash, takeover, repair", RunExtSelfHeal},
 		{"ext-pastry", "§7", "Proximity-neighbor selection on Pastry", RunExtPastry},
 		{"ext-svd", "§5.4", "SVD denoising of noisy landmark vectors", RunExtSVD},
 		{"ext-ordering", "§2", "Landmark-ordering clustering baseline", RunExtOrdering},

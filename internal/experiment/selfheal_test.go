@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSelfHealRecovery is the self-healing soak gate (`make soak`): with
+// repair enabled, map discoverability must return to within 5% of the
+// pre-crash baseline after every crash wave and routing must end fully
+// healthy; with repair disabled the k=1 overlay must stay degraded —
+// otherwise the experiment proves nothing about the repair pipeline.
+// Set SOAK=1 for the full-scale overlay.
+func TestSelfHealRecovery(t *testing.T) {
+	sc := Quick(1)
+	if os.Getenv("SOAK") != "" {
+		sc = Full(1)
+	}
+	net, err := buildNet(TSKLarge, LatGTITM, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 2, 3} {
+		on, err := runSelfHeal(net, sc, selfHealConfig{repair: true, k: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !on.recovered(0.05) {
+			t.Errorf("repair on, k=%d: recall did not recover (baseline %.3f, pre-wave-2 %.3f, final %.3f)",
+				k, on.baseline, on.preWave2, on.final)
+		}
+		if on.takeovers == 0 {
+			t.Errorf("repair on, k=%d: no takeovers ran", k)
+		}
+		if final := on.routeOK[len(on.routeOK)-1]; final < 1 {
+			t.Errorf("repair on, k=%d: final route success %.3f, want 1.0", k, final)
+		}
+
+		off, err := runSelfHeal(net, sc, selfHealConfig{repair: false, k: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.takeovers != 0 {
+			t.Errorf("repair off, k=%d: %d takeovers ran", k, off.takeovers)
+		}
+		// Dead zones stay in every path until someone takes them over:
+		// route success must separate repair on from off at every k.
+		if final := off.routeOK[len(off.routeOK)-1]; final >= 1 {
+			t.Errorf("repair off, k=%d: routing fully healthy without repair (%.3f)", k, final)
+		}
+		if k == 1 && off.recovered(0.05) {
+			t.Errorf("repair off, k=1: recall recovered without repair (baseline %.3f, final %.3f)",
+				off.baseline, off.final)
+		}
+	}
+
+	// Determinism: the same config replays to the identical recall trace.
+	a, err := runSelfHeal(net, sc, selfHealConfig{repair: true, k: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runSelfHeal(net, sc, selfHealConfig{repair: true, k: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.recalls) != len(b.recalls) {
+		t.Fatalf("replay produced %d ticks, want %d", len(b.recalls), len(a.recalls))
+	}
+	for i := range a.recalls {
+		if a.recalls[i] != b.recalls[i] || a.routeOK[i] != b.routeOK[i] {
+			t.Errorf("tick %d: replay (%.4f, %.4f) differs from first run (%.4f, %.4f)",
+				i, b.recalls[i], b.routeOK[i], a.recalls[i], a.routeOK[i])
+		}
+	}
+}

@@ -198,6 +198,20 @@ func (e *Env) IsDown(host topology.NodeID) bool {
 	return down
 }
 
+// DownHosts returns the hosts currently marked down via SetDown, in
+// ascending ID order. Plan-scheduled churn is time-dependent and not
+// included; use Crashed per host for the union at the current instant.
+func (e *Env) DownHosts() []topology.NodeID {
+	e.mu.Lock()
+	out := make([]topology.NodeID, 0, len(e.down))
+	for h := range e.down {
+		out = append(out, h)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Probes returns the number of RTT measurements performed so far.
 func (e *Env) Probes() int64 { return atomic.LoadInt64(&e.probes) }
 

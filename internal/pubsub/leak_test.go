@@ -1,0 +1,148 @@
+package pubsub
+
+import (
+	"testing"
+
+	"gsso/internal/can"
+)
+
+// TestRemoveSubscriberDropsAll is the regression test for the
+// subscription leak: a member that leaves the overlay must not keep
+// live subscriptions on the bus, or its callbacks fire into freed state
+// and the per-region lists grow without bound under churn.
+func TestRemoveSubscriberDropsAll(t *testing.T) {
+	h := newHarness(t, 32)
+	members := h.overlay.CAN().Members()
+	leaver := members[0]
+	region := regionOf(h, leaver)
+	var stayer *can.Member
+	for _, m := range members[1:] {
+		if regionOf(h, m) != region {
+			stayer = m
+			break
+		}
+	}
+	if stayer == nil {
+		t.Skip("all members share one region")
+	}
+	otherRegion := regionOf(h, stayer)
+
+	var fired int
+	for _, r := range []can.Path{region, otherRegion} {
+		if _, err := h.bus.Subscribe(leaver, r, Condition{Kind: NodeJoined}, func(Notification) {
+			fired++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.bus.Subscribe(stayer, otherRegion, Condition{Kind: NodeJoined}, func(Notification) {}); err != nil {
+		t.Fatal(err)
+	}
+	beforeOther := h.bus.SubscriptionCount(otherRegion)
+
+	dropped := h.bus.RemoveSubscriber(leaver)
+	if dropped != 2 {
+		t.Fatalf("RemoveSubscriber dropped %d, want 2", dropped)
+	}
+	if h.bus.SubscriptionCount(region) != 0 {
+		t.Fatal("leaver's home-region subscription survived")
+	}
+	if h.bus.SubscriptionCount(otherRegion) != beforeOther-1 {
+		t.Fatal("stayer's subscription was collateral damage")
+	}
+	// Publishes into the region no longer reach the departed member.
+	for _, m := range members[2:] {
+		if err := h.store.PublishMeasured(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 0 {
+		t.Fatalf("departed member received %d notifications", fired)
+	}
+	if h.bus.RemoveSubscriber(leaver) != 0 {
+		t.Fatal("second removal found subscriptions")
+	}
+}
+
+// TestDropWatching cancels subscriptions whose condition watches a dead
+// member — they can never fire again once the member is purged.
+func TestDropWatching(t *testing.T) {
+	h := newHarness(t, 32)
+	members := h.overlay.CAN().Members()
+	watcher, dead := members[0], members[1]
+	region := regionOf(h, dead)
+
+	if _, err := h.bus.Subscribe(watcher, region,
+		Condition{Kind: LoadAbove, Threshold: 0.5, Member: dead}, func(Notification) {}); err != nil {
+		t.Fatal(err)
+	}
+	// An any-member LoadAbove on the same region must survive.
+	if _, err := h.bus.Subscribe(watcher, region,
+		Condition{Kind: LoadAbove, Threshold: 0.5}, func(Notification) {}); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := h.bus.DropWatching(dead); dropped != 1 {
+		t.Fatalf("DropWatching dropped %d, want 1", dropped)
+	}
+	if h.bus.SubscriptionCount(region) != 1 {
+		t.Fatalf("region has %d subscriptions, want the any-member one", h.bus.SubscriptionCount(region))
+	}
+	if h.bus.DropWatching(nil) != 0 {
+		t.Fatal("DropWatching(nil) dropped subscriptions")
+	}
+}
+
+// TestRearmRegion pins the demand-driven repair path: after a takeover
+// the CloserCandidate best is reset, so the next publish into the region
+// fires again even if it is no closer than the (possibly dead) previous
+// best.
+func TestRearmRegion(t *testing.T) {
+	h := newHarness(t, 32)
+	members := h.overlay.CAN().Members()
+	sub := members[0]
+	if err := h.store.PublishMeasured(sub); err != nil {
+		t.Fatal(err)
+	}
+	region := regionOf(h, sub)
+	var candidate *can.Member
+	for _, m := range members[1:] {
+		if m.Path().HasPrefix(region) {
+			candidate = m
+			break
+		}
+	}
+	if candidate == nil {
+		t.Skip("no second member in region")
+	}
+	var fired int
+	s, err := h.bus.Subscribe(sub, region, Condition{Kind: CloserCandidate}, func(Notification) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.store.PublishMeasured(candidate); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("first candidate fired %d times, want 1", fired)
+	}
+	// Lock the best at the candidate's distance: a re-publish of the
+	// same candidate is not an improvement and must stay silent.
+	s.SetCurrentBest(0)
+	if err := h.store.PublishMeasured(candidate); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("non-improving publish fired (total %d)", fired)
+	}
+	// Rearm (the chosen best may have died in a takeover): the very same
+	// publish now fires again.
+	if n := h.bus.RearmRegion(region); n != 1 {
+		t.Fatalf("RearmRegion re-armed %d, want 1", n)
+	}
+	if err := h.store.PublishMeasured(candidate); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("re-armed subscription did not fire (total %d)", fired)
+	}
+}

@@ -210,6 +210,81 @@ func (b *Bus) Unsubscribe(sub *Subscription) {
 	}
 }
 
+// RemoveSubscriber cancels every subscription held BY member m (the
+// departure/crash cleanup: a gone member must stop receiving
+// notifications). Returns the number of subscriptions dropped. Unlike
+// Unsubscribe, no cancel message is metered for crashes' sake — the
+// caller meters the cleanup under its own category if it wants to.
+func (b *Bus) RemoveSubscriber(m *can.Member) int {
+	dropped := 0
+	for region, subs := range b.byRegion {
+		kept := subs[:0]
+		for _, sub := range subs {
+			if sub.Subscriber == m {
+				sub.canceled = true
+				dropped++
+				continue
+			}
+			kept = append(kept, sub)
+		}
+		if len(kept) == 0 {
+			delete(b.byRegion, region)
+		} else {
+			b.byRegion[region] = kept
+		}
+	}
+	if dropped > 0 && b.metrics != nil {
+		b.metrics.subs.Add(float64(-dropped))
+	}
+	return dropped
+}
+
+// DropWatching cancels every subscription whose condition watches member
+// m (LoadAbove/NeighborDegraded with Cond.Member == m): once m is gone
+// the watched series can never fire again, so the subscriptions are dead
+// weight. Returns the number dropped.
+func (b *Bus) DropWatching(m *can.Member) int {
+	dropped := 0
+	for region, subs := range b.byRegion {
+		kept := subs[:0]
+		for _, sub := range subs {
+			if sub.Cond.Member == m && m != nil {
+				sub.canceled = true
+				dropped++
+				continue
+			}
+			kept = append(kept, sub)
+		}
+		if len(kept) == 0 {
+			delete(b.byRegion, region)
+		} else {
+			b.byRegion[region] = kept
+		}
+	}
+	if dropped > 0 && b.metrics != nil {
+		b.metrics.subs.Add(float64(-dropped))
+	}
+	return dropped
+}
+
+// RearmRegion resets the currentBest of every CloserCandidate
+// subscription on region to +Inf, so the next publish or refresh into
+// the region fires the condition and the subscriber re-selects. This is
+// the demand-driven repair path after a takeover: subscribers whose
+// chosen neighbor may have died do not poll — the first live candidate
+// to (re)publish notifies them. Returns the number of re-armed
+// subscriptions.
+func (b *Bus) RearmRegion(region can.Path) int {
+	rearmed := 0
+	for _, sub := range b.byRegion[region] {
+		if sub.Cond.Kind == CloserCandidate && !sub.canceled {
+			sub.currentBest = math.Inf(1)
+			rearmed++
+		}
+	}
+	return rearmed
+}
+
 // SubscriptionCount returns the number of live subscriptions on region.
 func (b *Bus) SubscriptionCount(region can.Path) int { return len(b.byRegion[region]) }
 

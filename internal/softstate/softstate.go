@@ -157,16 +157,19 @@ type Store struct {
 	maps    map[can.Path]*regionMap
 	vectors map[*can.Member]landmark.Vector
 	numbers map[*can.Member]uint64
-	sink    func(Event)
+	sinks   []func(Event)
+	filter  func(region can.Path, number uint64) bool
 	metrics *storeMetrics
 }
 
 // storeMetrics mirrors map churn into a telemetry registry: a live-entry
 // gauge plus one counter per event kind (published, refreshed, removed,
-// expired, load-changed). Nil when the store is uninstrumented.
+// expired, load-changed) and a dedicated sweep counter. Nil when the
+// store is uninstrumented.
 type storeMetrics struct {
 	live   *obs.Gauge
 	events map[EventKind]*obs.Counter
+	swept  *obs.Counter
 }
 
 // Instrument mirrors the store's churn into reg: the gauge
@@ -182,6 +185,8 @@ func (s *Store) Instrument(reg *obs.Registry) {
 		live: reg.Gauge("softstate_entries_live",
 			"Entries currently held across all region maps.").With(),
 		events: make(map[EventKind]*obs.Counter),
+		swept: reg.Counter("softstate_sweep_expired_total",
+			"Entries dropped by SweepExpired (periodic-polling maintenance).").With(),
 	}
 	for _, k := range []EventKind{EventPublished, EventRefreshed, EventRemoved, EventExpired, EventLoadChanged} {
 		m.events[k] = events.With(k.String())
@@ -222,8 +227,33 @@ func (s *Store) Env() *netsim.Env { return s.env }
 func (s *Store) Overlay() *ecan.Overlay { return s.overlay }
 
 // SetEventSink installs the map-change event hook (used by package
-// pubsub). A nil sink disables events.
-func (s *Store) SetEventSink(fn func(Event)) { s.sink = fn }
+// pubsub), replacing any sinks installed before. A nil sink disables
+// events.
+func (s *Store) SetEventSink(fn func(Event)) {
+	if fn == nil {
+		s.sinks = nil
+		return
+	}
+	s.sinks = []func(Event){fn}
+}
+
+// AddEventSink appends an additional map-change observer alongside any
+// already installed — the failure detector in package core listens this
+// way without displacing the pub/sub bus.
+func (s *Store) AddEventSink(fn func(Event)) {
+	if fn != nil {
+		s.sinks = append(s.sinks, fn)
+	}
+}
+
+// SetPublishFilter installs a gate consulted before every per-region map
+// insertion: Publish skips (and meters as "publish-dropped") regions for
+// which fn returns false. Experiments use it to model unreachable map
+// owners — a write to a spot whose owner crashed cannot land until the
+// zone is taken over. A nil fn removes the gate.
+func (s *Store) SetPublishFilter(fn func(region can.Path, number uint64) bool) {
+	s.filter = fn
+}
 
 func (s *Store) emit(ev Event) {
 	if m := s.metrics; m != nil {
@@ -235,8 +265,8 @@ func (s *Store) emit(ev Event) {
 			m.live.Add(-1)
 		}
 	}
-	if s.sink != nil {
-		s.sink(ev)
+	for _, sink := range s.sinks {
+		sink(ev)
 	}
 }
 
@@ -292,7 +322,13 @@ func (s *Store) Publish(m *can.Member, vec landmark.Vector, opts ...PublishOptio
 	s.numbers[m] = num
 	now := s.env.Clock().Now()
 	regions := s.regionsOf(m)
+	stored := 0
 	for _, region := range regions {
+		if s.filter != nil && !s.filter(region, num) {
+			s.env.CountMessages("publish-dropped", 1)
+			continue
+		}
+		stored++
 		rm := s.maps[region]
 		if rm == nil {
 			rm = &regionMap{entries: make(map[*can.Member]*Entry)}
@@ -320,7 +356,7 @@ func (s *Store) Publish(m *can.Member, vec landmark.Vector, opts ...PublishOptio
 		}
 		s.emit(Event{Kind: kind, Region: region, Entry: e})
 	}
-	s.env.CountMessages("publish", len(regions))
+	s.env.CountMessages("publish", stored)
 	return nil
 }
 
@@ -348,9 +384,9 @@ func (s *Store) UpdateLoad(m *can.Member, load float64) {
 	}
 }
 
-// Remove deletes m's entries from all maps (the proactive departure
-// case).
-func (s *Store) Remove(m *can.Member) {
+// deleteAll removes every entry describing m from every map, emitting
+// EventRemoved per region and metering the deletions under category.
+func (s *Store) deleteAll(m *can.Member, category string) int {
 	removed := 0
 	for region, rm := range s.maps {
 		if e, ok := rm.entries[m]; ok {
@@ -363,8 +399,15 @@ func (s *Store) Remove(m *can.Member) {
 	delete(s.vectors, m)
 	delete(s.numbers, m)
 	if removed > 0 {
-		s.env.CountMessages("publish", removed)
+		s.env.CountMessages(category, removed)
 	}
+	return removed
+}
+
+// Remove deletes m's entries from all maps (the proactive departure
+// case).
+func (s *Store) Remove(m *can.Member) {
+	s.deleteAll(m, "publish")
 }
 
 // ReportUnreachable implements §5.2's "most reactive case": "departed
@@ -373,24 +416,22 @@ func (s *Store) Remove(m *can.Member) {
 // selector calls this when a probe to a map candidate times out; all of
 // the dead member's entries are purged.
 func (s *Store) ReportUnreachable(m *can.Member) {
-	removed := 0
-	for region, rm := range s.maps {
-		if e, ok := rm.entries[m]; ok {
-			delete(rm.entries, m)
-			rm.dirty = true
-			removed++
-			s.emit(Event{Kind: EventRemoved, Region: region, Entry: e})
-		}
-	}
-	delete(s.vectors, m)
-	delete(s.numbers, m)
-	if removed > 0 {
-		s.env.CountMessages("reactive-delete", removed)
-	}
+	s.deleteAll(m, "reactive-delete")
+}
+
+// Purge drops a crashed member's entries from every map during repair
+// (the ungraceful counterpart of Remove) and returns how many orphaned
+// entries were purged. Condensed-map *responsibility* needs no explicit
+// reassignment: OwnerOf resolves placement paths through the live split
+// tree, so once the crashed member's zone is taken over, its map spots
+// are answered by the successor automatically.
+func (s *Store) Purge(m *can.Member) int {
+	return s.deleteAll(m, "repair")
 }
 
 // SweepExpired deletes all entries past their TTL (the periodic-polling
-// maintenance mode) and returns how many were dropped.
+// maintenance mode) and returns how many were dropped. Instrumented
+// stores also count the drops in softstate_sweep_expired_total.
 func (s *Store) SweepExpired() int {
 	now := s.env.Clock().Now()
 	dropped := 0
@@ -403,6 +444,9 @@ func (s *Store) SweepExpired() int {
 				s.emit(Event{Kind: EventExpired, Region: region, Entry: e})
 			}
 		}
+	}
+	if dropped > 0 && s.metrics != nil {
+		s.metrics.swept.Add(float64(dropped))
 	}
 	return dropped
 }
@@ -428,6 +472,66 @@ func (s *Store) placementPath(region can.Path, number uint64) can.Path {
 // number).
 func (s *Store) OwnerOf(region can.Path, number uint64) *can.Member {
 	return s.overlay.CAN().LeafAlong(s.placementPath(region, number))
+}
+
+// OwnersOf returns up to k distinct members responsible for the map spot
+// of (region, number): the primary owner followed by its successors in
+// zone-path order within the region — the in-overlay analogue of the
+// wire layer's k ring owners, used for replicated map placement.
+func (s *Store) OwnersOf(region can.Path, number uint64, k int) []*can.Member {
+	primary := s.OwnerOf(region, number)
+	if primary == nil || k < 1 {
+		return nil
+	}
+	ms := s.overlay.CAN().MembersUnder(region)
+	idx := -1
+	for i, m := range ms {
+		if m == primary {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return []*can.Member{primary}
+	}
+	if k > len(ms) {
+		k = len(ms)
+	}
+	out := make([]*can.Member, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, ms[(idx+i)%len(ms)])
+	}
+	return out
+}
+
+// LoseShards models crash-induced shard loss: every entry whose entire
+// k-owner chain satisfies down is dropped from its map — the data died
+// with its holders, so no removal events fire (nobody is left to
+// announce them), but the live-entry gauge is adjusted. Returns the
+// number of entries lost. Entries with at least one live owner survive:
+// that is what the replicated placement buys.
+func (s *Store) LoseShards(down func(*can.Member) bool, k int) int {
+	lost := 0
+	for region, rm := range s.maps {
+		for m, e := range rm.entries {
+			allDown := true
+			for _, o := range s.OwnersOf(region, e.Number, k) {
+				if !down(o) {
+					allDown = false
+					break
+				}
+			}
+			if allDown {
+				delete(rm.entries, m)
+				rm.dirty = true
+				lost++
+			}
+		}
+	}
+	if lost > 0 && s.metrics != nil {
+		s.metrics.live.Add(float64(-lost))
+	}
+	return lost
 }
 
 // LookupCost reports what a lookup spent.

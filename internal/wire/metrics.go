@@ -28,7 +28,7 @@ type nodeMetrics struct {
 
 // knownRequestTypes are the request types a node serves (response types
 // never reach dispatch).
-var knownRequestTypes = []MsgType{MsgPing, MsgStore, MsgQuery, MsgStats}
+var knownRequestTypes = []MsgType{MsgPing, MsgStore, MsgQuery, MsgStats, MsgRemove}
 
 // msgTypeOther labels requests of unrecognized type.
 const msgTypeOther = "other"

@@ -74,6 +74,7 @@ type nodeOptions struct {
 	replication      int
 	breakerThreshold int
 	breakerCooldown  time.Duration
+	breakerSink      func(peer string, open bool)
 	logger           *slog.Logger
 }
 
@@ -132,6 +133,18 @@ func WithBreaker(threshold int, cooldown time.Duration) NodeOption {
 	}
 }
 
+// WithBreakerSink installs an observer of per-peer breaker open/close
+// transitions (open=true when a peer's breaker trips, false when the
+// half-open probe recovers it). This is the wire layer's live-mode
+// failure-detection signal: a deployment embedding the overlay forwards
+// trips to its failure detector (core.SuspectMember) the same way the
+// simulator feeds soft-state expiry. The sink runs on the calling
+// goroutine under the breaker's lock — keep it non-blocking and do not
+// call back into the node.
+func WithBreakerSink(fn func(peer string, open bool)) NodeOption {
+	return func(o *nodeOptions) { o.breakerSink = fn }
+}
+
 // WithLogger sets the node's structured logger (default slog.Default()).
 // The node logs only at debug level: refresh failures, replica store
 // failures, landmark fallbacks.
@@ -158,6 +171,7 @@ type Node struct {
 
 	mu      sync.Mutex
 	records map[string]Record // by Addr
+	lastRec *Record           // last record this node published; nil before first Publish
 	closed  bool
 	wg      sync.WaitGroup
 
@@ -323,6 +337,16 @@ func (n *Node) dispatch(req Message) Message {
 			max = 8
 		}
 		return Message{Type: MsgRecords, Seq: req.Seq, Records: n.nearest(req.Number, max)}
+	case MsgRemove:
+		if req.Addr == "" {
+			return Message{Type: MsgError, Seq: req.Seq, Err: "remove without addr"}
+		}
+		n.mu.Lock()
+		delete(n.records, req.Addr)
+		count := len(n.records)
+		n.mu.Unlock()
+		n.metrics.records.Set(float64(count))
+		return Message{Type: MsgRemoved, Seq: req.Seq, Addr: req.Addr}
 	case MsgStats:
 		snap := n.metrics.reg.Snapshot()
 		return Message{Type: MsgStatsReply, Seq: req.Seq, Stats: &snap}
@@ -382,6 +406,8 @@ func (n *Node) breakerFor(addr string) *breaker {
 	if !ok {
 		b = newBreaker(n.opt.breakerThreshold, n.opt.breakerCooldown,
 			n.metrics.breakerState.With(addr))
+		b.peer = addr
+		b.sink = n.opt.breakerSink
 		n.breakers[addr] = b
 	}
 	return b
@@ -460,6 +486,20 @@ func (n *Node) query(addr string, number uint64, max int, timeout time.Duration)
 		return nil
 	})
 	return recs, err
+}
+
+// remove is the node-side Remove under breaker + retry.
+func (n *Node) remove(addr, recordAddr string, timeout time.Duration) error {
+	return n.call(MsgRemove, addr, func() error {
+		resp, err := roundTrip(addr, Message{Type: MsgRemove, Seq: 5, Addr: recordAddr}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgRemoved {
+			return permanent(fmt.Errorf("wire: unexpected response %q to remove", resp.Type))
+		}
+		return nil
+	})
 }
 
 // MeasureVector pings every landmark (pings per landmark, keeping the
@@ -617,7 +657,42 @@ func (n *Node) Publish(pings int, timeout time.Duration) (Record, error) {
 	if stored == 0 {
 		return Record{}, fmt.Errorf("wire: publish: no owner of %d reachable: %w", num, lastErr)
 	}
+	n.mu.Lock()
+	n.lastRec = &rec
+	n.mu.Unlock()
 	return rec, nil
+}
+
+// Withdraw is the proactive departure of §5.2 on the wire: the node
+// deletes its own record from every ring owner it published to, so peers
+// stop learning about it immediately instead of waiting out the TTL.
+// It returns how many owners acknowledged the removal. A node that never
+// published withdraws trivially (0, nil). Call before Close when shutting
+// down gracefully; crashed nodes skip it, which is exactly the case the
+// failure detector and takeover exist for.
+func (n *Node) Withdraw(timeout time.Duration) (int, error) {
+	n.mu.Lock()
+	rec := n.lastRec
+	n.mu.Unlock()
+	if rec == nil {
+		return 0, nil
+	}
+	owners := n.OwnersOf(rec.Number, n.opt.replication)
+	removed := 0
+	var lastErr error
+	for _, owner := range owners {
+		if err := n.remove(owner, n.addr, timeout); err != nil {
+			lastErr = err
+			n.opt.logger.Debug("wire: withdraw failed",
+				"node", n.addr, "owner", owner, "err", err)
+			continue
+		}
+		removed++
+	}
+	if removed == 0 {
+		return 0, fmt.Errorf("wire: withdraw: no owner reachable: %w", lastErr)
+	}
+	return removed, nil
 }
 
 // FindNearest queries the soft-state for candidates near this node's

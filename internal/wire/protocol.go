@@ -37,6 +37,8 @@ const (
 	MsgRecords    MsgType = "records"
 	MsgStats      MsgType = "stats"
 	MsgStatsReply MsgType = "stats-reply"
+	MsgRemove     MsgType = "remove"
+	MsgRemoved    MsgType = "removed"
 	MsgError      MsgType = "error"
 )
 
@@ -71,6 +73,9 @@ type Message struct {
 	Max int `json:"max,omitempty"`
 	// Records ride on query responses.
 	Records []Record `json:"records,omitempty"`
+	// Addr keys remove requests (the record to withdraw) and echoes on
+	// removed responses.
+	Addr string `json:"addr,omitempty"`
 	// Stats rides on stats-reply responses: the serving node's full
 	// telemetry snapshot, so peers can scrape each other.
 	Stats *obs.Snapshot `json:"stats,omitempty"`
@@ -191,6 +196,23 @@ func Query(addr string, number uint64, max int, timeout time.Duration, policy ..
 		return nil
 	})
 	return recs, err
+}
+
+// Remove withdraws the record identified by recordAddr from the peer at
+// addr (the proactive-departure case of §5.2: a node leaving gracefully
+// deletes its soft-state instead of letting it expire). Removing an
+// absent record succeeds — the goal state already holds.
+func Remove(addr, recordAddr string, timeout time.Duration, policy ...RetryPolicy) error {
+	return withRetry(optPolicy(policy), nil, nil, func() error {
+		resp, err := roundTrip(addr, Message{Type: MsgRemove, Seq: 5, Addr: recordAddr}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgRemoved {
+			return permanent(fmt.Errorf("wire: unexpected response %q to remove", resp.Type))
+		}
+		return nil
+	})
 }
 
 // FetchStats scrapes the telemetry snapshot of the peer at addr through

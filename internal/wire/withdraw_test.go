@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestRemoveMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	in := Message{Type: MsgRemove, Seq: 5, Addr: "1.2.3.4:5"}
+	if err := WriteMessage(w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgRemove || out.Seq != 5 || out.Addr != in.Addr {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestRemoveDeletesStoredRecord(t *testing.T) {
+	nodes := cluster(t, 2, 1)
+	rec := Record{
+		Addr:             nodes[1].Addr(),
+		Vector:           []float64{1, 2, 3},
+		Number:           500,
+		ExpiresUnixMilli: time.Now().Add(time.Minute).UnixMilli(),
+	}
+	if err := Store(nodes[0].Addr(), rec, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].RecordCount() != 1 {
+		t.Fatal("record not stored")
+	}
+	if err := Remove(nodes[0].Addr(), rec.Addr, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].RecordCount() != 0 {
+		t.Fatal("record survived remove")
+	}
+	// Removing an absent record is an acknowledged no-op, not an error —
+	// withdrawals race with TTL expiry and must stay idempotent.
+	if err := Remove(nodes[0].Addr(), rec.Addr, testTimeout); err != nil {
+		t.Fatalf("second remove: %v", err)
+	}
+}
+
+// TestWithdrawAfterPublish pins the graceful-drain path overlayd runs on
+// SIGTERM: publish, then withdraw, and the record is gone from every
+// owner instead of lingering until the TTL sweep.
+func TestWithdrawAfterPublish(t *testing.T) {
+	nodes := cluster(t, 4, 2)
+	n := nodes[3]
+
+	// A node that never published withdraws trivially.
+	if acked, err := n.Withdraw(testTimeout); err != nil || acked != 0 {
+		t.Fatalf("fresh withdraw = %d, %v", acked, err)
+	}
+
+	rec, err := n.Publish(1, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := n.OwnersOf(rec.Number, 1)
+	if len(owners) == 0 {
+		t.Fatal("no owners")
+	}
+	recs, err := Query(owners[0], rec.Number, 10, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := false
+	for _, r := range recs {
+		if r.Addr == n.Addr() {
+			present = true
+		}
+	}
+	if !present {
+		t.Fatal("published record not queryable")
+	}
+
+	acked, err := n.Withdraw(testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked == 0 {
+		t.Fatal("no owner acknowledged the withdrawal")
+	}
+	recs, err = Query(owners[0], rec.Number, 10, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Addr == n.Addr() {
+			t.Fatal("withdrawn record still served")
+		}
+	}
+}
+
+// TestBreakerSinkTransitions pins the detector feed: the sink fires
+// exactly on open↔non-open transitions, not on every state change, so a
+// core.SuspectMember wired through wire.WithBreakerSink sees one signal
+// per outage, and one recovery.
+func TestBreakerSinkTransitions(t *testing.T) {
+	type event struct {
+		peer string
+		open bool
+	}
+	var events []event
+	b := newBreaker(2, 50*time.Millisecond, nil)
+	b.peer = "10.0.0.1:7"
+	b.sink = func(peer string, open bool) { events = append(events, event{peer, open}) }
+	now := time.Now()
+
+	b.failure(now)
+	if len(events) != 0 {
+		t.Fatalf("sink fired below threshold: %v", events)
+	}
+	b.failure(now) // trips
+	b.failure(now) // already open: no second event
+	if len(events) != 1 || !events[0].open || events[0].peer != "10.0.0.1:7" {
+		t.Fatalf("events after trip = %v", events)
+	}
+
+	// Half-open is not a recovery: the probe allowance must not fire the
+	// sink until the probe actually succeeds.
+	later := now.Add(60 * time.Millisecond)
+	if !b.allow(later) {
+		t.Fatal("no half-open probe")
+	}
+	if len(events) != 2 || events[1].open {
+		t.Fatalf("half-open transition not reported as recovery: %v", events)
+	}
+	// Failed probe re-opens: that IS a new outage signal.
+	b.failure(later)
+	if len(events) != 3 || !events[2].open {
+		t.Fatalf("re-open not reported: %v", events)
+	}
+	// Successful probe after another cooldown closes for good. The
+	// recovery was already reported at the half-open transition;
+	// half-open → closed is non-open → non-open and stays silent.
+	relater := later.Add(60 * time.Millisecond)
+	if !b.allow(relater) {
+		t.Fatal("no second probe")
+	}
+	if len(events) != 4 || events[3].open {
+		t.Fatalf("events after second probe = %v", events)
+	}
+	b.success()
+	if len(events) != 4 {
+		t.Fatalf("closing fired a duplicate recovery: %v", events)
+	}
+}
