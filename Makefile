@@ -1,6 +1,6 @@
 # Developer conveniences; everything is plain `go` underneath.
 
-.PHONY: all build vet test race check soak bench bench-json results quick-results examples clean
+.PHONY: all build vet test race check soak bench bench-json bench-wire results quick-results examples clean
 
 # Worker-pool width for the experiment engine; override with `make J=8 results`.
 J ?= $(shell nproc 2>/dev/null || echo 1)
@@ -25,10 +25,12 @@ race:
 # the default width so nested fan-out runs genuinely parallel even on
 # single-core CI boxes), and a short coverage-guided fuzz of the CAN
 # membership machine (join/depart/crash interleavings must keep the split
-# tree invariant-clean).
+# tree invariant-clean), and of the wire codec (arbitrary frames must
+# never panic, hang, or round-trip lossily through the multiplexer).
 check: build vet race
 	GSSO_WORKERS=4 go test -race -count=1 ./internal/experiment/... ./internal/netsim/...
 	go test -fuzz FuzzMembership -fuzztime 10s -run '^$$' ./internal/can
+	go test -fuzz FuzzReadMessage -fuzztime 10s -run '^$$' ./internal/wire
 
 # Soak gates, full scale: the ext-churn reconvergence bar (record recall
 # back above 99% within three virtual refresh intervals of the last fault
@@ -53,6 +55,12 @@ bench-json:
 	go run ./cmd/topobench -run all -scale quick -seed $(SEED) -j $(J) -bench-json BENCH_engine.json > /dev/null
 	go run ./cmd/topobench -run all -scale full -seed $(SEED) -j 1 -bench-json BENCH_engine.json > /dev/null
 	go run ./cmd/topobench -run all -scale full -seed $(SEED) -j $(J) -bench-json BENCH_engine.json > /dev/null
+
+# Wire transport benchmarks: dial-per-RPC baseline vs the pooled,
+# multiplexed transport and the 64-record publish-batch path, written to
+# BENCH_wire.json (ns/op, allocs/op, conns/op, connection reuse ratio).
+bench-wire:
+	go run ./cmd/topobench -wire-bench BENCH_wire.json
 
 # Regenerate the paper's full evaluation with CSV series. The run lands in a
 # temp directory and is renamed into place only on success, so an interrupted

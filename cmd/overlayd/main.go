@@ -19,7 +19,14 @@
 // Resilience knobs: -retries caps attempts per wire call (with capped
 // exponential backoff and jitter between them), -replicas sets how many
 // ring owners each published record is stored on, and -handle-timeout
-// bounds how long the server side holds a connection.
+// bounds how long the server side holds an idle connection (the deadline
+// resets on every frame, so busy persistent connections live on).
+//
+// Transport knobs: -pool-size sets how many persistent, multiplexed
+// client connections the node keeps per peer, and -batch-window makes
+// the refresh loop coalesce publishes headed for the same ring owner
+// into publish-batch frames flushed at that interval (0 keeps the
+// one-store-per-owner behavior).
 //
 // Output is logfmt (log/slog): one line per event, machine-parseable
 // key=value pairs. -v enables debug-level lines.
@@ -103,9 +110,11 @@ func run(args []string, out io.Writer) error {
 		hold      = fs.Duration("hold", 0, "demo only: keep the cluster (and -metrics endpoint) up this long after the flow")
 		verbose   = fs.Bool("v", false, "debug-level logging")
 
-		handleTO = fs.Duration("handle-timeout", 10*time.Second, "server-side per-connection deadline")
+		handleTO = fs.Duration("handle-timeout", 10*time.Second, "server-side idle deadline per connection (reset on every frame)")
 		replicas = fs.Int("replicas", 2, "ring owners each record is stored on")
 		retries  = fs.Int("retries", 3, "attempts per wire call (capped exponential backoff between them)")
+		poolSize = fs.Int("pool-size", 2, "pooled client connections kept per peer")
+		batchWin = fs.Duration("batch-window", 0, "coalesce refresh publishes to the same owner within this window (0 disables batching)")
 		drainTO  = fs.Duration("drain-timeout", 2*time.Second, "graceful-drain budget on SIGINT/SIGTERM: withdraw soft-state before closing (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -130,6 +139,8 @@ func run(args []string, out io.Writer) error {
 		wire.WithHandleTimeout(*handleTO),
 		wire.WithReplication(*replicas),
 		wire.WithRetryPolicy(pol),
+		wire.WithPoolSize(*poolSize),
+		wire.WithBatchWindow(*batchWin),
 		wire.WithLogger(logger))
 	if err != nil {
 		return err

@@ -143,6 +143,34 @@ func TestOneshotPublishQuery(t *testing.T) {
 	}
 }
 
+// TestTransportFlags: -pool-size and -batch-window parse and run the
+// publish flow through the pooled transport.
+func TestTransportFlags(t *testing.T) {
+	cfgStub := wire.SpaceConfig{Landmarks: []string{"x"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	lm, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lm.Close()
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-listen", "127.0.0.1:0",
+		"-peers", lm.Addr(),
+		"-landmarks", lm.Addr(),
+		"-pool-size", "1",
+		"-batch-window", "5ms",
+		"-publish", "-oneshot",
+		"-timeout", "2s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "msg=published number=") {
+		t.Fatalf("publish line missing:\n%s", buf.String())
+	}
+}
+
 func TestVerboseEmitsDebug(t *testing.T) {
 	cfgStub := wire.SpaceConfig{Landmarks: []string{"x"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
 	lm, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)

@@ -57,11 +57,15 @@ func run(args []string, out io.Writer) error {
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file")
 		benchJSON  = fs.String("bench-json", "", "append per-experiment wall-clock timings to this JSON file")
+		wireBench  = fs.String("wire-bench", "", "run the wire transport benchmarks and write results to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *wireBench != "" {
+		return runWireBench(*wireBench, out)
+	}
 	if *list {
 		for _, e := range experiment.All() {
 			fmt.Fprintf(out, "%-11s %-16s %s\n", e.ID, e.Paper, e.Title)

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"gsso/internal/wire"
+)
+
+// wireBenchResult is one wire benchmark's record in BENCH_wire.json.
+// ConnsPerOp is new TCP dials per operation — ~1 for the dial-per-RPC
+// baseline, ~0 for the pooled transport at steady state — and ReuseRatio
+// is the fraction of calls served on an already-open connection.
+type wireBenchResult struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	ConnsPerOp  float64 `json:"conns_per_op"`
+	ReuseRatio  float64 `json:"reuse_ratio"`
+}
+
+type wireBenchReport struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Results    []wireBenchResult `json:"results"`
+}
+
+// wireBenchCfg is a stub landmark space: the benchmarks exercise the
+// transport, not measurement, so the landmark list never gets dialed.
+func wireBenchCfg() wire.SpaceConfig {
+	return wire.SpaceConfig{Landmarks: []string{"stub"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+}
+
+// runWireBench benches the wire transport in-process — the dial-per-RPC
+// baseline against the pooled, multiplexed transport and the coalesced
+// publish-batch path — and writes the results to path as JSON.
+func runWireBench(path string, out io.Writer) error {
+	server, err := wire.NewNode("127.0.0.1:0", wireBenchCfg(), nil, time.Minute)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	client, err := wire.NewNode("127.0.0.1:0", wireBenchCfg(), nil, time.Minute)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	addr := server.Addr()
+	tr := client.Transport()
+	exp := time.Now().Add(time.Hour).UnixMilli()
+	rec := wire.Record{Addr: "bench:1", Number: 12, ExpiresUnixMilli: exp}
+	batch := make([]wire.Record, 64)
+	for i := range batch {
+		batch[i] = wire.Record{Addr: "bench:1", Number: uint64(i), ExpiresUnixMilli: exp}
+	}
+
+	// poolCounters reads the client transport's cumulative dial/reuse
+	// meters; benchmarks diff them around the timed loop.
+	poolCounters := func() (dials, reuse float64) {
+		snap := client.Registry().Snapshot()
+		dials, _ = snap.Value("wire_conn_dials_total")
+		reuse, _ = snap.Value("wire_conn_reuse_total")
+		return dials, reuse
+	}
+
+	var report wireBenchReport
+	report.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	var benchErr error
+	record := func(name string, pooled bool, op func() error) {
+		if benchErr != nil {
+			return
+		}
+		// Warm up once so pool dials are not billed to the timed loop.
+		if err := op(); err != nil {
+			benchErr = fmt.Errorf("%s: %w", name, err)
+			return
+		}
+		dials0, reuse0 := poolCounters()
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if res.N == 0 {
+			benchErr = fmt.Errorf("%s: benchmark did not run", name)
+			return
+		}
+		r := wireBenchResult{
+			Name:        name,
+			Ops:         res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if pooled {
+			dials1, reuse1 := poolCounters()
+			d, u := dials1-dials0, reuse1-reuse0
+			r.ConnsPerOp = d / float64(res.N)
+			if d+u > 0 {
+				r.ReuseRatio = u / (d + u)
+			}
+		} else {
+			r.ConnsPerOp = 1
+		}
+		report.Results = append(report.Results, r)
+		fmt.Fprintf(out, "%-22s %10d ops %12.0f ns/op %6d allocs/op %8.3f conns/op %.3f reuse\n",
+			name, r.Ops, r.NsPerOp, r.AllocsPerOp, r.ConnsPerOp, r.ReuseRatio)
+	}
+
+	record("store-dial-per-rpc", false, func() error {
+		return wire.Store(addr, rec, time.Second)
+	})
+	record("store-pooled", true, func() error {
+		resp, err := tr.RoundTrip(addr, wire.Message{Type: wire.MsgStore, Record: &rec}, time.Second)
+		if err != nil {
+			return err
+		}
+		if resp.Type != wire.MsgStored {
+			return fmt.Errorf("unexpected response %q", resp.Type)
+		}
+		return nil
+	})
+	record("ping-pooled", true, func() error {
+		resp, err := tr.RoundTrip(addr, wire.Message{Type: wire.MsgPing}, time.Second)
+		if err != nil {
+			return err
+		}
+		if resp.Type != wire.MsgPong {
+			return fmt.Errorf("unexpected response %q", resp.Type)
+		}
+		return nil
+	})
+	record("publish-batch-64", true, func() error {
+		resp, err := tr.RoundTrip(addr, wire.Message{Type: wire.MsgPublishBatch, Records: batch}, time.Second)
+		if err != nil {
+			return err
+		}
+		if resp.Type != wire.MsgBatchAck {
+			return fmt.Errorf("unexpected response %q", resp.Type)
+		}
+		return nil
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -19,6 +19,28 @@ func newSystem(t testing.TB, opts ...Option) *System {
 	return sys
 }
 
+// TestRefreshSoftState: one batched tick re-stamps every live entry so
+// the TTL sweep finds nothing, at a cost of one refresh-batch message
+// per member rather than one publish per region map.
+func TestRefreshSoftState(t *testing.T) {
+	sys := newSystem(t, WithSoftStateTTL(100))
+	total := sys.Store().TotalEntries()
+	if total == 0 {
+		t.Fatal("no soft-state to refresh")
+	}
+	sys.Env().Clock().Advance(90)
+	if n := sys.RefreshSoftState(); n != total {
+		t.Fatalf("refreshed %d of %d entries", n, total)
+	}
+	if got, want := sys.Env().Messages("refresh-batch"), int64(len(sys.Members())); got != want {
+		t.Fatalf("refresh-batch messages = %d, want %d (one per member)", got, want)
+	}
+	sys.Env().Clock().Advance(90)
+	if dropped := sys.Store().SweepExpired(); dropped != 0 {
+		t.Fatalf("sweep dropped %d refreshed entries", dropped)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(WithOverlaySize(1)); err == nil {
 		t.Fatal("overlay size 1 accepted")

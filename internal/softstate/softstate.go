@@ -679,6 +679,53 @@ func (s *Store) RegionEntries(region can.Path) []*Entry {
 	return out
 }
 
+// RefreshAll re-stamps expiry now+TTL on every map entry each published
+// member still holds — the simulator analogue of the wire layer's
+// batched refresh: a member's refreshes to all of its region maps are
+// coalesced into one metered "refresh-batch" message instead of one
+// "publish" per map (what per-entry Publish would cost). EventRefreshed
+// still fires per entry so subscribers and telemetry see every touch.
+// Members behind a publish filter keep their filtered-out regions
+// unrefreshed, exactly as Publish would. Returns how many entries were
+// refreshed.
+func (s *Store) RefreshAll() int {
+	now := s.env.Clock().Now()
+	refreshed := 0
+	batches := 0
+	for _, m := range s.overlay.CAN().Members() {
+		num, ok := s.numbers[m]
+		if !ok {
+			continue
+		}
+		touched := 0
+		for _, region := range s.regionsOf(m) {
+			if s.filter != nil && !s.filter(region, num) {
+				s.env.CountMessages("publish-dropped", 1)
+				continue
+			}
+			rm := s.maps[region]
+			if rm == nil {
+				continue
+			}
+			e, ok := rm.entries[m]
+			if !ok {
+				continue
+			}
+			e.Expires = now + s.cfg.TTL
+			touched++
+			s.emit(Event{Kind: EventRefreshed, Region: region, Entry: e})
+		}
+		if touched > 0 {
+			batches++
+			refreshed += touched
+		}
+	}
+	if batches > 0 {
+		s.env.CountMessages("refresh-batch", batches)
+	}
+	return refreshed
+}
+
 // PublishAll measures and publishes every overlay member (bulk bootstrap
 // used by experiments), optionally assigning capacities via assign.
 func (s *Store) PublishAll(assign func(m *can.Member) []PublishOption) error {

@@ -197,6 +197,61 @@ func TestPublishEventsAndRefresh(t *testing.T) {
 	}
 }
 
+func TestRefreshAllBatchesAndRestamps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TTL = 100
+	h := newHarness(t, 32, cfg)
+	if err := h.store.PublishAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	total := h.store.TotalEntries()
+	published := h.env.Messages("publish")
+
+	// Advance close to expiry, then refresh: every entry must survive the
+	// sweep afterwards, having been re-stamped from the stored state.
+	h.env.Clock().Advance(90)
+	var refreshEvents int
+	h.store.SetEventSink(func(ev Event) {
+		if ev.Kind == EventRefreshed {
+			refreshEvents++
+		}
+	})
+	n := h.store.RefreshAll()
+	if n != total {
+		t.Fatalf("refreshed %d entries, store holds %d", n, total)
+	}
+	if refreshEvents != total {
+		t.Fatalf("%d refresh events for %d entries", refreshEvents, total)
+	}
+	// The refresh is batched: one refresh-batch message per member, not
+	// one publish per region map.
+	members := int64(len(h.overlay.CAN().Members()))
+	if got := h.env.Messages("refresh-batch"); got != members {
+		t.Fatalf("refresh-batch messages = %d, want one per member (%d)", got, members)
+	}
+	if got := h.env.Messages("publish"); got != published {
+		t.Fatalf("refresh spent %d publish messages; must coalesce instead", got-published)
+	}
+
+	h.env.Clock().Advance(90) // past the original expiry, before the new one
+	if dropped := h.store.SweepExpired(); dropped != 0 {
+		t.Fatalf("sweep dropped %d refreshed entries", dropped)
+	}
+	// Without another refresh the new deadline passes and everything dies.
+	h.env.Clock().Advance(20)
+	if dropped := h.store.SweepExpired(); dropped != total {
+		t.Fatalf("sweep after TTL dropped %d of %d", dropped, total)
+	}
+	// An empty store refreshes to zero without metering a batch.
+	before := h.env.Messages("refresh-batch")
+	if n := h.store.RefreshAll(); n != 0 {
+		t.Fatalf("refresh of swept store touched %d entries", n)
+	}
+	if got := h.env.Messages("refresh-batch"); got != before {
+		t.Fatal("empty refresh metered a batch message")
+	}
+}
+
 func TestUpdateLoad(t *testing.T) {
 	h := newHarness(t, 32, DefaultConfig())
 	m := h.overlay.CAN().Members()[0]

@@ -61,6 +61,110 @@ func BenchmarkServeQuery(b *testing.B) {
 	}
 }
 
+// reportPoolMetrics attaches the transport's pooling behavior to a
+// benchmark result: conns/op (new dials per operation — ~0 at steady
+// state for a pooled transport, ~1 for dial-per-RPC) and reuse-ratio
+// (fraction of calls served on an already-open connection).
+func reportPoolMetrics(b *testing.B, n *Node, dialsBefore, reuseBefore float64) {
+	b.Helper()
+	snap := n.Registry().Snapshot()
+	dials, _ := snap.Value("wire_conn_dials_total")
+	reuse, _ := snap.Value("wire_conn_reuse_total")
+	dials -= dialsBefore
+	reuse -= reuseBefore
+	b.ReportMetric(dials/float64(b.N), "conns/op")
+	if dials+reuse > 0 {
+		b.ReportMetric(reuse/(dials+reuse), "reuse-ratio")
+	}
+}
+
+func poolCounters(n *Node) (dials, reuse float64) {
+	snap := n.Registry().Snapshot()
+	dials, _ = snap.Value("wire_conn_dials_total")
+	reuse, _ = snap.Value("wire_conn_reuse_total")
+	return dials, reuse
+}
+
+// BenchmarkStoreDialPerRPC is the pre-pool baseline: every store pays a
+// fresh TCP dial. Kept as the comparison point for BENCH_wire.json.
+func BenchmarkStoreDialPerRPC(b *testing.B) {
+	server, _ := benchTargets(b)
+	rec := Record{Addr: "x:1", Number: 12, ExpiresUnixMilli: time.Now().Add(time.Hour).UnixMilli()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Store(server.Addr(), rec, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "conns/op")
+	b.ReportMetric(0, "reuse-ratio")
+}
+
+// BenchmarkStorePooled is the same store through the persistent
+// transport: steady-state conns/op must sit at ~0.
+func BenchmarkStorePooled(b *testing.B) {
+	server, client := benchTargets(b)
+	rec := Record{Addr: "x:1", Number: 12, ExpiresUnixMilli: time.Now().Add(time.Hour).UnixMilli()}
+	// Warm the pool so the handful of initial dials is not billed to ops.
+	if err := client.store(server.Addr(), rec, time.Second); err != nil {
+		b.Fatal(err)
+	}
+	dials, reuse := poolCounters(client)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.store(server.Addr(), rec, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPoolMetrics(b, client, dials, reuse)
+}
+
+// BenchmarkPingPooled measures the pooled RTT path that feeds landmark
+// vectors: round trip on an established connection, no dial in the loop.
+func BenchmarkPingPooled(b *testing.B) {
+	server, client := benchTargets(b)
+	if _, err := client.ping(server.Addr(), time.Second); err != nil {
+		b.Fatal(err)
+	}
+	dials, reuse := poolCounters(client)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ping(server.Addr(), time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPoolMetrics(b, client, dials, reuse)
+}
+
+// BenchmarkPublishBatch64 ships a full 64-record batch frame per op —
+// the coalesced refresh path, 64 logical publishes on one round trip.
+func BenchmarkPublishBatch64(b *testing.B) {
+	server, client := benchTargets(b)
+	exp := time.Now().Add(time.Hour).UnixMilli()
+	recs := make([]Record, 64)
+	for i := range recs {
+		recs[i] = Record{Addr: "x:1", Number: uint64(i), ExpiresUnixMilli: exp}
+	}
+	if _, err := client.sendBatch(server.Addr(), recs, time.Second); err != nil {
+		b.Fatal(err)
+	}
+	dials, reuse := poolCounters(client)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.sendBatch(server.Addr(), recs, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPoolMetrics(b, client, dials, reuse)
+}
+
 func BenchmarkStoreReplicated(b *testing.B) {
 	// Full Publish path minus measurement: store one record at both ring
 	// owners, the k=2 soft-state write amplification.

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// endlessReader yields 'a' forever, counting the bytes handed out. A
+// reader that buffers the whole "line" before checking the frame cap
+// never returns from it.
+type endlessReader struct{ served int64 }
+
+func (e *endlessReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'a'
+	}
+	e.served += int64(len(p))
+	return len(p), nil
+}
+
+// TestReadMessageBoundsOversizedFrame is the regression test for the
+// frame-limit bug: the 1 MiB cap used to be checked only after
+// ReadBytes had buffered the entire line, so a peer streaming an
+// unterminated frame forced unbounded allocation. The bounded reader
+// must reject the frame as soon as the cap is crossed, consuming only
+// marginally more than maxFrame bytes from a never-ending line.
+func TestReadMessageBoundsOversizedFrame(t *testing.T) {
+	src := &endlessReader{}
+	r := bufio.NewReader(src)
+	_, err := ReadMessage(r)
+	if !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("ReadMessage on an endless line = %v, want frame-limit error", err)
+	}
+	// The bufio layer reads ahead one buffer at a time; anything past
+	// cap + a couple of fill-ahead buffers means the line was buffered
+	// before the check ran.
+	if limit := int64(maxFrame + 128<<10); src.served > limit {
+		t.Fatalf("reader consumed %d bytes before rejecting, want <= %d", src.served, limit)
+	}
+}
+
+// TestReadMessageOversizedTerminatedFrame pins the cap for frames that
+// do end in a newline but exceed the limit.
+func TestReadMessageOversizedTerminatedFrame(t *testing.T) {
+	big := strings.Repeat("x", maxFrame+1) + "\n"
+	_, err := ReadMessage(bufio.NewReader(strings.NewReader(big)))
+	if !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("oversized terminated frame = %v, want frame-limit error", err)
+	}
+}
+
+// TestReadMessageFrameAtLimit: a frame exactly at the cap still parses
+// (the bound is on the frame, not a smaller internal buffer).
+func TestReadMessageFrameAtLimit(t *testing.T) {
+	pad := strings.Repeat("a", maxFrame-len(`{"type":"ping","seq":1,"err":""}`)-1)
+	frame := `{"type":"ping","seq":1,"err":"` + pad + `"}` + "\n"
+	if len(frame) != maxFrame {
+		t.Fatalf("frame is %d bytes, want exactly %d", len(frame), maxFrame)
+	}
+	m, err := ReadMessage(bufio.NewReader(strings.NewReader(frame)))
+	if err != nil {
+		t.Fatalf("frame at the limit rejected: %v", err)
+	}
+	if m.Type != MsgPing || m.Seq != 1 {
+		t.Fatalf("frame at the limit mangled: %+v", m)
+	}
+}
+
+// TestBatchMessageRoundTrip covers the new batch frames through the
+// codec, per-record errors included.
+func TestBatchMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	in := Message{
+		Type: MsgPublishBatch,
+		Seq:  9,
+		Records: []Record{
+			{Addr: "a:1", Vector: []float64{1, 2}, Number: 7, ExpiresUnixMilli: 99},
+			{Addr: "b:2", Number: 8},
+		},
+	}
+	if err := WriteMessage(w, in); err != nil {
+		t.Fatal(err)
+	}
+	ack := Message{Type: MsgBatchAck, Seq: 9, Errs: []string{"", "store without addr"}}
+	if err := WriteMessage(w, ack); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	out, err := ReadMessage(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgPublishBatch || len(out.Records) != 2 || out.Records[1].Addr != "b:2" {
+		t.Fatalf("batch round trip = %+v", out)
+	}
+	out, err = ReadMessage(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgBatchAck || len(out.Errs) != 2 || out.Errs[1] == "" {
+		t.Fatalf("ack round trip = %+v", out)
+	}
+}

@@ -24,11 +24,47 @@ type nodeMetrics struct {
 	refreshFailures *obs.Counter
 	vectorFallback  *obs.Counter
 	breakerState    *obs.GaugeVec // one series per peer, resolved lazily
+
+	// Transport pool + batching families.
+	transport    *transportMetrics
+	batchSize    *obs.Histogram
+	batchRecords *obs.Counter
+	batchErrors  *obs.Counter
+}
+
+// transportMetrics is the pooled transport's nil-safe telemetry hook: a
+// bare NewTransport carries none, a node-owned one meters its pool.
+type transportMetrics struct {
+	open   *obs.Gauge   // wire_conns_open
+	dials  *obs.Counter // wire_conn_dials_total
+	reused *obs.Counter // wire_conn_reuse_total
+}
+
+func (m *transportMetrics) dialed() {
+	if m == nil {
+		return
+	}
+	m.dials.Inc()
+	m.open.Add(1)
+}
+
+func (m *transportMetrics) dropped() {
+	if m == nil {
+		return
+	}
+	m.open.Add(-1)
+}
+
+func (m *transportMetrics) reuse() {
+	if m == nil {
+		return
+	}
+	m.reused.Inc()
 }
 
 // knownRequestTypes are the request types a node serves (response types
 // never reach dispatch).
-var knownRequestTypes = []MsgType{MsgPing, MsgStore, MsgQuery, MsgStats, MsgRemove}
+var knownRequestTypes = []MsgType{MsgPing, MsgStore, MsgQuery, MsgStats, MsgRemove, MsgPublishBatch}
 
 // msgTypeOther labels requests of unrecognized type.
 const msgTypeOther = "other"
@@ -63,6 +99,21 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 			"Landmark dimensions filled from the last known RTT because the landmark was unreachable.").With(),
 		breakerState: reg.Gauge("wire_breaker_state",
 			"Per-peer failure detector state: 0 closed, 1 half-open, 2 open.", "peer"),
+		transport: &transportMetrics{
+			open: reg.Gauge("wire_conns_open",
+				"Pooled client connections currently open, all peers.").With(),
+			dials: reg.Counter("wire_conn_dials_total",
+				"New pooled connections dialed.").With(),
+			reused: reg.Counter("wire_conn_reuse_total",
+				"Client calls served on an already-open pooled connection.").With(),
+		},
+		batchSize: reg.Histogram("wire_batch_size",
+			"Records per flushed publish-batch frame.",
+			[]float64{1, 2, 4, 8, 16, 32, 64}).With(),
+		batchRecords: reg.Counter("wire_batch_records_total",
+			"Soft-state records stored through publish-batch frames.").With(),
+		batchErrors: reg.Counter("wire_batch_errors_total",
+			"Batched records lost to whole-frame failures or per-record rejections.").With(),
 	}
 	for _, t := range knownRequestTypes {
 		m.requests[t] = requests.With(string(t))

@@ -76,6 +76,9 @@ type nodeOptions struct {
 	breakerCooldown  time.Duration
 	breakerSink      func(peer string, open bool)
 	logger           *slog.Logger
+	poolSize         int
+	batchWindow      time.Duration
+	batchTimeout     time.Duration
 }
 
 func defaultOptions() nodeOptions {
@@ -86,6 +89,8 @@ func defaultOptions() nodeOptions {
 		breakerThreshold: 3,
 		breakerCooldown:  2 * time.Second,
 		logger:           slog.Default(),
+		poolSize:         2,
+		batchTimeout:     2 * time.Second,
 	}
 }
 
@@ -145,6 +150,31 @@ func WithBreakerSink(fn func(peer string, open bool)) NodeOption {
 	return func(o *nodeOptions) { o.breakerSink = fn }
 }
 
+// WithPoolSize sets how many persistent connections the node's transport
+// keeps per peer (default 2). Concurrent calls multiplex over them; a
+// pool of 1 still pipelines every request onto the single connection.
+func WithPoolSize(size int) NodeOption {
+	return func(o *nodeOptions) {
+		if size >= 1 {
+			o.poolSize = size
+		}
+	}
+}
+
+// WithBatchWindow enables publish batching: refresh-loop republishes
+// enqueue into per-owner batches flushed every window (or sooner when a
+// batch fills) as single MsgPublishBatch frames, instead of paying one
+// round trip per record per owner. Zero disables batching (the
+// default); the first Publish and explicit Publish calls stay
+// synchronous either way, so their error semantics are unchanged.
+func WithBatchWindow(window time.Duration) NodeOption {
+	return func(o *nodeOptions) {
+		if window > 0 {
+			o.batchWindow = window
+		}
+	}
+}
+
 // WithLogger sets the node's structured logger (default slog.Default()).
 // The node logs only at debug level: refresh failures, replica store
 // failures, landmark fallbacks.
@@ -168,10 +198,13 @@ type Node struct {
 	addr    string
 	stop    chan struct{}
 	metrics *nodeMetrics
+	tr      *Transport // pooled, multiplexed client side
+	batch   *batcher   // publish coalescing; nil unless WithBatchWindow
 
 	mu      sync.Mutex
-	records map[string]Record // by Addr
-	lastRec *Record           // last record this node published; nil before first Publish
+	records map[string]Record     // by Addr
+	lastRec *Record               // last record this node published; nil before first Publish
+	conns   map[net.Conn]struct{} // live server-side connections, closed on shutdown
 	closed  bool
 	wg      sync.WaitGroup
 
@@ -219,8 +252,15 @@ func NewNodeWithRegistry(listenAddr string, cfg SpaceConfig, peers []string, ttl
 		stop:     make(chan struct{}),
 		metrics:  newNodeMetrics(reg),
 		records:  make(map[string]Record),
+		conns:    make(map[net.Conn]struct{}),
 		breakers: make(map[string]*breaker),
 		lastRTT:  make([]float64, len(cfg.Landmarks)),
+	}
+	n.tr = newTransport(opt.poolSize, n.metrics.transport)
+	if opt.batchWindow > 0 {
+		n.batch = newBatcher(n, opt.batchWindow)
+		n.wg.Add(1)
+		go n.batch.loop()
 	}
 	for i := range n.lastRTT {
 		n.lastRTT[i] = math.NaN()
@@ -231,6 +271,10 @@ func NewNodeWithRegistry(listenAddr string, cfg SpaceConfig, peers []string, ttl
 	return n, nil
 }
 
+// Transport returns the node's pooled client transport (open-connection
+// counts are also exported as wire_conns_open).
+func (n *Node) Transport() *Transport { return n.tr }
+
 // Addr returns the node's dialable address.
 func (n *Node) Addr() string { return n.addr }
 
@@ -238,8 +282,10 @@ func (n *Node) Addr() string { return n.addr }
 // obs.Handler, or scrape it remotely through the STATS op).
 func (n *Node) Registry() *obs.Registry { return n.metrics.reg }
 
-// Close stops the server, the refresh loop if running, and waits for
-// in-flight handlers.
+// Close stops the server, the refresh and batch loops if running,
+// flushes any pending publish batch (a drain must not silently abandon
+// queued records), closes the persistent server connections and the
+// client pool, and waits for in-flight handlers.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -249,8 +295,17 @@ func (n *Node) Close() error {
 	n.closed = true
 	close(n.stop)
 	n.mu.Unlock()
+	if n.batch != nil {
+		n.batch.Flush(n.opt.batchTimeout)
+	}
 	err := n.ln.Close()
+	n.mu.Lock()
+	for c := range n.conns {
+		_ = c.Close()
+	}
+	n.mu.Unlock()
 	n.wg.Wait()
+	n.tr.Close()
 	return err
 }
 
@@ -258,6 +313,8 @@ func (n *Node) Close() error {
 // its record every interval (keeping it alive against the TTL) until the
 // node is closed. Failures are tolerated and retried on the next tick —
 // soft-state's whole point is that transient losses heal themselves.
+// With WithBatchWindow set, republishes enqueue into the per-owner
+// batcher instead of paying one synchronous store per owner per tick.
 func (n *Node) StartRefresh(interval time.Duration, pings int, timeout time.Duration) {
 	if interval <= 0 {
 		interval = n.ttl / 3
@@ -272,7 +329,13 @@ func (n *Node) StartRefresh(interval time.Duration, pings int, timeout time.Dura
 			case <-n.stop:
 				return
 			case <-ticker.C:
-				if _, err := n.Publish(pings, timeout); err != nil {
+				var err error
+				if n.batch != nil {
+					_, err = n.publishBatched(pings, timeout)
+				} else {
+					_, err = n.Publish(pings, timeout)
+				}
+				if err != nil {
 					n.metrics.refreshFailures.Inc()
 					n.opt.logger.Debug("wire: refresh publish failed", "node", n.addr, "err", err)
 				}
@@ -297,24 +360,49 @@ func (n *Node) serve() {
 	}
 }
 
-// handle serves one connection: one request, one response.
+// handle serves one persistent connection: requests are read in a loop
+// and answered in arrival order (clients multiplex by pipelining many
+// in-flight requests tagged with distinct Seqs). The handle timeout is
+// an idle deadline, re-armed per frame, so a pooled connection lives as
+// long as it keeps carrying traffic. The connection is tracked so Close
+// can tear it down instead of waiting out the idle deadline.
 func (n *Node) handle(conn net.Conn) {
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(n.opt.handleTimeout))
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
-	req, err := ReadMessage(br)
-	if err != nil {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = conn.Close()
 		return
 	}
-	start := time.Now()
-	resp := n.dispatch(req)
-	n.metrics.serve.Observe(float64(time.Since(start).Microseconds()) / 1000)
-	n.metrics.request(req.Type).Inc()
-	if resp.Type == MsgError {
-		n.metrics.err(req.Type).Inc()
+	n.conns[conn] = struct{}{}
+	n.mu.Unlock()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var scratch []byte
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(n.opt.handleTimeout))
+		req, s, err := readMessageInto(br, scratch)
+		if err != nil {
+			return // EOF, idle timeout, or a broken frame: drop the conn
+		}
+		scratch = s
+		start := time.Now()
+		resp := n.dispatch(req)
+		n.metrics.serve.Observe(float64(time.Since(start).Microseconds()) / 1000)
+		n.metrics.request(req.Type).Inc()
+		if resp.Type == MsgError {
+			n.metrics.err(req.Type).Inc()
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(n.opt.handleTimeout))
+		if err := WriteMessage(bw, resp); err != nil {
+			return
+		}
 	}
-	_ = WriteMessage(bw, resp)
 }
 
 func (n *Node) dispatch(req Message) Message {
@@ -347,6 +435,31 @@ func (n *Node) dispatch(req Message) Message {
 		n.mu.Unlock()
 		n.metrics.records.Set(float64(count))
 		return Message{Type: MsgRemoved, Seq: req.Seq, Addr: req.Addr}
+	case MsgPublishBatch:
+		if len(req.Records) == 0 {
+			return Message{Type: MsgError, Seq: req.Seq, Err: "empty publish-batch"}
+		}
+		// Store what is storable and report the rest per record: one bad
+		// record must not void the batch's healthy neighbors.
+		errs := make([]string, len(req.Records))
+		failed := 0
+		n.mu.Lock()
+		for i, rec := range req.Records {
+			if rec.Addr == "" {
+				errs[i] = "store without addr"
+				failed++
+				continue
+			}
+			n.records[rec.Addr] = rec
+		}
+		count := len(n.records)
+		n.mu.Unlock()
+		n.metrics.records.Set(float64(count))
+		resp := Message{Type: MsgBatchAck, Seq: req.Seq}
+		if failed > 0 {
+			resp.Errs = errs
+		}
+		return resp
 	case MsgStats:
 		snap := n.metrics.reg.Snapshot()
 		return Message{Type: MsgStatsReply, Seq: req.Seq, Stats: &snap}
@@ -417,10 +530,14 @@ func (n *Node) breakerFor(addr string) *breaker {
 var errBreakerOpen = errors.New("wire: circuit breaker open")
 
 // call runs one client RPC to addr through the per-peer failure detector
-// and the node's retry policy. attempt performs a single round trip; it
-// is re-run on transport failures with backoff. The breaker counts whole
-// calls: retries happen inside one call, so only a call that exhausts its
-// attempt budget (or hits a permanent error) counts as a failure.
+// and the node's retry policy. attempt performs a single round trip on
+// the pooled transport; it is re-run on transport failures with backoff,
+// and since a transport failure closes the pooled connection it rode on,
+// the retry reopens a fresh one. The breaker counts whole calls: retries
+// happen inside one call, so only a call that exhausts its attempt
+// budget (or hits a permanent error) counts as a failure. A call that
+// opens the breaker also evicts the peer's pooled connections — stale
+// connections to a crashed peer must not outlive the failure verdict.
 func (n *Node) call(op MsgType, addr string, attempt func() error) error {
 	br := n.breakerFor(addr)
 	if !br.allow(time.Now()) {
@@ -429,6 +546,9 @@ func (n *Node) call(op MsgType, addr string, attempt func() error) error {
 	err := withRetry(n.opt.retry, func() { n.metrics.retry(op).Inc() }, n.stop, attempt)
 	if err != nil {
 		br.failure(time.Now())
+		if br.snapshot() == breakerOpen {
+			n.tr.Evict(addr)
+		}
 		return err
 	}
 	br.success()
@@ -436,19 +556,20 @@ func (n *Node) call(op MsgType, addr string, attempt func() error) error {
 }
 
 // ping is the node-side Ping: breaker + retry + dial histogram. The RTT
-// times only the successful attempt.
+// is the wire round trip on the established pooled connection — a dial,
+// when one is needed, happens before the clock starts, so landmark
+// vectors measure network distance, not amortized connection setup.
 func (n *Node) ping(addr string, timeout time.Duration) (time.Duration, error) {
 	var rtt time.Duration
 	err := n.call(MsgPing, addr, func() error {
-		start := time.Now()
-		resp, err := roundTrip(addr, Message{Type: MsgPing, Seq: 1}, timeout)
+		resp, d, err := n.tr.roundTripRTT(addr, Message{Type: MsgPing}, timeout)
 		if err != nil {
 			return err
 		}
 		if resp.Type != MsgPong {
 			return permanent(fmt.Errorf("wire: unexpected response %q to ping", resp.Type))
 		}
-		rtt = time.Since(start)
+		rtt = d
 		return nil
 	})
 	if err == nil {
@@ -460,7 +581,7 @@ func (n *Node) ping(addr string, timeout time.Duration) (time.Duration, error) {
 // store is the node-side Store under breaker + retry.
 func (n *Node) store(addr string, rec Record, timeout time.Duration) error {
 	return n.call(MsgStore, addr, func() error {
-		resp, err := roundTrip(addr, Message{Type: MsgStore, Seq: 2, Record: &rec}, timeout)
+		resp, err := n.tr.RoundTrip(addr, Message{Type: MsgStore, Record: &rec}, timeout)
 		if err != nil {
 			return err
 		}
@@ -475,7 +596,7 @@ func (n *Node) store(addr string, rec Record, timeout time.Duration) error {
 func (n *Node) query(addr string, number uint64, max int, timeout time.Duration) ([]Record, error) {
 	var recs []Record
 	err := n.call(MsgQuery, addr, func() error {
-		resp, err := roundTrip(addr, Message{Type: MsgQuery, Seq: 3, Number: number, Max: max}, timeout)
+		resp, err := n.tr.RoundTrip(addr, Message{Type: MsgQuery, Number: number, Max: max}, timeout)
 		if err != nil {
 			return err
 		}
@@ -491,7 +612,7 @@ func (n *Node) query(addr string, number uint64, max int, timeout time.Duration)
 // remove is the node-side Remove under breaker + retry.
 func (n *Node) remove(addr, recordAddr string, timeout time.Duration) error {
 	return n.call(MsgRemove, addr, func() error {
-		resp, err := roundTrip(addr, Message{Type: MsgRemove, Seq: 5, Addr: recordAddr}, timeout)
+		resp, err := n.tr.RoundTrip(addr, Message{Type: MsgRemove, Addr: recordAddr}, timeout)
 		if err != nil {
 			return err
 		}
@@ -663,6 +784,35 @@ func (n *Node) Publish(pings int, timeout time.Duration) (Record, error) {
 	return rec, nil
 }
 
+// publishBatched is the refresh loop's Publish under batching: it
+// measures and builds the record like Publish but enqueues it for every
+// ring owner instead of storing synchronously. Delivery errors surface
+// through wire_batch_errors_total when the window flushes; measurement
+// errors still fail the call so the refresh loop counts them.
+func (n *Node) publishBatched(pings int, timeout time.Duration) (Record, error) {
+	vec, _, err := n.MeasureVectorFull(pings, timeout)
+	if err != nil {
+		return Record{}, err
+	}
+	num, err := n.cfg.Number(vec)
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{
+		Addr:             n.addr,
+		Vector:           vec,
+		Number:           num,
+		ExpiresUnixMilli: time.Now().Add(n.ttl).UnixMilli(),
+	}
+	for _, owner := range n.OwnersOf(num, n.opt.replication) {
+		n.batch.Enqueue(owner, rec)
+	}
+	n.mu.Lock()
+	n.lastRec = &rec
+	n.mu.Unlock()
+	return rec, nil
+}
+
 // Withdraw is the proactive departure of §5.2 on the wire: the node
 // deletes its own record from every ring owner it published to, so peers
 // stop learning about it immediately instead of waiting out the TTL.
@@ -671,6 +821,12 @@ func (n *Node) Publish(pings int, timeout time.Duration) (Record, error) {
 // down gracefully; crashed nodes skip it, which is exactly the case the
 // failure detector and takeover exist for.
 func (n *Node) Withdraw(timeout time.Duration) (int, error) {
+	// Flush pending batches first: a removal must not race a queued
+	// republish of the very record being withdrawn, and a drain must not
+	// silently drop other nodes' queued records either.
+	if n.batch != nil {
+		n.batch.Flush(timeout)
+	}
 	n.mu.Lock()
 	rec := n.lastRec
 	n.mu.Unlock()

@@ -10,15 +10,21 @@
 // soft-state code paths are not simulator-only. Placement uses a one-hop
 // ring over a static peer list — the degenerate Chord of the appendix.
 //
-// Framing is newline-delimited JSON over TCP: one request, one response
-// per message.
+// Framing is newline-delimited JSON over TCP. Connections are
+// persistent and multiplexed: many requests may be in flight on one
+// connection at once, and responses are matched back to callers by Seq
+// (see Transport). The package-level helpers (Ping, Store, Query, ...)
+// keep the simple dial-per-call behavior for scripts and tests; node
+// client calls go through the node's pooled Transport.
 package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"gsso/internal/obs"
@@ -39,7 +45,15 @@ const (
 	MsgStatsReply MsgType = "stats-reply"
 	MsgRemove     MsgType = "remove"
 	MsgRemoved    MsgType = "removed"
-	MsgError      MsgType = "error"
+	// MsgPublishBatch carries several soft-state records in one frame:
+	// publishes and refreshes headed for the same ring owner are coalesced
+	// by the client-side batcher instead of paying one round trip each.
+	MsgPublishBatch MsgType = "publish-batch"
+	// MsgBatchAck answers a publish-batch. A fully stored batch has no
+	// Errs; a partially failed one carries one entry per record (empty
+	// string = stored) so the sender can account per record.
+	MsgBatchAck MsgType = "batch-ack"
+	MsgError    MsgType = "error"
 )
 
 // Record is one soft-state entry: a peer's position in the landmark
@@ -71,8 +85,11 @@ type Message struct {
 	Number uint64 `json:"number,omitempty"`
 	// Max bounds how many records a query wants back.
 	Max int `json:"max,omitempty"`
-	// Records ride on query responses.
+	// Records ride on query responses and publish-batch requests.
 	Records []Record `json:"records,omitempty"`
+	// Errs ride on batch-ack responses to a partially failed batch: one
+	// entry per request record, empty string = stored.
+	Errs []string `json:"errs,omitempty"`
 	// Addr keys remove requests (the record to withdraw) and echoes on
 	// removed responses.
 	Addr string `json:"addr,omitempty"`
@@ -83,34 +100,88 @@ type Message struct {
 	Err string `json:"err,omitempty"`
 }
 
+// maxFrame bounds one wire frame; larger frames are rejected to bound
+// memory against misbehaving peers.
+const maxFrame = 1 << 20
+
+// errFrameTooLarge rejects frames that exceed maxFrame. The check fires
+// while reading, before the oversized tail is buffered.
+var errFrameTooLarge = fmt.Errorf("wire: frame exceeds %d-byte limit", maxFrame)
+
+// frameEncoder pairs a reusable buffer with a JSON encoder so the
+// per-frame encode allocation is paid once per pooled encoder, not once
+// per message. json.Encoder.Encode appends the trailing newline, which
+// is exactly the wire framing.
+type frameEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encoderPool = sync.Pool{New: func() any {
+	fe := &frameEncoder{}
+	fe.enc = json.NewEncoder(&fe.buf)
+	return fe
+}}
+
 // WriteMessage frames and sends one message.
 func WriteMessage(w *bufio.Writer, m Message) error {
-	data, err := json.Marshal(m)
-	if err != nil {
+	fe := encoderPool.Get().(*frameEncoder)
+	fe.buf.Reset()
+	if err := fe.enc.Encode(m); err != nil {
+		encoderPool.Put(fe)
 		return fmt.Errorf("wire: marshal: %w", err)
 	}
-	if _, err := w.Write(append(data, '\n')); err != nil {
+	_, err := w.Write(fe.buf.Bytes())
+	encoderPool.Put(fe)
+	if err != nil {
 		return err
 	}
 	return w.Flush()
 }
 
-// ReadMessage reads one newline-delimited frame. Frames above 1 MiB are
-// rejected to bound memory against misbehaving peers.
-func ReadMessage(r *bufio.Reader) (Message, error) {
-	const maxFrame = 1 << 20
-	line, err := r.ReadBytes('\n')
-	if err != nil {
-		return Message{}, err
+// readFrame reads one newline-delimited frame into scratch (grown as
+// needed and returned for reuse). The size cap is enforced on the read
+// itself: the frame is rejected as soon as maxFrame bytes accumulate
+// without a newline, so a misbehaving peer cannot force the reader to
+// buffer an unbounded line before the check runs.
+func readFrame(r *bufio.Reader, scratch []byte) ([]byte, error) {
+	line := scratch[:0]
+	for {
+		frag, err := r.ReadSlice('\n')
+		if len(line)+len(frag) > maxFrame {
+			return nil, errFrameTooLarge
+		}
+		line = append(line, frag...)
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return nil, err
+		}
 	}
-	if len(line) > maxFrame {
-		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(line))
+}
+
+// ReadMessage reads one newline-delimited frame. Frames above 1 MiB are
+// rejected mid-read to bound memory against misbehaving peers.
+func ReadMessage(r *bufio.Reader) (Message, error) {
+	m, _, err := readMessageInto(r, nil)
+	return m, err
+}
+
+// readMessageInto is ReadMessage with an explicit scratch buffer, reused
+// across frames by the persistent-connection read loops.
+func readMessageInto(r *bufio.Reader, scratch []byte) (Message, []byte, error) {
+	line, err := readFrame(r, scratch)
+	if err != nil {
+		return Message{}, scratch, err
 	}
 	var m Message
 	if err := json.Unmarshal(line, &m); err != nil {
-		return Message{}, fmt.Errorf("wire: unmarshal: %w", err)
+		return Message{}, line, fmt.Errorf("wire: unmarshal: %w", err)
 	}
-	return m, nil
+	return m, line, nil
 }
 
 // roundTrip dials addr, sends req, and reads one response.
