@@ -1,6 +1,6 @@
 # Developer conveniences; everything is plain `go` underneath.
 
-.PHONY: all build vet test race check soak bench bench-json bench-wire results quick-results examples clean
+.PHONY: all build vet test race check soak bench bench-json bench-wire mon-smoke results quick-results examples clean
 
 # Worker-pool width for the experiment engine; override with `make J=8 results`.
 J ?= $(shell nproc 2>/dev/null || echo 1)
@@ -61,6 +61,12 @@ bench-json:
 # BENCH_wire.json (ns/op, allocs/op, conns/op, connection reuse ratio).
 bench-wire:
 	go run ./cmd/topobench -wire-bench BENCH_wire.json
+
+# Observability smoke: boot a 3-node traced overlayd cluster, scrape it
+# once with overlaymon -json, and assert the snapshot is well-formed
+# (all nodes healthy, records stored, at least one stitched trace).
+mon-smoke:
+	sh scripts/mon_smoke.sh
 
 # Regenerate the paper's full evaluation with CSV series. The run lands in a
 # temp directory and is renamed into place only on success, so an interrupted

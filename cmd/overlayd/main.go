@@ -16,6 +16,15 @@
 // /metrics (Prometheus text format), /metrics.json, and /healthz. Peers
 // can also scrape each other in-band through the STATS wire op.
 //
+// Observability knobs: every root operation (publish, withdraw,
+// find-nearest, batch flush) is head-sampled 1-in-N by -trace-sample
+// (1 = trace everything, 0 = off) into a fixed -trace-buf span ring
+// buffer served at /traces on the metrics address; cmd/overlaymon
+// stitches those dumps across nodes into per-trace span trees. -slow-ms
+// logs any sampled root request slower than the threshold together with
+// its full local span chain, and -pprof mounts net/http/pprof under
+// /debug/pprof/ on the metrics listener (off by default).
+//
 // Resilience knobs: -retries caps attempts per wire call (with capped
 // exponential backoff and jitter between them), -replicas sets how many
 // ring owners each published record is stored on, and -handle-timeout
@@ -39,6 +48,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +56,7 @@ import (
 	"time"
 
 	"gsso/internal/obs"
+	"gsso/internal/obs/span"
 	"gsso/internal/wire"
 )
 
@@ -75,16 +86,34 @@ func newLogger(out io.Writer, verbose bool) *slog.Logger {
 	}))
 }
 
-// serveMetrics exposes reg on addr and returns the server plus its bound
-// listener address (addr may carry port 0).
-func serveMetrics(addr string, reg *obs.Registry, logger *slog.Logger) (*http.Server, string, error) {
+// serveMetrics exposes reg on addr — plus /traces when a span collector
+// is attached and the net/http/pprof endpoints when pprofOn — and
+// returns the server plus its bound listener address (addr may carry
+// port 0).
+func serveMetrics(addr string, reg *obs.Registry, col *span.Collector, pprofOn bool, logger *slog.Logger) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("metrics listener: %w", err)
 	}
-	srv := &http.Server{Handler: obs.Handler(reg)}
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler(reg))
+	if col != nil {
+		mux.Handle("/traces", span.Handler(col))
+	}
+	if pprofOn {
+		// Registered explicitly on this mux (not the default one): the
+		// profiler is opt-in and scoped to the metrics listener, so live
+		// nodes can be profiled like topobench runs without exposing
+		// /debug on the overlay port.
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
+	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	logger.Info("metrics", "addr", ln.Addr().String())
+	logger.Info("metrics", "addr", ln.Addr().String(), "traces", col != nil, "pprof", pprofOn)
 	return srv, ln.Addr().String(), nil
 }
 
@@ -116,6 +145,11 @@ func run(args []string, out io.Writer) error {
 		poolSize = fs.Int("pool-size", 2, "pooled client connections kept per peer")
 		batchWin = fs.Duration("batch-window", 0, "coalesce refresh publishes to the same owner within this window (0 disables batching)")
 		drainTO  = fs.Duration("drain-timeout", 2*time.Second, "graceful-drain budget on SIGINT/SIGTERM: withdraw soft-state before closing (0 disables)")
+
+		traceSample = fs.Int("trace-sample", 1, "head-sample 1 in N root requests into /traces (1 = all, 0 disables tracing)")
+		traceBuf    = fs.Int("trace-buf", 4096, "span ring-buffer capacity (oldest spans overwritten)")
+		slowMs      = fs.Float64("slow-ms", 0, "log any sampled root request slower than this many ms with its full span chain (0 disables)")
+		pprofOn     = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,22 +169,35 @@ func run(args []string, out io.Writer) error {
 	}
 	pol := wire.DefaultRetryPolicy()
 	pol.MaxAttempts = *retries
+	var col *span.Collector
+	if *traceSample > 0 {
+		col = span.NewCollector(*traceBuf, *traceSample)
+	}
 	node, err := wire.NewNode(*listen, cfg, splitCSV(*peersCSV), *ttl,
 		wire.WithHandleTimeout(*handleTO),
 		wire.WithReplication(*replicas),
 		wire.WithRetryPolicy(pol),
 		wire.WithPoolSize(*poolSize),
 		wire.WithBatchWindow(*batchWin),
+		wire.WithTracing(col),
 		wire.WithLogger(logger))
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	if *slowMs > 0 {
+		col.SetSlowLog(*slowMs, func(root span.Span, chain []span.Span) {
+			logger.Warn("slow-request", "op", root.Op,
+				"trace", fmt.Sprintf("%016x", root.TraceID),
+				"dur_ms", fmt.Sprintf("%.2f", root.DurMs),
+				"spans", span.ChainString(chain))
+		})
+	}
 	logger.Info("listening", "addr", node.Addr(),
 		"landmarks", len(cfg.Landmarks), "peers", len(splitCSV(*peersCSV)))
 
 	if *metrics != "" {
-		srv, _, err := serveMetrics(*metrics, node.Registry(), logger)
+		srv, _, err := serveMetrics(*metrics, node.Registry(), col, *pprofOn, logger)
 		if err != nil {
 			return err
 		}
@@ -247,7 +294,9 @@ func runDemo(n int, ttl, timeout time.Duration, metricsAddr string, hold time.Du
 	}
 	logger.Info("demo-start", "nodes", n, "landmarks", lmCount)
 	if metricsAddr != "" {
-		srv, _, err := serveMetrics(metricsAddr, reg, logger)
+		// Demo nodes stay untraced: a collector is per-node (its node
+		// label is single-valued) and the demo shares one process.
+		srv, _, err := serveMetrics(metricsAddr, reg, nil, false, logger)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,125 @@
+// Command overlaymon is the cluster health view over a set of overlayd
+// nodes: it scrapes each node's metrics endpoint (/metrics.json,
+// /healthz, /traces) and renders one merged picture — per-node health
+// and record counts, suspicion and breaker states, ring coverage,
+// cluster-wide RPC latency quantiles, and the slowest distributed
+// traces stitched across nodes by trace ID.
+//
+//	overlaymon -nodes 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003
+//	overlaymon -nodes ... -watch 2s      # live view, request rates per tick
+//	overlaymon -nodes ... -json          # machine-readable snapshot
+//
+// The -nodes addresses are the overlayd -metrics listeners, not the
+// overlay ports. A one-shot run exits non-zero when any node cannot be
+// scraped, so it doubles as a cluster smoke check in scripts (see
+// `make mon-smoke`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "overlaymon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("overlaymon", flag.ContinueOnError)
+	var (
+		nodesCSV = fs.String("nodes", "", "comma-separated overlayd metrics addresses to scrape")
+		timeout  = fs.Duration("timeout", 2*time.Second, "per-scrape HTTP timeout")
+		jsonOut  = fs.Bool("json", false, "emit the snapshot as JSON instead of tables")
+		watch    = fs.Duration("watch", 0, "rescrape at this interval until interrupted (0 = one shot)")
+		top      = fs.Int("top", 5, "slowest stitched traces to keep in the view")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nodes := splitCSV(*nodesCSV)
+	if len(nodes) == 0 {
+		return fmt.Errorf("need -nodes")
+	}
+	if *watch <= 0 {
+		view := buildView(scrapeAll(nodes, *timeout), *top)
+		if err := render(out, view, *jsonOut); err != nil {
+			return err
+		}
+		if view.Unreachable > 0 {
+			return fmt.Errorf("%d of %d nodes unreachable", view.Unreachable, len(nodes))
+		}
+		return nil
+	}
+
+	// Watch mode: rescrape every interval, diffing request counters into
+	// per-node rates. Unreachable nodes render as DOWN rather than
+	// failing the run — flapping is exactly what a live view is for.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*watch)
+	defer ticker.Stop()
+	prev := map[string]float64{}
+	prevAt := time.Time{}
+	for {
+		view := buildView(scrapeAll(nodes, *timeout), *top)
+		now := time.Now()
+		if !prevAt.IsZero() {
+			dt := now.Sub(prevAt).Seconds()
+			for i := range view.Nodes {
+				n := &view.Nodes[i]
+				if last, ok := prev[n.Addr]; ok && n.Healthy && dt > 0 && n.Requests >= last {
+					n.RequestsPerSec = (n.Requests - last) / dt
+				}
+			}
+		}
+		for _, n := range view.Nodes {
+			if n.Healthy {
+				prev[n.Addr] = n.Requests
+			}
+		}
+		prevAt = now
+		fmt.Fprintf(out, "--- %s ---\n", view.ScrapedAt)
+		if err := render(out, view, *jsonOut); err != nil {
+			return err
+		}
+		select {
+		case <-sig:
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+func render(out io.Writer, view ClusterView, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(view)
+	}
+	renderText(out, view)
+	return nil
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

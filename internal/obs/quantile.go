@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the histogram by
+// linear interpolation inside the bucket containing the target rank —
+// the same estimator Prometheus's histogram_quantile uses, so merged
+// cluster views read like single-node ones. Observations in the +Inf
+// bucket cannot be interpolated; a quantile landing there returns the
+// highest finite bound. An empty histogram returns NaN.
+func (h *HistSnapshot) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	lower := 0.0
+	for i, bound := range h.Bounds {
+		c := float64(h.Counts[i])
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (bound-lower)*frac
+		}
+		cum += c
+		lower = bound
+	}
+	// Rank lies in the +Inf bucket: the best defensible estimate is the
+	// largest finite bound.
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// MergeHist adds b's observations into a copy of a. The two snapshots
+// must share identical bucket bounds (all wire latency families use
+// DefBuckets, so cross-node merges always qualify). Either side may be
+// nil, in which case the other is copied through.
+func MergeHist(a, b *HistSnapshot) (*HistSnapshot, error) {
+	if a == nil {
+		return copyHist(b), nil
+	}
+	if b == nil {
+		return copyHist(a), nil
+	}
+	if len(a.Bounds) != len(b.Bounds) {
+		return nil, fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(a.Bounds), len(b.Bounds))
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return nil, fmt.Errorf("obs: merging histograms with mismatched bound %d: %v vs %v",
+				i, a.Bounds[i], b.Bounds[i])
+		}
+	}
+	out := copyHist(a)
+	for i := range b.Counts {
+		out.Counts[i] += b.Counts[i]
+	}
+	out.Sum += b.Sum
+	out.Count += b.Count
+	return out, nil
+}
+
+func copyHist(h *HistSnapshot) *HistSnapshot {
+	if h == nil {
+		return nil
+	}
+	return &HistSnapshot{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: append([]uint64(nil), h.Counts...),
+		Sum:    h.Sum,
+		Count:  h.Count,
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// histOf builds a snapshot by observing values into a fresh registry
+// histogram, so the tests exercise the same bucketing the wire uses.
+func histOf(bounds []float64, values ...float64) *HistSnapshot {
+	r := NewRegistry()
+	h := r.Histogram("h", "", bounds).With()
+	for _, v := range values {
+		h.Observe(v)
+	}
+	f, _ := r.Snapshot().Family("h")
+	return f.Series[0].Hist
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var nilHist *HistSnapshot
+	if !math.IsNaN(nilHist.Quantile(0.5)) {
+		t.Fatal("nil histogram must quantile to NaN")
+	}
+	if !math.IsNaN(histOf([]float64{1, 10}).Quantile(0.5)) {
+		t.Fatal("empty histogram must quantile to NaN")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	// 100 observations uniform in (0, 10]: all land in the (0,10] bucket
+	// of bounds {10, 100}, so interpolation should recover the uniform
+	// quantiles of that bucket: q -> 10q.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i%10) + 0.5
+	}
+	h := histOf([]float64{10, 100}, vals...)
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 5}, {0.9, 9}, {1, 10},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 0.01 {
+			t.Errorf("Quantile(%.2f) = %.3f, want %.3f", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 50 obs <= 1, 50 obs in (1, 10]: the median sits exactly at the
+	// first bucket's upper bound, p75 halfway into the second.
+	vals := make([]float64, 0, 100)
+	for i := 0; i < 50; i++ {
+		vals = append(vals, 0.5, 5.5)
+	}
+	h := histOf([]float64{1, 10}, vals...)
+	if got := h.Quantile(0.5); math.Abs(got-1) > 0.01 {
+		t.Errorf("p50 = %.3f, want 1.0", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-5.5) > 0.01 {
+		t.Errorf("p75 = %.3f, want 5.5 (halfway through second bucket)", got)
+	}
+}
+
+func TestQuantileInfBucket(t *testing.T) {
+	// Every observation beyond the last finite bound: the estimator
+	// cannot interpolate into +Inf and must answer the highest finite
+	// bound rather than invent a number.
+	h := histOf([]float64{1, 10}, 50, 60, 70)
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("quantile in +Inf bucket = %v, want highest finite bound 10", got)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	h := histOf([]float64{1, 10}, 0.5)
+	if got := h.Quantile(-1); math.IsNaN(got) {
+		t.Fatal("q<0 must clamp, not NaN")
+	}
+	if got := h.Quantile(2); math.IsNaN(got) {
+		t.Fatal("q>1 must clamp, not NaN")
+	}
+}
+
+func TestMergeHist(t *testing.T) {
+	a := histOf([]float64{1, 10}, 0.5, 0.6)
+	b := histOf([]float64{1, 10}, 5, 6, 7)
+	m, err := MergeHist(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 5 {
+		t.Fatalf("merged count = %d, want 5", m.Count)
+	}
+	if want := 0.5 + 0.6 + 5 + 6 + 7; math.Abs(m.Sum-want) > 1e-9 {
+		t.Fatalf("merged sum = %v, want %v", m.Sum, want)
+	}
+	if m.Counts[0] != 2 || m.Counts[1] != 3 {
+		t.Fatalf("merged buckets = %v", m.Counts)
+	}
+	// Inputs untouched.
+	if a.Count != 2 || b.Count != 3 {
+		t.Fatal("MergeHist mutated its inputs")
+	}
+}
+
+func TestMergeHistNilSides(t *testing.T) {
+	a := histOf([]float64{1, 10}, 0.5)
+	m, err := MergeHist(nil, a)
+	if err != nil || m == nil || m.Count != 1 {
+		t.Fatalf("nil+a: %v %+v", err, m)
+	}
+	m.Counts[0] = 99
+	if a.Counts[0] == 99 {
+		t.Fatal("merge of nil side must copy, not alias")
+	}
+	if m, err := MergeHist(a, nil); err != nil || m.Count != 1 {
+		t.Fatalf("a+nil: %v %+v", err, m)
+	}
+	if m, err := MergeHist(nil, nil); err != nil || m != nil {
+		t.Fatalf("nil+nil: %v %+v", err, m)
+	}
+}
+
+func TestMergeHistBoundMismatch(t *testing.T) {
+	a := histOf([]float64{1, 10}, 1)
+	b := histOf([]float64{1, 10, 100}, 1)
+	if _, err := MergeHist(a, b); err == nil {
+		t.Fatal("merging different bucket counts must error")
+	}
+	c := histOf([]float64{2, 10}, 1)
+	if _, err := MergeHist(a, c); err == nil {
+		t.Fatal("merging different bounds must error")
+	}
+}
+
+func TestMergedQuantileMatchesSingleNode(t *testing.T) {
+	// Two nodes observing halves of the same distribution must merge
+	// into the distribution's own quantiles.
+	var all, left, right []float64
+	for i := 1; i <= 100; i++ {
+		v := float64(i) / 10
+		all = append(all, v)
+		if i%2 == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	whole := histOf(DefBuckets, all...)
+	m, err := MergeHist(histOf(DefBuckets, left...), histOf(DefBuckets, right...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got, want := m.Quantile(q), whole.Quantile(q); math.Abs(got-want) > 1e-9 {
+			t.Errorf("merged Quantile(%v) = %v, single-node %v", q, got, want)
+		}
+	}
+}

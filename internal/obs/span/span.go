@@ -1,0 +1,401 @@
+// Package span is the distributed-tracing half of the telemetry layer:
+// a trace context that rides wire frames across process boundaries, a
+// fixed-size mutex-light span ring buffer with head-based sampling, and
+// an HTTP handler exposing the buffer as JSON (/traces on overlayd).
+//
+// The model is deliberately small. A *trace* is one logical operation —
+// a replicated publish, a nearest-peer query — identified by a TraceID
+// minted where the operation starts (the head). Every unit of work done
+// on its behalf is a *span*: the root operation, each client RPC (with
+// its full retry loop folded into one span carrying an attempt count),
+// and each server-side handler that served one of those RPCs on a remote
+// node. Spans are linked by ParentID, so the union of every node's ring
+// buffer yields a causally-ordered tree for each trace, stitched by
+// TraceID (cmd/overlaymon does exactly that).
+//
+// Sampling is head-based: the decision is made once, where the trace
+// starts, and carried in the context. Downstream nodes record spans for
+// any sampled context they receive and never flip the bit, so a trace is
+// either observed everywhere it touched or nowhere. A nil *Collector is
+// permanently disabled and absorbs every call for the cost of a nil
+// check, which is what the wire benchmarks run with.
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Context is the trace context carried on wire frames: which trace the
+// request belongs to, which span is the caller (the parent of whatever
+// span the receiver records), and the head sampling decision. The zero
+// Context means "unsampled" and is never put on the wire.
+type Context struct {
+	TraceID uint64 `json:"trace_id"`
+	SpanID  uint64 `json:"span_id"`
+	Sampled bool   `json:"sampled,omitempty"`
+}
+
+// Valid reports whether the context identifies a sampled trace.
+func (c Context) Valid() bool { return c.Sampled && c.TraceID != 0 && c.SpanID != 0 }
+
+// Ptr returns a pointer to a copy of c for a valid context and nil
+// otherwise — the form a wire frame carries, so unsampled operations add
+// zero bytes to their frames.
+func (c Context) Ptr() *Context {
+	if !c.Valid() {
+		return nil
+	}
+	cc := c
+	return &cc
+}
+
+// Span outcomes.
+const (
+	OutcomeOK          = "ok"
+	OutcomeError       = "error"
+	OutcomeBreakerOpen = "breaker-open"
+)
+
+// Outcome maps an error to the span outcome for the common two-state
+// case (breaker trips are labeled explicitly by their caller).
+func Outcome(err error) string {
+	if err != nil {
+		return OutcomeError
+	}
+	return OutcomeOK
+}
+
+// Span is one finished unit of work within a trace.
+type Span struct {
+	TraceID  uint64 `json:"trace_id"`
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id,omitempty"` // 0 = root
+	// Op names the work: "publish", "store", "serve.store", ...
+	Op string `json:"op"`
+	// Node is the address of the node that recorded the span.
+	Node string `json:"node,omitempty"`
+	// Peer is the remote address: the callee for client spans, the
+	// caller for server spans.
+	Peer           string  `json:"peer,omitempty"`
+	StartUnixMicro int64   `json:"start_unix_micro"`
+	DurMs          float64 `json:"dur_ms"`
+	// Outcome is "ok", "error", or "breaker-open".
+	Outcome string `json:"outcome"`
+	// Attempts counts transport attempts of a client RPC, retries
+	// included (0 on spans with no retry loop).
+	Attempts int    `json:"attempts,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Root reports whether the span is a trace root.
+func (s Span) Root() bool { return s.ParentID == 0 }
+
+// slot is one ring position with its own lock, so concurrent writers
+// contend only when they land on the same position, not on a global
+// mutex.
+type slot struct {
+	mu  sync.Mutex
+	set bool
+	s   Span
+}
+
+// ring is the fixed-size span buffer: an atomic cursor claims positions,
+// per-slot locks order the copy in/out. Writers never block each other
+// except on cursor wrap collisions; readers take each slot lock for the
+// duration of one struct copy.
+type ring struct {
+	head  atomic.Uint64
+	slots []slot
+}
+
+func (r *ring) push(s Span) {
+	i := (r.head.Add(1) - 1) % uint64(len(r.slots))
+	sl := &r.slots[i]
+	sl.mu.Lock()
+	sl.s = s
+	sl.set = true
+	sl.mu.Unlock()
+}
+
+func (r *ring) snapshot() []Span {
+	out := make([]Span, 0, len(r.slots))
+	for i := range r.slots {
+		sl := &r.slots[i]
+		sl.mu.Lock()
+		if sl.set {
+			out = append(out, sl.s)
+		}
+		sl.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartUnixMicro != out[j].StartUnixMicro {
+			return out[i].StartUnixMicro < out[j].StartUnixMicro
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out
+}
+
+// slowHook bundles the slow-request log configuration so it swaps
+// atomically.
+type slowHook struct {
+	thresholdMs float64
+	fn          func(root Span, chain []Span)
+}
+
+// Collector owns one node's span ring buffer and mints its trace and
+// span IDs. All methods are safe for concurrent use and safe on a nil
+// receiver (permanently disabled).
+type Collector struct {
+	sampleN uint64 // head sampling: record 1 in N roots; 0 = disabled
+	seed    uint64
+	ctr     atomic.Uint64 // sampling counter
+	idctr   atomic.Uint64 // id-generator counter
+	node    atomic.Pointer[string]
+	slow    atomic.Pointer[slowHook]
+	ring    *ring
+}
+
+// NewCollector builds a collector holding up to capacity finished spans
+// (minimum 16; 0 picks 4096) and head-sampling one in sampleN root
+// operations (1 = everything; 0 or negative disables — prefer a nil
+// *Collector for permanently-off paths).
+func NewCollector(capacity, sampleN int) *Collector {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if capacity < 16 {
+		capacity = 16
+	}
+	if sampleN < 0 {
+		sampleN = 0
+	}
+	return &Collector{
+		sampleN: uint64(sampleN),
+		seed:    uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32,
+		ring:    &ring{slots: make([]slot, capacity)},
+	}
+}
+
+// SetNode labels every span recorded from now on with the node's
+// address. The owning node calls it once at construction; a collector
+// belongs to exactly one node.
+func (c *Collector) SetNode(addr string) {
+	if c == nil {
+		return
+	}
+	c.node.Store(&addr)
+}
+
+// Node returns the collector's node label.
+func (c *Collector) Node() string {
+	if c == nil {
+		return ""
+	}
+	if p := c.node.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SampleOneIn returns the head-sampling rate (0 = disabled).
+func (c *Collector) SampleOneIn() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.sampleN)
+}
+
+// SetSlowLog installs the slow-request hook: every root span finishing
+// at or above thresholdMs is handed to fn together with the chain of
+// local spans sharing its trace (children finish before their parent on
+// the synchronous paths, so the chain is complete at that moment). fn
+// runs on the goroutine finishing the span — keep it cheap. thresholdMs
+// <= 0 or a nil fn disables the hook.
+func (c *Collector) SetSlowLog(thresholdMs float64, fn func(root Span, chain []Span)) {
+	if c == nil {
+		return
+	}
+	if thresholdMs <= 0 || fn == nil {
+		c.slow.Store(nil)
+		return
+	}
+	c.slow.Store(&slowHook{thresholdMs: thresholdMs, fn: fn})
+}
+
+// nextID mints a non-zero process-unique ID (splitmix64 over an atomic
+// counter, offset by a per-collector time/pid seed so IDs from distinct
+// processes do not collide in practice).
+func (c *Collector) nextID() uint64 {
+	x := c.seed + c.idctr.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// StartRoot makes the head sampling decision and begins a new trace.
+// It returns nil — which every downstream call absorbs — when the
+// operation is not sampled.
+func (c *Collector) StartRoot(op string) *Active {
+	if c == nil || c.sampleN == 0 {
+		return nil
+	}
+	if c.sampleN > 1 && c.ctr.Add(1)%c.sampleN != 1 {
+		return nil
+	}
+	return c.start(op, c.nextID(), 0)
+}
+
+// StartChild begins a span under parent: a client RPC under a local
+// root, or a server handler continuing a remote caller's trace. Invalid
+// (unsampled) parents return nil, so the sampling decision made at the
+// head holds everywhere.
+func (c *Collector) StartChild(op string, parent Context) *Active {
+	if c == nil || !parent.Valid() {
+		return nil
+	}
+	return c.start(op, parent.TraceID, parent.SpanID)
+}
+
+func (c *Collector) start(op string, traceID, parentID uint64) *Active {
+	return &Active{c: c, start: time.Now(), s: Span{
+		TraceID:  traceID,
+		SpanID:   c.nextID(),
+		ParentID: parentID,
+		Op:       op,
+		Node:     c.Node(),
+	}}
+}
+
+// Snapshot copies the buffered spans, oldest first.
+func (c *Collector) Snapshot() []Span {
+	if c == nil {
+		return nil
+	}
+	return c.ring.snapshot()
+}
+
+// ByTrace returns the buffered spans of one trace, oldest first.
+func (c *Collector) ByTrace(traceID uint64) []Span {
+	if c == nil {
+		return nil
+	}
+	all := c.ring.snapshot()
+	out := all[:0]
+	for _, s := range all {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Active is a span being recorded. All methods are nil-safe, so an
+// unsampled operation costs its callers nothing but nil checks.
+type Active struct {
+	c     *Collector
+	start time.Time
+	s     Span
+}
+
+// Context returns the context to propagate downstream: same trace, this
+// span as the parent. The zero Context is returned for a nil span.
+func (a *Active) Context() Context {
+	if a == nil {
+		return Context{}
+	}
+	return Context{TraceID: a.s.TraceID, SpanID: a.s.SpanID, Sampled: true}
+}
+
+// SetPeer labels the span with the remote address.
+func (a *Active) SetPeer(peer string) {
+	if a != nil {
+		a.s.Peer = peer
+	}
+}
+
+// Finish stamps outcome, attempts, and duration, and commits the span to
+// the ring buffer. A slow root span additionally fires the collector's
+// slow-request hook with its local chain.
+func (a *Active) Finish(outcome string, attempts int, err error) {
+	if a == nil {
+		return
+	}
+	a.s.StartUnixMicro = a.start.UnixMicro()
+	a.s.DurMs = float64(time.Since(a.start).Microseconds()) / 1000
+	a.s.Outcome = outcome
+	a.s.Attempts = attempts
+	if err != nil {
+		a.s.Err = err.Error()
+	}
+	a.c.ring.push(a.s)
+	if a.s.Root() {
+		if h := a.c.slow.Load(); h != nil && a.s.DurMs >= h.thresholdMs {
+			h.fn(a.s, a.c.ByTrace(a.s.TraceID))
+		}
+	}
+}
+
+// Dump is the /traces JSON payload: the recording node plus its buffered
+// spans, oldest first.
+type Dump struct {
+	Node        string `json:"node"`
+	SampleOneIn int    `json:"sample_one_in"`
+	Spans       []Span `json:"spans"`
+}
+
+// Dump snapshots the collector into its exposition form.
+func (c *Collector) Dump() Dump {
+	return Dump{Node: c.Node(), SampleOneIn: c.SampleOneIn(), Spans: c.Snapshot()}
+}
+
+// ChainString renders a local span chain compactly for log lines:
+// one "op(peer outcome dur_ms attempts)" token per span, in order. The
+// slow-request log uses it so a single logfmt line carries the whole
+// local tree.
+func ChainString(chain []Span) string {
+	var b strings.Builder
+	for i, s := range chain {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Op)
+		b.WriteByte('(')
+		if s.Peer != "" {
+			b.WriteString(s.Peer)
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Outcome)
+		fmt.Fprintf(&b, " %.1fms", s.DurMs)
+		if s.Attempts > 1 {
+			fmt.Fprintf(&b, " x%d", s.Attempts)
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Handler serves the collector as JSON (mounted at /traces by
+// cmd/overlayd, scraped by cmd/overlaymon).
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.Dump())
+	})
+}

@@ -1,0 +1,264 @@
+package span
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestContextValidity(t *testing.T) {
+	var zero Context
+	if zero.Valid() {
+		t.Fatal("zero context must be invalid")
+	}
+	if zero.Ptr() != nil {
+		t.Fatal("invalid context must marshal to nil (absent on the wire)")
+	}
+	c := Context{TraceID: 1, SpanID: 2, Sampled: true}
+	if !c.Valid() {
+		t.Fatal("sampled non-zero context must be valid")
+	}
+	if p := c.Ptr(); p == nil || *p != c {
+		t.Fatalf("Ptr() = %v, want copy of %v", p, c)
+	}
+	c.Sampled = false
+	if c.Valid() || c.Ptr() != nil {
+		t.Fatal("unsampled context must be invalid: sampling decisions are head-only")
+	}
+}
+
+func TestNilCollectorAbsorbsEverything(t *testing.T) {
+	var c *Collector
+	c.SetNode("x")
+	c.SetSlowLog(1, func(Span, []Span) { t.Fatal("nil collector fired slow hook") })
+	root := c.StartRoot("op")
+	if root != nil {
+		t.Fatal("nil collector must not sample")
+	}
+	root.SetPeer("p") // all nil-safe
+	if got := root.Context(); got.Valid() {
+		t.Fatal("nil active span must yield invalid context")
+	}
+	root.Finish(OutcomeOK, 1, nil)
+	if c.Snapshot() != nil || c.ByTrace(1) != nil {
+		t.Fatal("nil collector must snapshot empty")
+	}
+}
+
+func TestRootChildLinkage(t *testing.T) {
+	c := NewCollector(64, 1)
+	c.SetNode("n1")
+	root := c.StartRoot("publish")
+	if root == nil {
+		t.Fatal("sampleN=1 must sample every root")
+	}
+	child := c.StartChild("store", root.Context())
+	child.SetPeer("peer:1")
+	child.Finish(OutcomeOK, 2, nil)
+	root.Finish(OutcomeError, 0, errors.New("boom"))
+
+	spans := c.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(spans))
+	}
+	var r, ch Span
+	for _, s := range spans {
+		if s.Root() {
+			r = s
+		} else {
+			ch = s
+		}
+	}
+	if r.Op != "publish" || r.Outcome != OutcomeError || r.Err != "boom" {
+		t.Fatalf("root span wrong: %+v", r)
+	}
+	if ch.TraceID != r.TraceID {
+		t.Fatalf("child trace %x != root trace %x", ch.TraceID, r.TraceID)
+	}
+	if ch.ParentID != r.SpanID {
+		t.Fatalf("child parent %x != root span %x", ch.ParentID, r.SpanID)
+	}
+	if ch.Node != "n1" || ch.Peer != "peer:1" || ch.Attempts != 2 {
+		t.Fatalf("child span wrong: %+v", ch)
+	}
+	if got := c.ByTrace(r.TraceID); len(got) != 2 {
+		t.Fatalf("ByTrace want 2, got %d", len(got))
+	}
+}
+
+func TestChildOfInvalidParentIsDropped(t *testing.T) {
+	c := NewCollector(64, 1)
+	if sp := c.StartChild("store", Context{}); sp != nil {
+		t.Fatal("child of an unsampled parent must not record")
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	c := NewCollector(1024, 4)
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if sp := c.StartRoot("op"); sp != nil {
+			sampled++
+			sp.Finish(OutcomeOK, 0, nil)
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("1-in-4 sampling over 400 roots: want 100, got %d", sampled)
+	}
+	off := NewCollector(64, 0)
+	if sp := off.StartRoot("op"); sp != nil {
+		t.Fatal("sampleN=0 must disable sampling")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	c := NewCollector(16, 1)
+	for i := 0; i < 50; i++ {
+		sp := c.StartRoot(fmt.Sprintf("op%d", i))
+		sp.Finish(OutcomeOK, 0, nil)
+	}
+	spans := c.Snapshot()
+	if len(spans) != 16 {
+		t.Fatalf("ring of 16 after 50 pushes: want 16 spans, got %d", len(spans))
+	}
+	// Only the newest 16 survive.
+	for _, s := range spans {
+		var i int
+		fmt.Sscanf(s.Op, "op%d", &i)
+		if i < 34 {
+			t.Fatalf("span %s survived wraparound; oldest should be evicted", s.Op)
+		}
+	}
+}
+
+func TestSlowLogHook(t *testing.T) {
+	c := NewCollector(64, 1)
+	c.SetNode("n1")
+	var mu sync.Mutex
+	var gotRoot Span
+	var gotChain []Span
+	fired := 0
+	c.SetSlowLog(0.000001, func(root Span, chain []Span) {
+		mu.Lock()
+		defer mu.Unlock()
+		fired++
+		gotRoot, gotChain = root, chain
+	})
+
+	root := c.StartRoot("publish")
+	child := c.StartChild("store", root.Context())
+	child.Finish(OutcomeOK, 1, nil)  // child finishing must NOT fire the hook
+	time.Sleep(2 * time.Millisecond) // give the root a nonzero duration
+	root.Finish(OutcomeOK, 0, nil)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 1 {
+		t.Fatalf("slow hook fired %d times, want 1 (roots only)", fired)
+	}
+	if gotRoot.Op != "publish" || len(gotChain) != 2 {
+		t.Fatalf("hook got root=%+v chain=%d spans, want publish with 2-span chain", gotRoot, len(gotChain))
+	}
+	s := ChainString(gotChain)
+	if !strings.Contains(s, "publish(") || !strings.Contains(s, "store(") {
+		t.Fatalf("ChainString %q missing ops", s)
+	}
+
+	// Threshold above the duration: silent.
+	c.SetSlowLog(1e9, func(Span, []Span) { t.Fatal("fast span fired slow hook") })
+	fast := c.StartRoot("quick")
+	fast.Finish(OutcomeOK, 0, nil)
+}
+
+func TestConcurrentPushAndSnapshot(t *testing.T) {
+	c := NewCollector(128, 1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				root := c.StartRoot("op")
+				ch := c.StartChild("child", root.Context())
+				ch.Finish(OutcomeOK, 1, nil)
+				root.Finish(OutcomeOK, 0, nil)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if got := c.Snapshot(); len(got) > 128 {
+						panic(fmt.Sprintf("snapshot larger than ring: %d", len(got)))
+					}
+				}
+			}
+		}()
+	}
+	// Writers finish first, then release the readers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for i := 0; i < 8*500; i++ {
+		// Spin the main goroutine on snapshots too while writers run.
+		c.Snapshot()
+		select {
+		case <-done:
+			i = 8 * 500
+		default:
+		}
+	}
+	close(stop)
+	<-done
+	if got := c.Snapshot(); len(got) != 128 {
+		t.Fatalf("full ring after 8000 pushes: want 128, got %d", len(got))
+	}
+}
+
+func TestHandlerServesDump(t *testing.T) {
+	c := NewCollector(64, 2)
+	c.SetNode("n1:7001")
+	for i := 0; i < 4; i++ {
+		if sp := c.StartRoot("op"); sp != nil {
+			sp.Finish(OutcomeOK, 0, nil)
+		}
+	}
+	rec := httptest.NewRecorder()
+	Handler(c).ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("HTTP %d", rec.Code)
+	}
+	var d Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if d.Node != "n1:7001" || d.SampleOneIn != 2 || len(d.Spans) != 2 {
+		t.Fatalf("dump = %+v, want node n1:7001, sample 2, 2 spans", d)
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	c := NewCollector(16, 1)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := c.nextID()
+		if id == 0 || seen[id] {
+			t.Fatalf("id %x zero or repeated at iteration %d", id, i)
+		}
+		seen[id] = true
+	}
+}

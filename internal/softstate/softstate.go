@@ -27,6 +27,7 @@ import (
 	"gsso/internal/landmark"
 	"gsso/internal/netsim"
 	"gsso/internal/obs"
+	"gsso/internal/obs/span"
 	"gsso/internal/topology"
 )
 
@@ -160,7 +161,18 @@ type Store struct {
 	sinks   []func(Event)
 	filter  func(region can.Path, number uint64) bool
 	metrics *storeMetrics
+	spans   *span.Collector
 }
+
+// SetSpans attaches a span collector: Publish and Lookup record one root
+// span each (op "softstate.publish" / "softstate.lookup", the member's
+// host or the queried region as the peer label, region count or expand
+// hops as the attempt count). This is the simulator analogue of the wire
+// layer's distributed tracing — the same ring buffer and sampler observe
+// the in-process soft-state path, so experiment harnesses can expose
+// /traces like a live node. Nil detaches (the default; zero overhead
+// beyond a nil check).
+func (s *Store) SetSpans(c *span.Collector) { s.spans = c }
 
 // storeMetrics mirrors map churn into a telemetry registry: a live-entry
 // gauge plus one counter per event kind (published, refreshed, removed,
@@ -313,9 +325,17 @@ func (s *Store) Publish(m *can.Member, vec landmark.Vector, opts ...PublishOptio
 	if m == nil {
 		return errors.New("softstate: publish nil member")
 	}
+	sp := s.spans.StartRoot("softstate.publish")
+	sp.SetPeer(fmt.Sprintf("host-%d", m.Host))
+	stored, err := s.publish(m, vec, opts...)
+	sp.Finish(span.Outcome(err), stored, err)
+	return err
+}
+
+func (s *Store) publish(m *can.Member, vec landmark.Vector, opts ...PublishOption) (int, error) {
 	num, err := s.space.Number(vec)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	vcopy := append(landmark.Vector(nil), vec...)
 	s.vectors[m] = vcopy
@@ -357,7 +377,7 @@ func (s *Store) Publish(m *can.Member, vec landmark.Vector, opts ...PublishOptio
 		s.emit(Event{Kind: kind, Region: region, Entry: e})
 	}
 	s.env.CountMessages("publish", stored)
-	return nil
+	return stored, nil
 }
 
 // PublishMeasured measures m's landmark vector (metered probes, one per
@@ -551,6 +571,14 @@ type LookupCost struct {
 // The queried region must be one of the high-order regions (digit-aligned
 // prefixes); for deeper paths the covering region's map is consulted.
 func (s *Store) Lookup(region can.Path, vec landmark.Vector) ([]*Entry, LookupCost, error) {
+	sp := s.spans.StartRoot("softstate.lookup")
+	sp.SetPeer(region.String())
+	entries, cost, err := s.lookup(region, vec)
+	sp.Finish(span.Outcome(err), cost.ExpandHops, err)
+	return entries, cost, err
+}
+
+func (s *Store) lookup(region can.Path, vec landmark.Vector) ([]*Entry, LookupCost, error) {
 	num, err := s.space.Number(vec)
 	if err != nil {
 		return nil, LookupCost{}, err

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"gsso/internal/obs/span"
 )
 
 // maxBatchRecords caps one MsgPublishBatch frame; a fuller queue flushes
@@ -84,11 +86,15 @@ func (b *batcher) Flush(timeout time.Duration) {
 // send ships one batch and accounts the outcome: per-record errors from
 // a partially failed batch and whole-frame failures both land in
 // wire_batch_errors_total; soft-state heals the lost records on the next
-// refresh tick either way.
+// refresh tick either way. Each flushed frame roots its own trace (a
+// frame coalesces records from many enqueuers, so no single publish can
+// parent it).
 func (b *batcher) send(owner string, recs []Record, timeout time.Duration) {
 	n := b.n
+	root := n.opt.spans.StartRoot("publish-batch")
 	n.metrics.batchSize.Observe(float64(len(recs)))
-	errs, err := n.sendBatch(owner, recs, timeout)
+	errs, err := n.sendBatchCtx(root.Context(), owner, recs, timeout)
+	root.Finish(span.Outcome(err), 0, err)
 	if err != nil {
 		n.metrics.batchErrors.Add(float64(len(recs)))
 		n.opt.logger.Debug("wire: batch flush failed",
@@ -115,12 +121,16 @@ func (b *batcher) send(owner string, recs []Record, timeout time.Duration) {
 // every record stored; otherwise one entry per record, empty = stored)
 // and the transport-level error when the frame itself failed.
 func (n *Node) sendBatch(owner string, recs []Record, timeout time.Duration) ([]string, error) {
+	return n.sendBatchCtx(span.Context{}, owner, recs, timeout)
+}
+
+func (n *Node) sendBatchCtx(parent span.Context, owner string, recs []Record, timeout time.Duration) ([]string, error) {
 	if len(recs) == 0 {
 		return nil, nil
 	}
 	var errs []string
-	err := n.call(MsgPublishBatch, owner, func() error {
-		resp, err := n.tr.RoundTrip(owner, Message{Type: MsgPublishBatch, Records: recs}, timeout)
+	err := n.call(MsgPublishBatch, owner, parent, func(tc *span.Context) error {
+		resp, err := n.tr.RoundTrip(owner, Message{Type: MsgPublishBatch, Records: recs, Trace: tc}, timeout)
 		if err != nil {
 			return err
 		}

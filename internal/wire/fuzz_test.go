@@ -20,13 +20,18 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add([]byte("{\"type\":\"publish-batch\",\"seq\":3,\"records\":[{\"addr\":\"a:1\",\"number\":1,\"expires_unix_milli\":1},{\"addr\":\"b:2\",\"number\":2,\"expires_unix_milli\":2}]}\n"))
 	f.Add([]byte("{\"type\":\"batch-ack\",\"seq\":3,\"errs\":[\"\",\"store without addr\"]}\n"))
 	f.Add([]byte("{\"type\":\"error\",\"seq\":4,\"err\":\"boom\"}\n"))
-	f.Add([]byte("{\"type\":\"query\",\"seq\":5,\"number\":123,\"max\":8")) // truncated: no brace, no newline
-	f.Add([]byte("{\"type\":\"ping\",\"seq\":"))                            // truncated mid-value
-	f.Add([]byte("this is not json\n"))                                     // invalid JSON
-	f.Add([]byte("{\"type\":\"ping\",\"seq\":1}"))                          // missing newline
-	f.Add([]byte("\n"))                                                     // empty frame
-	f.Add([]byte("{\"type\":\"ping\",\"seq\":-1}\n"))                       // seq out of range
-	f.Add([]byte(strings.Repeat("a", 4096) + "\n"))                         // spans bufio fills
+	f.Add([]byte("{\"type\":\"ping\",\"seq\":8,\"trace\":{\"trace_id\":12345,\"span_id\":678,\"sampled\":true}}\n"))
+	f.Add([]byte("{\"type\":\"store\",\"seq\":9,\"record\":{\"addr\":\"a:1\",\"number\":7,\"expires_unix_milli\":99},\"trace\":{\"trace_id\":18446744073709551615,\"span_id\":1}}\n"))
+	f.Add([]byte("{\"type\":\"ping\",\"seq\":10,\"trace\":{}}\n"))                // zero trace context
+	f.Add([]byte("{\"type\":\"ping\",\"seq\":11,\"trace\":{\"trace_id\":-1}}\n")) // trace id out of range
+	f.Add([]byte("{\"type\":\"ping\",\"seq\":12,\"future_field\":true}\n"))       // unknown field (fwd compat)
+	f.Add([]byte("{\"type\":\"query\",\"seq\":5,\"number\":123,\"max\":8"))       // truncated: no brace, no newline
+	f.Add([]byte("{\"type\":\"ping\",\"seq\":"))                                  // truncated mid-value
+	f.Add([]byte("this is not json\n"))                                           // invalid JSON
+	f.Add([]byte("{\"type\":\"ping\",\"seq\":1}"))                                // missing newline
+	f.Add([]byte("\n"))                                                           // empty frame
+	f.Add([]byte("{\"type\":\"ping\",\"seq\":-1}\n"))                             // seq out of range
+	f.Add([]byte(strings.Repeat("a", 4096) + "\n"))                               // spans bufio fills
 	f.Add([]byte("{\"type\":\"records\",\"seq\":6,\"records\":[]}\n" +
 		"{\"type\":\"ping\",\"seq\":7}\n")) // two frames back to back
 
@@ -57,6 +62,10 @@ func FuzzReadMessage(f *testing.F) {
 			m2.Max != m.Max || m2.Addr != m.Addr || m2.Err != m.Err ||
 			len(m2.Records) != len(m.Records) || len(m2.Errs) != len(m.Errs) {
 			t.Fatalf("round trip mangled message:\n in: %+v\nout: %+v", m, m2)
+		}
+		if (m.Trace == nil) != (m2.Trace == nil) ||
+			(m.Trace != nil && *m2.Trace != *m.Trace) {
+			t.Fatalf("round trip mangled trace context:\n in: %+v\nout: %+v", m.Trace, m2.Trace)
 		}
 		for i := range m.Records {
 			if m2.Records[i].Addr != m.Records[i].Addr ||

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"gsso/internal/obs"
+	"gsso/internal/obs/span"
 )
 
 // nodeMetrics holds a node's pre-resolved metric series so the serve and
@@ -16,9 +17,14 @@ type nodeMetrics struct {
 	requests map[MsgType]*obs.Counter
 	errors   map[MsgType]*obs.Counter
 	retries  map[MsgType]*obs.Counter
-	serve    *obs.Histogram
-	dial     *obs.Histogram
-	records  *obs.Gauge
+	// rpc observes whole client calls — the full retry loop, backoff
+	// waits included, plus breaker fail-fasts — per type and outcome.
+	// wire_serve_latency_ms sees only the server side of one attempt;
+	// this is the latency a caller actually experienced.
+	rpc     map[MsgType]map[string]*obs.Histogram
+	serve   *obs.Histogram
+	dial    *obs.Histogram
+	records *obs.Gauge
 
 	failover        *obs.Counter
 	refreshFailures *obs.Counter
@@ -69,6 +75,11 @@ var knownRequestTypes = []MsgType{MsgPing, MsgStore, MsgQuery, MsgStats, MsgRemo
 // msgTypeOther labels requests of unrecognized type.
 const msgTypeOther = "other"
 
+// rpcOutcomes are the client-call outcomes wire_rpc_latency_ms is
+// resolved for (they mirror the span outcomes, so traces and metrics
+// agree on vocabulary).
+var rpcOutcomes = []string{span.OutcomeOK, span.OutcomeError, span.OutcomeBreakerOpen}
+
 func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -79,11 +90,15 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 		"Requests answered with an error, by message type.", "type")
 	retries := reg.Counter("wire_retries_total",
 		"Client call re-attempts after transport failures, by message type.", "type")
+	rpcLatency := reg.Histogram("wire_rpc_latency_ms",
+		"Client-side latency of whole calls (full retry loop, backoff included), milliseconds, by message type and outcome.",
+		obs.DefBuckets, "type", "outcome")
 	m := &nodeMetrics{
 		reg:      reg,
 		requests: make(map[MsgType]*obs.Counter, len(knownRequestTypes)+1),
 		errors:   make(map[MsgType]*obs.Counter, len(knownRequestTypes)+1),
 		retries:  make(map[MsgType]*obs.Counter, len(knownRequestTypes)+1),
+		rpc:      make(map[MsgType]map[string]*obs.Histogram, len(knownRequestTypes)+1),
 		serve: reg.Histogram("wire_serve_latency_ms",
 			"Time to serve one request, milliseconds.", obs.DefBuckets).With(),
 		dial: reg.Histogram("wire_dial_rtt_ms",
@@ -115,14 +130,16 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 		batchErrors: reg.Counter("wire_batch_errors_total",
 			"Batched records lost to whole-frame failures or per-record rejections.").With(),
 	}
-	for _, t := range knownRequestTypes {
+	for _, t := range append(append([]MsgType(nil), knownRequestTypes...), msgTypeOther) {
 		m.requests[t] = requests.With(string(t))
 		m.errors[t] = errors.With(string(t))
 		m.retries[t] = retries.With(string(t))
+		byOutcome := make(map[string]*obs.Histogram, len(rpcOutcomes))
+		for _, o := range rpcOutcomes {
+			byOutcome[o] = rpcLatency.With(string(t), o)
+		}
+		m.rpc[t] = byOutcome
 	}
-	m.requests[msgTypeOther] = requests.With(msgTypeOther)
-	m.errors[msgTypeOther] = errors.With(msgTypeOther)
-	m.retries[msgTypeOther] = retries.With(msgTypeOther)
 	return m
 }
 
@@ -153,4 +170,16 @@ func (m *nodeMetrics) retry(t MsgType) *obs.Counter {
 // observeDial records one client-side round trip.
 func (m *nodeMetrics) observeDial(rtt time.Duration) {
 	m.dial.Observe(float64(rtt.Microseconds()) / 1000)
+}
+
+// observeRPC records one whole client call (retry loop included) under
+// its type and outcome.
+func (m *nodeMetrics) observeRPC(t MsgType, outcome string, d time.Duration) {
+	byOutcome, ok := m.rpc[t]
+	if !ok {
+		byOutcome = m.rpc[msgTypeOther]
+	}
+	if h, ok := byOutcome[outcome]; ok {
+		h.Observe(float64(d.Microseconds()) / 1000)
+	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"gsso/internal/hilbert"
 	"gsso/internal/obs"
+	"gsso/internal/obs/span"
 )
 
 // SpaceConfig is the landmark-space contract every node of a deployment
@@ -79,6 +80,7 @@ type nodeOptions struct {
 	poolSize         int
 	batchWindow      time.Duration
 	batchTimeout     time.Duration
+	spans            *span.Collector
 }
 
 func defaultOptions() nodeOptions {
@@ -175,6 +177,18 @@ func WithBatchWindow(window time.Duration) NodeOption {
 	}
 }
 
+// WithTracing attaches a span collector: every head-sampled operation
+// (Publish, FindNearest, Withdraw, batch flushes) records a span tree —
+// one span per client RPC carrying outcome, attempt count, peer address,
+// and latency — and stamps its trace context onto outgoing frames so the
+// serving side continues the same trace. Nil (the default) disables
+// tracing entirely; the hot-path cost is then a nil check per call. The
+// collector belongs to this node: its node label is set from the node's
+// listen address.
+func WithTracing(c *span.Collector) NodeOption {
+	return func(o *nodeOptions) { o.spans = c }
+}
+
 // WithLogger sets the node's structured logger (default slog.Default()).
 // The node logs only at debug level: refresh failures, replica store
 // failures, landmark fallbacks.
@@ -257,6 +271,7 @@ func NewNodeWithRegistry(listenAddr string, cfg SpaceConfig, peers []string, ttl
 		lastRTT:  make([]float64, len(cfg.Landmarks)),
 	}
 	n.tr = newTransport(opt.poolSize, n.metrics.transport)
+	opt.spans.SetNode(n.addr)
 	if opt.batchWindow > 0 {
 		n.batch = newBatcher(n, opt.batchWindow)
 		n.wg.Add(1)
@@ -281,6 +296,10 @@ func (n *Node) Addr() string { return n.addr }
 // Registry returns the node's telemetry registry (serve it with
 // obs.Handler, or scrape it remotely through the STATS op).
 func (n *Node) Registry() *obs.Registry { return n.metrics.reg }
+
+// Spans returns the node's span collector (nil when tracing is off).
+// Serve it with span.Handler to expose /traces.
+func (n *Node) Spans() *span.Collector { return n.opt.spans }
 
 // Close stops the server, the refresh and batch loops if running,
 // flushes any pending publish batch (a drain must not silently abandon
@@ -392,11 +411,22 @@ func (n *Node) handle(conn net.Conn) {
 		}
 		scratch = s
 		start := time.Now()
+		// A sampled request continues the caller's trace: the serve span
+		// parents to the client RPC span named in the frame's context, so
+		// the stitched tree shows the hop crossing the process boundary.
+		var sp *span.Active
+		if req.Trace != nil {
+			sp = n.opt.spans.StartChild("serve."+string(req.Type), *req.Trace)
+			sp.SetPeer(conn.RemoteAddr().String())
+		}
 		resp := n.dispatch(req)
 		n.metrics.serve.Observe(float64(time.Since(start).Microseconds()) / 1000)
 		n.metrics.request(req.Type).Inc()
 		if resp.Type == MsgError {
 			n.metrics.err(req.Type).Inc()
+			sp.Finish(span.OutcomeError, 0, errors.New(resp.Err))
+		} else {
+			sp.Finish(span.OutcomeOK, 0, nil)
 		}
 		_ = conn.SetWriteDeadline(time.Now().Add(n.opt.handleTimeout))
 		if err := WriteMessage(bw, resp); err != nil {
@@ -538,20 +568,40 @@ var errBreakerOpen = errors.New("wire: circuit breaker open")
 // budget (or hits a permanent error) counts as a failure. A call that
 // opens the breaker also evicts the peer's pooled connections — stale
 // connections to a crashed peer must not outlive the failure verdict.
-func (n *Node) call(op MsgType, addr string, attempt func() error) error {
+//
+// Observability: the whole call — every attempt, backoff waits, or the
+// breaker fail-fast — is one observation in wire_rpc_latency_ms and,
+// under a sampled parent, one span whose context (tc) the attempt stamps
+// onto its frame so the server continues the trace.
+func (n *Node) call(op MsgType, addr string, parent span.Context, attempt func(tc *span.Context) error) error {
+	start := time.Now()
+	sp := n.opt.spans.StartChild(string(op), parent)
+	sp.SetPeer(addr)
+	tc := sp.Context().Ptr()
 	br := n.breakerFor(addr)
-	if !br.allow(time.Now()) {
-		return fmt.Errorf("%w for %s", errBreakerOpen, addr)
+	if !br.allow(start) {
+		err := fmt.Errorf("%w for %s", errBreakerOpen, addr)
+		n.metrics.observeRPC(op, span.OutcomeBreakerOpen, time.Since(start))
+		sp.Finish(span.OutcomeBreakerOpen, 0, err)
+		return err
 	}
-	err := withRetry(n.opt.retry, func() { n.metrics.retry(op).Inc() }, n.stop, attempt)
+	attempts := 0
+	err := withRetry(n.opt.retry, func() { n.metrics.retry(op).Inc() }, n.stop, func() error {
+		attempts++
+		return attempt(tc)
+	})
 	if err != nil {
 		br.failure(time.Now())
 		if br.snapshot() == breakerOpen {
 			n.tr.Evict(addr)
 		}
+		n.metrics.observeRPC(op, span.OutcomeError, time.Since(start))
+		sp.Finish(span.OutcomeError, attempts, err)
 		return err
 	}
 	br.success()
+	n.metrics.observeRPC(op, span.OutcomeOK, time.Since(start))
+	sp.Finish(span.OutcomeOK, attempts, nil)
 	return nil
 }
 
@@ -560,9 +610,13 @@ func (n *Node) call(op MsgType, addr string, attempt func() error) error {
 // when one is needed, happens before the clock starts, so landmark
 // vectors measure network distance, not amortized connection setup.
 func (n *Node) ping(addr string, timeout time.Duration) (time.Duration, error) {
+	return n.pingCtx(span.Context{}, addr, timeout)
+}
+
+func (n *Node) pingCtx(parent span.Context, addr string, timeout time.Duration) (time.Duration, error) {
 	var rtt time.Duration
-	err := n.call(MsgPing, addr, func() error {
-		resp, d, err := n.tr.roundTripRTT(addr, Message{Type: MsgPing}, timeout)
+	err := n.call(MsgPing, addr, parent, func(tc *span.Context) error {
+		resp, d, err := n.tr.roundTripRTT(addr, Message{Type: MsgPing, Trace: tc}, timeout)
 		if err != nil {
 			return err
 		}
@@ -580,8 +634,12 @@ func (n *Node) ping(addr string, timeout time.Duration) (time.Duration, error) {
 
 // store is the node-side Store under breaker + retry.
 func (n *Node) store(addr string, rec Record, timeout time.Duration) error {
-	return n.call(MsgStore, addr, func() error {
-		resp, err := n.tr.RoundTrip(addr, Message{Type: MsgStore, Record: &rec}, timeout)
+	return n.storeCtx(span.Context{}, addr, rec, timeout)
+}
+
+func (n *Node) storeCtx(parent span.Context, addr string, rec Record, timeout time.Duration) error {
+	return n.call(MsgStore, addr, parent, func(tc *span.Context) error {
+		resp, err := n.tr.RoundTrip(addr, Message{Type: MsgStore, Record: &rec, Trace: tc}, timeout)
 		if err != nil {
 			return err
 		}
@@ -594,9 +652,13 @@ func (n *Node) store(addr string, rec Record, timeout time.Duration) error {
 
 // query is the node-side Query under breaker + retry.
 func (n *Node) query(addr string, number uint64, max int, timeout time.Duration) ([]Record, error) {
+	return n.queryCtx(span.Context{}, addr, number, max, timeout)
+}
+
+func (n *Node) queryCtx(parent span.Context, addr string, number uint64, max int, timeout time.Duration) ([]Record, error) {
 	var recs []Record
-	err := n.call(MsgQuery, addr, func() error {
-		resp, err := n.tr.RoundTrip(addr, Message{Type: MsgQuery, Number: number, Max: max}, timeout)
+	err := n.call(MsgQuery, addr, parent, func(tc *span.Context) error {
+		resp, err := n.tr.RoundTrip(addr, Message{Type: MsgQuery, Number: number, Max: max, Trace: tc}, timeout)
 		if err != nil {
 			return err
 		}
@@ -611,8 +673,12 @@ func (n *Node) query(addr string, number uint64, max int, timeout time.Duration)
 
 // remove is the node-side Remove under breaker + retry.
 func (n *Node) remove(addr, recordAddr string, timeout time.Duration) error {
-	return n.call(MsgRemove, addr, func() error {
-		resp, err := n.tr.RoundTrip(addr, Message{Type: MsgRemove, Addr: recordAddr}, timeout)
+	return n.removeCtx(span.Context{}, addr, recordAddr, timeout)
+}
+
+func (n *Node) removeCtx(parent span.Context, addr, recordAddr string, timeout time.Duration) error {
+	return n.call(MsgRemove, addr, parent, func(tc *span.Context) error {
+		resp, err := n.tr.RoundTrip(addr, Message{Type: MsgRemove, Addr: recordAddr, Trace: tc}, timeout)
 		if err != nil {
 			return err
 		}
@@ -638,6 +704,13 @@ func (n *Node) MeasureVector(pings int, timeout time.Duration) ([]float64, error
 // has never been measured makes the call fail — with no prior, a made-up
 // coordinate would place the node arbitrarily in the space.
 func (n *Node) MeasureVectorFull(pings int, timeout time.Duration) (vec []float64, stale []bool, err error) {
+	return n.measureVectorCtx(span.Context{}, pings, timeout)
+}
+
+// measureVectorCtx is MeasureVectorFull under a trace parent: the
+// landmark pings become child spans of the operation that needed the
+// vector (publish, find-nearest).
+func (n *Node) measureVectorCtx(parent span.Context, pings int, timeout time.Duration) (vec []float64, stale []bool, err error) {
 	if pings < 1 {
 		pings = 1
 	}
@@ -647,7 +720,7 @@ func (n *Node) MeasureVectorFull(pings int, timeout time.Duration) (vec []float6
 		best := math.Inf(1)
 		var lastErr error
 		for p := 0; p < pings; p++ {
-			rtt, err := n.ping(lm, timeout)
+			rtt, err := n.pingCtx(parent, lm, timeout)
 			if err != nil {
 				lastErr = err
 				if errors.Is(err, errBreakerOpen) {
@@ -749,7 +822,14 @@ func (n *Node) Replication() int { return n.opt.replication }
 // succeeds if at least one replica is stored (soft-state heals the rest
 // on the next refresh) and returns the published record.
 func (n *Node) Publish(pings int, timeout time.Duration) (Record, error) {
-	vec, _, err := n.MeasureVectorFull(pings, timeout)
+	root := n.opt.spans.StartRoot("publish")
+	rec, err := n.publish(root.Context(), pings, timeout)
+	root.Finish(span.Outcome(err), 0, err)
+	return rec, err
+}
+
+func (n *Node) publish(parent span.Context, pings int, timeout time.Duration) (Record, error) {
+	vec, _, err := n.measureVectorCtx(parent, pings, timeout)
 	if err != nil {
 		return Record{}, err
 	}
@@ -767,7 +847,7 @@ func (n *Node) Publish(pings int, timeout time.Duration) (Record, error) {
 	stored := 0
 	var lastErr error
 	for _, owner := range owners {
-		if err := n.store(owner, rec, timeout); err != nil {
+		if err := n.storeCtx(parent, owner, rec, timeout); err != nil {
 			lastErr = err
 			n.opt.logger.Debug("wire: replica store failed",
 				"node", n.addr, "owner", owner, "err", err)
@@ -790,7 +870,18 @@ func (n *Node) Publish(pings int, timeout time.Duration) (Record, error) {
 // through wire_batch_errors_total when the window flushes; measurement
 // errors still fail the call so the refresh loop counts them.
 func (n *Node) publishBatched(pings int, timeout time.Duration) (Record, error) {
-	vec, _, err := n.MeasureVectorFull(pings, timeout)
+	// The measurement traces as its own root; delivery happens later in
+	// the batcher's flush, which roots a "publish-batch" trace per frame
+	// (one frame carries many nodes' records, so it cannot parent to any
+	// single publish).
+	root := n.opt.spans.StartRoot("publish-enqueue")
+	rec, err := n.publishBatchedCtx(root.Context(), pings, timeout)
+	root.Finish(span.Outcome(err), 0, err)
+	return rec, err
+}
+
+func (n *Node) publishBatchedCtx(parent span.Context, pings int, timeout time.Duration) (Record, error) {
+	vec, _, err := n.measureVectorCtx(parent, pings, timeout)
 	if err != nil {
 		return Record{}, err
 	}
@@ -821,6 +912,13 @@ func (n *Node) publishBatched(pings int, timeout time.Duration) (Record, error) 
 // down gracefully; crashed nodes skip it, which is exactly the case the
 // failure detector and takeover exist for.
 func (n *Node) Withdraw(timeout time.Duration) (int, error) {
+	root := n.opt.spans.StartRoot("withdraw")
+	removed, err := n.withdraw(root.Context(), timeout)
+	root.Finish(span.Outcome(err), 0, err)
+	return removed, err
+}
+
+func (n *Node) withdraw(parent span.Context, timeout time.Duration) (int, error) {
 	// Flush pending batches first: a removal must not race a queued
 	// republish of the very record being withdrawn, and a drain must not
 	// silently drop other nodes' queued records either.
@@ -837,7 +935,7 @@ func (n *Node) Withdraw(timeout time.Duration) (int, error) {
 	removed := 0
 	var lastErr error
 	for _, owner := range owners {
-		if err := n.remove(owner, n.addr, timeout); err != nil {
+		if err := n.removeCtx(parent, owner, n.addr, timeout); err != nil {
 			lastErr = err
 			n.opt.logger.Debug("wire: withdraw failed",
 				"node", n.addr, "owner", owner, "err", err)
@@ -857,7 +955,14 @@ func (n *Node) Withdraw(timeout time.Duration) (int, error) {
 // down the owner list: a crashed primary's shard is served by the
 // replicas written at publish time.
 func (n *Node) FindNearest(budget int, timeout time.Duration) (string, time.Duration, error) {
-	vec, _, err := n.MeasureVectorFull(1, timeout)
+	root := n.opt.spans.StartRoot("find-nearest")
+	addr, rtt, err := n.findNearest(root.Context(), budget, timeout)
+	root.Finish(span.Outcome(err), 0, err)
+	return addr, rtt, err
+}
+
+func (n *Node) findNearest(parent span.Context, budget int, timeout time.Duration) (string, time.Duration, error) {
+	vec, _, err := n.measureVectorCtx(parent, 1, timeout)
 	if err != nil {
 		return "", 0, err
 	}
@@ -869,7 +974,7 @@ func (n *Node) FindNearest(budget int, timeout time.Duration) (string, time.Dura
 	var recs []Record
 	var qerr error
 	for i, owner := range owners {
-		recs, qerr = n.query(owner, num, 3*budget, timeout)
+		recs, qerr = n.queryCtx(parent, owner, num, 3*budget, timeout)
 		if qerr == nil {
 			if i > 0 {
 				n.metrics.failover.Inc()
@@ -892,7 +997,7 @@ func (n *Node) FindNearest(budget int, timeout time.Duration) (string, time.Dura
 		if probes >= budget {
 			break
 		}
-		rtt, err := n.ping(rec.Addr, timeout)
+		rtt, err := n.pingCtx(parent, rec.Addr, timeout)
 		if err != nil {
 			continue // dead record: the reactive maintenance case
 		}

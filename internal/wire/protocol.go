@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"gsso/internal/obs"
+	"gsso/internal/obs/span"
 )
 
 // MsgType enumerates protocol messages.
@@ -96,6 +97,13 @@ type Message struct {
 	// Stats rides on stats-reply responses: the serving node's full
 	// telemetry snapshot, so peers can scrape each other.
 	Stats *obs.Snapshot `json:"stats,omitempty"`
+	// Trace carries the distributed-tracing context on sampled requests:
+	// the trace ID, the caller's span (which the server's span parents
+	// to), and the head sampling bit. Absent on unsampled traffic, so
+	// tracing-off frames are byte-identical to the pre-trace format.
+	// Compatibility is free in both directions: old decoders ignore the
+	// unknown field, and new decoders treat its absence as "unsampled".
+	Trace *span.Context `json:"trace,omitempty"`
 	// Err describes failures on MsgError.
 	Err string `json:"err,omitempty"`
 }

@@ -21,6 +21,11 @@ import (
 // retry naturally reopens a fresh connection; Evict drops every pooled
 // connection to a peer and is called when the peer's circuit breaker
 // opens, so a crashed peer's stale connections are not retried forever.
+//
+// Trace propagation is frame-level: the transport stamps only Seq and
+// never touches Message.Trace, so the caller's trace context rides every
+// multiplexed frame unchanged and retried attempts re-send the same
+// context (one client span per call, attempt-counted, not one per try).
 type Transport struct {
 	size int
 	m    *transportMetrics

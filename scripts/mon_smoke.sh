@@ -1,0 +1,94 @@
+#!/bin/sh
+# mon_smoke.sh — boots a 3-node overlayd cluster with tracing on (two
+# landmark servers brought up first, then a publisher with a refresh
+# loop), scrapes the cluster once with overlaymon -json, and asserts the
+# snapshot is well-formed: all nodes healthy, replicated records stored,
+# and at least one trace stitched across nodes. Exits non-zero on any
+# failure. Invoked by `make mon-smoke`.
+set -eu
+
+BIN=$(mktemp -d)
+LOGDIR=$(mktemp -d)
+PIDS=""
+
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$BIN" "$LOGDIR"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN/overlayd" ./cmd/overlayd
+go build -o "$BIN/overlaymon" ./cmd/overlaymon
+
+# Fixed localhost ports; the nodes fail fast if one is taken.
+N1=127.0.0.1:7471; M1=127.0.0.1:7481
+N2=127.0.0.1:7472; M2=127.0.0.1:7482
+N3=127.0.0.1:7473; M3=127.0.0.1:7483
+PEERS="$N1,$N2,$N3"
+LANDMARKS="$N1,$N2"
+
+wait_healthy() {
+    tries=0
+    until curl -sf "http://$1/healthz" >/dev/null 2>&1; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 50 ]; then
+            echo "mon-smoke: $1 never became healthy" >&2
+            cat "$LOGDIR"/node*.log >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+# Landmark servers first — the publisher can only measure its vector
+# once both are answering pings.
+"$BIN/overlayd" -listen "$N1" -peers "$PEERS" -landmarks "$LANDMARKS" \
+    -metrics "$M1" -replicas 2 -trace-sample 1 >"$LOGDIR/node1.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_healthy "$M1"
+"$BIN/overlayd" -listen "$N2" -peers "$PEERS" -landmarks "$LANDMARKS" \
+    -metrics "$M2" -replicas 2 -trace-sample 1 >"$LOGDIR/node2.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_healthy "$M2"
+
+# The publisher: traced replicated publish plus a refresh loop, so the
+# cluster keeps producing traces while we scrape.
+"$BIN/overlayd" -listen "$N3" -peers "$PEERS" -landmarks "$LANDMARKS" \
+    -metrics "$M3" -replicas 2 -trace-sample 1 -slow-ms 500 \
+    -publish -refresh 500ms >"$LOGDIR/node3.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_healthy "$M3"
+sleep 1 # let the publish and at least one refresh land
+
+SNAP="$LOGDIR/snapshot.json"
+"$BIN/overlaymon" -nodes "$M1,$M2,$M3" -json >"$SNAP"
+
+# Assert the snapshot is well-formed: valid JSON, every node healthy,
+# the replicated record present, and a stitched publish trace.
+python3 - "$SNAP" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    v = json.load(f)
+assert v["healthy"] == 3, f"healthy={v['healthy']}"
+assert v["unreachable"] == 0, f"unreachable={v['unreachable']}"
+assert v["total_records"] >= 2, f"total_records={v['total_records']} (want both replicas)"
+assert v["coverage_nodes"] >= 1, f"coverage_nodes={v['coverage_nodes']}"
+assert v["traced_nodes"] == 3, f"traced_nodes={v['traced_nodes']}"
+traces = v["slowest_traces"]
+assert traces, "no stitched traces in snapshot"
+assert all(t["trace_id"] and t["root_op"] for t in traces), traces
+pub = [t for t in traces if t["root_op"] == "publish"]
+assert pub, f"no publish trace stitched: {[t['root_op'] for t in traces]}"
+assert any(s["op"] == "serve.store" for t in pub for s in t["spans"]), \
+    "publish traces carry no cross-node serve.store spans"
+assert all(t["orphans"] == 0 for t in pub), "publish trace has orphan spans"
+rpc = {r["type"] for r in v["rpc"]}
+assert "store" in rpc, f"rpc types: {rpc}"
+print(f"mon-smoke: OK — {v['healthy']} nodes, {int(v['total_records'])} records, "
+      f"{len(traces)} traces, rpc types {sorted(rpc)}")
+EOF
