@@ -1,6 +1,6 @@
 # Developer conveniences; everything is plain `go` underneath.
 
-.PHONY: all build vet test race check soak bench bench-json bench-wire mon-smoke results quick-results examples clean
+.PHONY: all build vet test race check soak e2e bench bench-json bench-wire mon-smoke results quick-results examples clean
 
 # Worker-pool width for the experiment engine; override with `make J=8 results`.
 J ?= $(shell nproc 2>/dev/null || echo 1)
@@ -62,11 +62,25 @@ bench-json:
 bench-wire:
 	go run ./cmd/topobench -wire-bench BENCH_wire.json
 
-# Observability smoke: boot a 3-node traced overlayd cluster, scrape it
-# once with overlaymon -json, and assert the snapshot is well-formed
-# (all nodes healthy, records stored, at least one stitched trace).
+# Live-process chaos gate: boot a real overlayd fleet under
+# cmd/overlayctl's supervisor (internal/cluster), every inter-node link
+# through a fault proxy, replay a seeded fault schedule — one kill -9
+# wave plus one asymmetric partition — and require the cluster to heal
+# by itself: every node ready again, full record recall with replicas
+# on exactly the ring owners, zero orphans, within a bounded number of
+# refresh intervals. Also runs the observability smoke (the Go
+# descendant of scripts/mon_smoke.sh, now on ephemeral ports). On
+# failure the per-node logs and an overlaymon -json snapshot are dumped
+# from the run directory.
+e2e:
+	E2E=1 go test -run 'TestE2EChaosSelfHealing|TestMonSmoke' -count=1 -v -timeout 180s ./internal/e2e
+
+# Observability smoke only: boot a 3-node traced overlayd cluster,
+# scrape it with the overlaymon view, and assert the snapshot is
+# well-formed (all nodes healthy and ready, records stored, a stitched
+# publish trace with zero orphan spans).
 mon-smoke:
-	sh scripts/mon_smoke.sh
+	E2E=1 go test -run 'TestMonSmoke' -count=1 -v -timeout 120s ./internal/e2e
 
 # Regenerate the paper's full evaluation with CSV series. The run lands in a
 # temp directory and is renamed into place only on success, so an interrupted

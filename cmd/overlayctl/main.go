@@ -1,0 +1,159 @@
+// Command overlayctl launches and supervises a cluster of real
+// overlayd processes from a declarative spec — the live-process
+// counterpart of the simulator's Env. It reserves every port up
+// front so peer lists are baked before any process exists, boots the
+// cluster with a readiness-gated roll (each node must turn live
+// before the next starts, then the whole cluster must report /readyz
+// 200), restarts crashed nodes under capped jittered backoff, and on
+// SIGINT/SIGTERM drains every node gracefully (SIGTERM → soft-state
+// withdraw → SIGKILL escalation after the drain budget).
+//
+//	overlayctl -n 5                     # quick 5-node cluster, supervise until ^C
+//	overlayctl -spec cluster.json       # full spec (see internal/cluster.Spec)
+//	overlayctl -n 5 -proxied \
+//	    -chaos faults.json -down        # replay a fault schedule, then tear down
+//	overlayctl -spec cluster.json -print-spec   # show the normalized spec, run nothing
+//
+// Each node's stdout/stderr is appended to <run-dir>/node-<i>.log
+// (restarts extend the same file), and the launch banner prints the
+// exact overlaymon invocation for the cluster, so `overlayctl -n 5`
+// plus one copy-paste gives a live health console. With -proxied every
+// inter-node link runs through a wire.FaultProxy owned by the
+// supervisor; -chaos replays a JSON fault schedule (kill waves and
+// asymmetric partitions — see internal/e2e.Schedule) against those
+// proxies and processes, which is exactly what the `make e2e` gate
+// does in test form.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"gsso/internal/cluster"
+	"gsso/internal/e2e"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "overlayctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("overlayctl", flag.ContinueOnError)
+	var (
+		specPath  = fs.String("spec", "", "JSON cluster spec (internal/cluster.Spec); overrides the quick flags")
+		n         = fs.Int("n", 0, "quick spec: cluster size (ignored with -spec)")
+		proxied   = fs.Bool("proxied", false, "quick spec: front every node with a fault proxy")
+		seed      = fs.Uint64("seed", 0, "quick spec: seed for proxies and restart jitter")
+		binary    = fs.String("binary", "", "overlayd executable (overrides the spec; default: overlayd on PATH)")
+		runDir    = fs.String("run-dir", "", "directory for per-node logs (overrides the spec; default: a temp dir)")
+		chaosPath = fs.String("chaos", "", "replay this JSON fault schedule (internal/e2e.Schedule) once the cluster is ready")
+		down      = fs.Bool("down", false, "tear the cluster down after the -chaos schedule instead of supervising")
+		every     = fs.Duration("status-every", 0, "print the node table at this interval while supervising")
+		printOnly = fs.Bool("print-spec", false, "print the normalized spec as JSON and exit without starting anything")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec cluster.Spec
+	if *specPath != "" {
+		loaded, err := cluster.LoadSpec(*specPath)
+		if err != nil {
+			return err
+		}
+		spec = loaded
+	} else {
+		if *n < 2 {
+			return fmt.Errorf("need -spec FILE or -n N (>= 2)")
+		}
+		spec = cluster.Spec{Nodes: *n, Proxied: *proxied, Seed: *seed}
+	}
+	if *binary != "" {
+		spec.Binary = *binary
+	}
+	if *runDir != "" {
+		spec.RunDir = *runDir
+	}
+	if err := spec.Normalize(); err != nil {
+		return err
+	}
+	if *printOnly {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(spec)
+	}
+
+	logger := slog.New(slog.NewTextHandler(out, nil))
+	sup, err := cluster.New(spec, logger)
+	if err != nil {
+		return err
+	}
+	defer sup.Stop()
+	if err := sup.Start(); err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	printStatus(out, sup)
+	fmt.Fprintf(out, "logs: %s\nwatch: overlaymon -nodes %s -watch 2s\n",
+		sup.RunDir(), strings.Join(sup.MetricsAddrs(), ","))
+
+	if *chaosPath != "" {
+		sched, err := e2e.LoadSchedule(*chaosPath)
+		if err != nil {
+			return err
+		}
+		if err := sched.Run(sup, logger); err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+		printStatus(out, sup)
+		if *down {
+			sup.Stop()
+			return nil
+		}
+	}
+
+	// Supervise until interrupted; the deferred Stop drains the fleet.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *every > 0 {
+		ticker := time.NewTicker(*every)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(out, "%v: draining cluster\n", s)
+			sup.Stop()
+			return nil
+		case <-tick:
+			printStatus(out, sup)
+		}
+	}
+}
+
+func printStatus(out io.Writer, sup *cluster.Supervisor) {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tSTATE\tPID\tRESTARTS\tOVERLAY\tDIAL\tMETRICS")
+	for _, st := range sup.Status() {
+		dial := st.DialAddr
+		if dial == st.OverlayAddr {
+			dial = "-"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%s\t%s\t%s\n",
+			st.Index, st.State, st.PID, st.Restarts, st.OverlayAddr, dial, st.MetricsAddr)
+	}
+	tw.Flush()
+}

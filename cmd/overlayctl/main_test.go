@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gsso/internal/cluster"
+	"gsso/internal/e2e"
+)
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no -spec and no -n accepted")
+	}
+	if err := run([]string{"-n", "1"}, &buf); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+}
+
+// TestPrintSpec checks the dry-run path: -print-spec emits the fully
+// normalized spec (defaults filled in) as JSON and starts nothing.
+func TestPrintSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "5", "-proxied", "-seed", "9", "-print-spec"}, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var spec cluster.Spec
+	if err := json.Unmarshal(buf.Bytes(), &spec); err != nil {
+		t.Fatalf("-print-spec output is not a spec: %v\n%s", err, buf.String())
+	}
+	if spec.Nodes != 5 || !spec.Proxied || spec.Seed != 9 {
+		t.Fatalf("quick flags lost: %+v", spec)
+	}
+	if spec.Replicas != 2 || spec.TTL.D() == 0 || spec.Binary == "" {
+		t.Fatalf("spec not normalized: %+v", spec)
+	}
+}
+
+// TestRunChaosDown drives the whole binary end to end against real
+// processes: boot a three-node cluster, replay a one-step kill
+// schedule, and tear down. Exercises spec loading, the readiness-gated
+// bootstrap, schedule replay through the supervisor, the status table,
+// and the graceful stop — all through the public CLI surface.
+func TestRunChaosDown(t *testing.T) {
+	bin, err := e2e.OverlaydBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{"nodes": 3, "ttl": "30s", "join_retry": "200ms", "trace_sample": 0}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chaosPath := filepath.Join(dir, "chaos.json")
+	sched := `{"seed": 3, "steps": [{"kind": "kill", "victims": [1], "settle": "1s"}]}`
+	if err := os.WriteFile(chaosPath, []byte(sched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-spec", specPath,
+		"-binary", bin,
+		"-run-dir", filepath.Join(dir, "run"),
+		"-chaos", chaosPath,
+		"-down",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	output := buf.String()
+	for _, want := range []string{"cluster-ready", "chaos-kill", "NODE", "running", "overlaymon -nodes"} {
+		if !strings.Contains(output, want) {
+			t.Fatalf("output missing %q:\n%s", want, output)
+		}
+	}
+	// The killed node's log must show both incarnations: the supervisor
+	// restarted it on the same addresses after the kill.
+	raw, err := os.ReadFile(filepath.Join(dir, "run", "node-1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(raw), "supervisor: start node 1"); got < 2 {
+		t.Fatalf("killed node was not restarted (%d starts):\n%s", got, raw)
+	}
+}

@@ -13,8 +13,16 @@
 // it then asks the soft-state for its physically nearest peer.
 //
 // With -metrics ADDR the daemon serves its telemetry registry over HTTP:
-// /metrics (Prometheus text format), /metrics.json, and /healthz. Peers
-// can also scrape each other in-band through the STATS wire op.
+// /metrics (Prometheus text format), /metrics.json, /healthz, and
+// /readyz. /healthz is pure liveness (the process is up); /readyz
+// answers 200 only once the node has joined the overlay — for a
+// publisher, once the initial publish landed and the refresh loop is
+// publishing — so supervisors (cmd/overlayctl) gate bootstrap and
+// restarts on it instead of sleeping. Peers can also scrape each other
+// in-band through the STATS wire op. With -join-retry a failed initial
+// publish is retried at that interval (reported not-ready meanwhile)
+// instead of exiting, so a node restarted into a half-up cluster joins
+// by itself once its landmarks return.
 //
 // Observability knobs: every root operation (publish, withdraw,
 // find-nearest, batch flush) is head-sampled 1-in-N by -trace-sample
@@ -52,6 +60,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -86,17 +95,59 @@ func newLogger(out io.Writer, verbose bool) *slog.Logger {
 	}))
 }
 
+// readyState is the daemon's readiness latch: /healthz stays a pure
+// liveness probe (the process is up and serving HTTP), while /readyz
+// flips to 200 only once the node has actually joined the overlay — for
+// a publisher, once the initial publish landed and the refresh loop is
+// keeping it alive. Supervisors gate cluster bootstrap on readiness
+// instead of sleeping.
+type readyState struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+}
+
+func newReadyState(reason string) *readyState {
+	return &readyState{reason: reason}
+}
+
+func (r *readyState) set(ready bool, reason string) {
+	r.mu.Lock()
+	r.ready, r.reason = ready, reason
+	r.mu.Unlock()
+}
+
+func (r *readyState) get() (bool, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ready, r.reason
+}
+
 // serveMetrics exposes reg on addr — plus /traces when a span collector
-// is attached and the net/http/pprof endpoints when pprofOn — and
-// returns the server plus its bound listener address (addr may carry
-// port 0).
-func serveMetrics(addr string, reg *obs.Registry, col *span.Collector, pprofOn bool, logger *slog.Logger) (*http.Server, string, error) {
+// is attached, /readyz when a readiness latch is wired (nil mirrors
+// liveness: always ready), and the net/http/pprof endpoints when
+// pprofOn — and returns the server plus its bound listener address
+// (addr may carry port 0).
+func serveMetrics(addr string, reg *obs.Registry, col *span.Collector, ready *readyState, pprofOn bool, logger *slog.Logger) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.Handler(reg))
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready == nil {
+			_, _ = io.WriteString(w, "ready\n")
+			return
+		}
+		if ok, reason := ready.get(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = io.WriteString(w, "starting: "+reason+"\n")
+			return
+		}
+		_, _ = io.WriteString(w, "ready\n")
+	})
 	if col != nil {
 		mux.Handle("/traces", span.Handler(col))
 	}
@@ -139,12 +190,13 @@ func run(args []string, out io.Writer) error {
 		hold      = fs.Duration("hold", 0, "demo only: keep the cluster (and -metrics endpoint) up this long after the flow")
 		verbose   = fs.Bool("v", false, "debug-level logging")
 
-		handleTO = fs.Duration("handle-timeout", 10*time.Second, "server-side idle deadline per connection (reset on every frame)")
-		replicas = fs.Int("replicas", 2, "ring owners each record is stored on")
-		retries  = fs.Int("retries", 3, "attempts per wire call (capped exponential backoff between them)")
-		poolSize = fs.Int("pool-size", 2, "pooled client connections kept per peer")
-		batchWin = fs.Duration("batch-window", 0, "coalesce refresh publishes to the same owner within this window (0 disables batching)")
-		drainTO  = fs.Duration("drain-timeout", 2*time.Second, "graceful-drain budget on SIGINT/SIGTERM: withdraw soft-state before closing (0 disables)")
+		handleTO  = fs.Duration("handle-timeout", 10*time.Second, "server-side idle deadline per connection (reset on every frame)")
+		replicas  = fs.Int("replicas", 2, "ring owners each record is stored on")
+		retries   = fs.Int("retries", 3, "attempts per wire call (capped exponential backoff between them)")
+		poolSize  = fs.Int("pool-size", 2, "pooled client connections kept per peer")
+		batchWin  = fs.Duration("batch-window", 0, "coalesce refresh publishes to the same owner within this window (0 disables batching)")
+		drainTO   = fs.Duration("drain-timeout", 2*time.Second, "graceful-drain budget on SIGINT/SIGTERM: withdraw soft-state before closing (0 disables)")
+		joinRetry = fs.Duration("join-retry", 0, "retry a failed initial publish at this interval instead of exiting (0 = fail hard); the node reports not-ready on /readyz until joined")
 
 		traceSample = fs.Int("trace-sample", 1, "head-sample 1 in N root requests into /traces (1 = all, 0 disables tracing)")
 		traceBuf    = fs.Int("trace-buf", 4096, "span ring-buffer capacity (oldest spans overwritten)")
@@ -196,17 +248,41 @@ func run(args []string, out io.Writer) error {
 	logger.Info("listening", "addr", node.Addr(),
 		"landmarks", len(cfg.Landmarks), "peers", len(splitCSV(*peersCSV)))
 
+	// Liveness vs readiness: the metrics listener serves /healthz as soon
+	// as it is up (the process lives), but /readyz answers 503 until the
+	// node has joined — for a publisher, until the first publish landed
+	// and the refresh loop is keeping the record alive.
+	ready := newReadyState("node starting")
 	if *metrics != "" {
-		srv, _, err := serveMetrics(*metrics, node.Registry(), col, *pprofOn, logger)
+		srv, _, err := serveMetrics(*metrics, node.Registry(), col, ready, *pprofOn, logger)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 	}
+
+	// The signal handler is installed before the join loop so a supervisor
+	// stopping a node that is still retrying its way in does not hang.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	if *publish {
+		ready.set(false, "awaiting initial publish")
 		rec, err := node.Publish(*pings, *timeout)
-		if err != nil {
-			return fmt.Errorf("publish: %w", err)
+		for err != nil {
+			if *joinRetry <= 0 {
+				return fmt.Errorf("publish: %w", err)
+			}
+			logger.Warn("join-pending", "retry_in", *joinRetry, "err", err)
+			select {
+			case <-sig:
+				// Interrupted before joining: nothing published, nothing to
+				// drain.
+				logger.Info("shutdown")
+				return nil
+			case <-time.After(*joinRetry):
+			}
+			rec, err = node.Publish(*pings, *timeout)
 		}
 		logger.Info("published", "number", rec.Number,
 			"owner", node.OwnerOf(rec.Number), "replicas", node.Replication())
@@ -225,10 +301,11 @@ func run(args []string, out io.Writer) error {
 	if *oneshot {
 		return nil
 	}
+	ready.set(true, "")
+	logger.Info("ready", "publisher", *publish)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	ready.set(false, "draining")
 	// Graceful drain: withdraw our soft-state before the deferred Close
 	// tears the listener down (the proactive-departure case of §5.2 —
 	// leave by deletion, not by letting peers wait out the TTL).
@@ -295,8 +372,9 @@ func runDemo(n int, ttl, timeout time.Duration, metricsAddr string, hold time.Du
 	logger.Info("demo-start", "nodes", n, "landmarks", lmCount)
 	if metricsAddr != "" {
 		// Demo nodes stay untraced: a collector is per-node (its node
-		// label is single-valued) and the demo shares one process.
-		srv, _, err := serveMetrics(metricsAddr, reg, nil, false, logger)
+		// label is single-valued) and the demo shares one process. The
+		// nil readiness latch makes /readyz mirror /healthz.
+		srv, _, err := serveMetrics(metricsAddr, reg, nil, nil, false, logger)
 		if err != nil {
 			return err
 		}

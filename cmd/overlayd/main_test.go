@@ -428,3 +428,162 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 		t.Fatalf("%d records survived the drain", n)
 	}
 }
+
+// fetchStatus GETs a URL and returns (status, body) without failing the
+// test on non-200 — readiness probes are supposed to 503 while starting.
+func fetchStatus(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestReadinessSplit pins the liveness/readiness contract: a publisher
+// whose landmarks are down must be live (/healthz 200) but not ready
+// (/readyz 503) while -join-retry keeps the join pending; once the
+// landmark comes up the node joins and flips ready — without a restart.
+func TestReadinessSplit(t *testing.T) {
+	// Reserve the landmark's address without serving it yet.
+	cfgStub := wire.SpaceConfig{Landmarks: []string{"x"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	boot, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmAddr := boot.Addr()
+	if err := boot.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	guard := make(chan os.Signal, 8)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	buf := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-peers", lmAddr,
+			"-landmarks", lmAddr,
+			"-metrics", "127.0.0.1:0",
+			"-publish",
+			"-join-retry", "50ms",
+			"-timeout", "250ms",
+			"-retries", "1",
+			"-drain-timeout", "1s",
+		}, buf)
+	}()
+
+	addrRe := regexp.MustCompile(`msg=metrics addr=(\S+)`)
+	var maddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for maddr == "" {
+		if m := addrRe.FindStringSubmatch(buf.String()); m != nil {
+			maddr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("exited early: %v\n%s", err, buf.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never logged:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Live but not ready: the landmark is down, the join is pending.
+	if code, _ := fetchStatus(t, "http://"+maddr+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d while starting, want 200 (liveness is not readiness)", code)
+	}
+	for !strings.Contains(buf.String(), "msg=join-pending") {
+		if time.Now().After(deadline) {
+			t.Fatalf("join never reported pending:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	code, body := fetchStatus(t, "http://"+maddr+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d (%q) before joining, want 503", code, body)
+	}
+	if !strings.Contains(body, "starting:") {
+		t.Fatalf("readyz body %q carries no reason", body)
+	}
+
+	// Bring the landmark up; the pending join must complete on its own.
+	lm, err := wire.NewNode(lmAddr, cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lm.Close()
+	for {
+		if code, _ := fetchStatus(t, "http://"+maddr+"/readyz"); code == http.StatusOK {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("exited instead of joining: %v\n%s", err, buf.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never became ready after landmark recovery:\n%s", buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(buf.String(), "msg=published") || !strings.Contains(buf.String(), "msg=ready") {
+		t.Fatalf("ready without publish/ready log lines:\n%s", buf.String())
+	}
+
+	// Shut down; the drain path still runs.
+	for exited := false; !exited; {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			exited = true
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, buf.String())
+			}
+		case <-time.After(100 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatalf("SIGTERM did not stop the node:\n%s", buf.String())
+			}
+		}
+	}
+}
+
+// TestJoinRetryDisabledFailsHard: without -join-retry an unreachable
+// landmark still fails the publish immediately — scripts keep their
+// fail-fast semantics.
+func TestJoinRetryDisabledFailsHard(t *testing.T) {
+	cfgStub := wire.SpaceConfig{Landmarks: []string{"x"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	boot, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmAddr := boot.Addr()
+	if err := boot.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run([]string{
+		"-listen", "127.0.0.1:0",
+		"-peers", lmAddr,
+		"-landmarks", lmAddr,
+		"-publish", "-oneshot",
+		"-timeout", "200ms",
+		"-retries", "1",
+	}, &buf)
+	if err == nil {
+		t.Fatal("publish against a dead landmark succeeded")
+	}
+}

@@ -1,9 +1,11 @@
 // Command overlaymon is the cluster health view over a set of overlayd
 // nodes: it scrapes each node's metrics endpoint (/metrics.json,
-// /healthz, /traces) and renders one merged picture — per-node health
-// and record counts, suspicion and breaker states, ring coverage,
-// cluster-wide RPC latency quantiles, and the slowest distributed
-// traces stitched across nodes by trace ID.
+// /healthz, /readyz, /traces) and renders one merged picture — per-node
+// health, readiness and record counts, suspicion and breaker states,
+// ring coverage, cluster-wide RPC latency quantiles, and the slowest
+// distributed traces stitched across nodes by trace ID. The view itself
+// lives in internal/monitor, shared with the e2e chaos harness so the
+// console and the gate agree on what "healthy" means.
 //
 //	overlaymon -nodes 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003
 //	overlaymon -nodes ... -watch 2s      # live view, request rates per tick
@@ -25,6 +27,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"gsso/internal/monitor"
 )
 
 func main() {
@@ -51,7 +55,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("need -nodes")
 	}
 	if *watch <= 0 {
-		view := buildView(scrapeAll(nodes, *timeout), *top)
+		view := monitor.BuildView(monitor.ScrapeAll(nodes, *timeout), *top)
 		if err := render(out, view, *jsonOut); err != nil {
 			return err
 		}
@@ -71,7 +75,7 @@ func run(args []string, out io.Writer) error {
 	prev := map[string]float64{}
 	prevAt := time.Time{}
 	for {
-		view := buildView(scrapeAll(nodes, *timeout), *top)
+		view := monitor.BuildView(monitor.ScrapeAll(nodes, *timeout), *top)
 		now := time.Now()
 		if !prevAt.IsZero() {
 			dt := now.Sub(prevAt).Seconds()
@@ -100,13 +104,13 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func render(out io.Writer, view ClusterView, asJSON bool) error {
+func render(out io.Writer, view monitor.ClusterView, asJSON bool) error {
 	if asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(view)
 	}
-	renderText(out, view)
+	monitor.RenderText(out, view)
 	return nil
 }
 

@@ -1,204 +1,63 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
-	"time"
 
+	"gsso/internal/monitor"
 	"gsso/internal/obs"
-	"gsso/internal/obs/span"
-	"gsso/internal/wire"
 )
 
-// monNode is one cluster member under test: a wire node with its own
-// registry and span collector, exposed over the same HTTP surface
-// overlayd serves (obs handler at /, span dump at /traces).
-type monNode struct {
-	node *wire.Node
-	col  *span.Collector
-	srv  *httptest.Server
-}
-
-func startMonNode(t *testing.T, listen string, cfg wire.SpaceConfig, peers []string) *monNode {
+// startScrapable serves a minimal overlayd-compatible metrics surface.
+func startScrapable(t *testing.T) string {
 	t.Helper()
-	reg := obs.NewRegistry()
-	col := span.NewCollector(1024, 1)
-	pol := wire.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
-	n, err := wire.NewNodeWithRegistry(listen, cfg, peers, time.Minute, reg,
-		wire.WithReplication(3),
-		wire.WithRetryPolicy(pol),
-		wire.WithTracing(col))
-	if err != nil {
-		t.Fatalf("node %s: %v", listen, err)
-	}
-	t.Cleanup(func() { n.Close() })
 	mux := http.NewServeMux()
-	mux.Handle("/", obs.Handler(reg))
-	mux.Handle("/traces", span.Handler(col))
+	mux.Handle("/", obs.Handler(obs.NewRegistry()))
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
-	return &monNode{node: n, col: col, srv: srv}
+	return strings.TrimPrefix(srv.URL, "http://")
 }
 
-func (m *monNode) scrapeAddr() string { return strings.TrimPrefix(m.srv.URL, "http://") }
-
-// TestStitchedTraceAcrossFaultedCluster is the acceptance path: a
-// replicated publish (k=3) where one replica store crosses a FaultProxy
-// that drops its first connection must show up in overlaymon's merged
-// snapshot as ONE stitched trace containing the root, all three client
-// store spans (the faulted one attempt-counted), and all three server
-// spans — with every parent ID resolving.
-func TestStitchedTraceAcrossFaultedCluster(t *testing.T) {
-	// Reserve the publisher's address first: its peer list must contain
-	// its own addr so the ring has three owners (same trick as the demo).
-	stub := wire.SpaceConfig{Landmarks: []string{"boot"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
-	boot, err := wire.NewNode("127.0.0.1:0", stub, nil, time.Minute)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pubAddr := boot.Addr()
-	if err := boot.Close(); err != nil {
-		t.Fatal(err)
-	}
-
-	cfg := wire.SpaceConfig{Landmarks: []string{pubAddr}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
-	b := startMonNode(t, "127.0.0.1:0", cfg, nil)
-	c := startMonNode(t, "127.0.0.1:0", cfg, nil)
-
-	proxy, err := wire.NewFaultProxy(c.node.Addr(), 42)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Registered between c and a so cleanup order is a → proxy → c: the
-	// publisher's pooled connection through the proxy must die before the
-	// proxy waits out its pipes.
-	t.Cleanup(func() { proxy.Close() })
-
-	peers := []string{pubAddr, b.node.Addr(), proxy.Addr()}
-	a := startMonNode(t, pubAddr, cfg, peers)
-
-	// Drop the first connection through the proxy, then heal: the faulted
-	// replica store fails exactly its early attempts and succeeds on a
-	// retry, all under one span.
-	proxy.SetLoss(1)
-	healed := make(chan struct{})
-	go func() {
-		defer close(healed)
-		deadline := time.Now().Add(5 * time.Second)
-		for time.Now().Before(deadline) {
-			if proxy.Dropped() >= 1 {
-				proxy.SetLoss(0)
-				return
-			}
-			time.Sleep(time.Millisecond)
-		}
-	}()
-
-	if _, err := a.node.Publish(1, 2*time.Second); err != nil {
-		t.Fatalf("publish: %v", err)
-	}
-	<-healed
-	if proxy.Dropped() == 0 {
-		t.Fatal("fault proxy never dropped a connection; test exercised nothing")
-	}
-	if proxy.Forwarded() == 0 {
-		t.Fatal("fault proxy never forwarded; the replica store did not recover")
-	}
-
-	addrs := []string{a.scrapeAddr(), b.scrapeAddr(), c.scrapeAddr()}
-	view := buildView(scrapeAll(addrs, 2*time.Second), 10)
-
-	if view.Healthy != 3 || view.Unreachable != 0 {
-		t.Fatalf("want 3 healthy scrapes, got healthy=%d unreachable=%d", view.Healthy, view.Unreachable)
-	}
-	if view.TracedNodes != 3 {
-		t.Fatalf("want 3 traced nodes, got %d", view.TracedNodes)
-	}
-
-	var publishTraces []TraceView
-	for _, tr := range view.Traces {
-		if tr.RootOp == "publish" {
-			publishTraces = append(publishTraces, tr)
-		}
-	}
-	if len(publishTraces) != 1 {
-		t.Fatalf("want exactly 1 stitched publish trace, got %d (%+v)", len(publishTraces), view.Traces)
-	}
-	tr := publishTraces[0]
-	if tr.Orphans != 0 {
-		t.Fatalf("stitched trace has %d orphan spans: %+v", tr.Orphans, tr.Spans)
-	}
-	if tr.Outcome != span.OutcomeOK {
-		t.Fatalf("publish trace outcome = %q, want ok", tr.Outcome)
-	}
-
-	stores, serves, retried := 0, 0, 0
-	for _, s := range tr.Spans {
-		switch s.Op {
-		case "store":
-			stores++
-			if s.Outcome != span.OutcomeOK {
-				t.Errorf("store span to %s outcome %q, want ok", s.Peer, s.Outcome)
-			}
-			if s.Attempts >= 2 {
-				retried++
-			}
-		case "serve.store":
-			serves++
-		}
-		if !s.Root() && s.Depth == 0 {
-			t.Errorf("non-root span %s rendered at depth 0: parent did not resolve", s.Op)
-		}
-	}
-	if stores != 3 {
-		t.Errorf("want 3 client store spans (k=3), got %d", stores)
-	}
-	if serves != 3 {
-		t.Errorf("want 3 server store spans (one per replica owner), got %d", serves)
-	}
-	if retried != 1 {
-		t.Errorf("want exactly 1 attempt-counted store span (through the proxy), got %d", retried)
-	}
-
-	// The merged RPC table must have absorbed the stores too.
-	var storeRPC *RPCView
-	for i := range view.RPC {
-		if view.RPC[i].Type == "store" {
-			storeRPC = &view.RPC[i]
-		}
-	}
-	if storeRPC == nil || storeRPC.Count < 3 {
-		t.Fatalf("merged rpc view missing store latencies: %+v", view.RPC)
-	}
-
-	// And the whole snapshot must survive a JSON round trip (the -json
-	// output mon-smoke asserts on).
-	raw, err := json.Marshal(view)
-	if err != nil {
-		t.Fatalf("marshal snapshot: %v", err)
-	}
-	var back ClusterView
-	if err := json.Unmarshal(raw, &back); err != nil {
-		t.Fatalf("unmarshal snapshot: %v", err)
-	}
-	if len(back.Nodes) != 3 || len(back.Traces) == 0 {
-		t.Fatalf("round-tripped snapshot lost data: %+v", back)
+func TestRunRequiresNodes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing -nodes accepted")
 	}
 }
 
-// TestBuildViewDownNode verifies a dead node renders as unreachable
-// without poisoning the rest of the view.
-func TestBuildViewDownNode(t *testing.T) {
-	cfg := wire.SpaceConfig{Landmarks: []string{"boot"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
-	n := startMonNode(t, "127.0.0.1:0", cfg, nil)
-	view := buildView(scrapeAll([]string{n.scrapeAddr(), "127.0.0.1:1"}, 500*time.Millisecond), 5)
-	if view.Healthy != 1 || view.Unreachable != 1 {
-		t.Fatalf("want 1 healthy + 1 unreachable, got %+v", view)
+// TestRunOneShotJSON drives the one-shot CLI path end to end: the JSON
+// snapshot decodes back into a monitor.ClusterView with the scraped
+// node healthy.
+func TestRunOneShotJSON(t *testing.T) {
+	addr := startScrapable(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", addr, "-json"}, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
-	if len(view.Nodes) != 2 || view.Nodes[1].Err == "" {
-		t.Fatalf("down node should carry its scrape error: %+v", view.Nodes)
+	var view monitor.ClusterView
+	if err := json.Unmarshal(buf.Bytes(), &view); err != nil {
+		t.Fatalf("snapshot is not JSON: %v\n%s", err, buf.String())
+	}
+	if view.Healthy != 1 || len(view.Nodes) != 1 || view.Nodes[0].Addr != addr {
+		t.Fatalf("unexpected view: %+v", view)
+	}
+}
+
+// TestRunOneShotUnreachableFails pins the smoke-check contract: any
+// unscrapable node makes the one-shot run exit non-zero — after
+// rendering the view, so the failure is diagnosable.
+func TestRunOneShotUnreachableFails(t *testing.T) {
+	addr := startScrapable(t)
+	var buf bytes.Buffer
+	err := run([]string{"-nodes", addr + ",127.0.0.1:1", "-timeout", "500ms"}, &buf)
+	if err == nil {
+		t.Fatal("unreachable node did not fail the run")
+	}
+	if !strings.Contains(buf.String(), "DOWN") {
+		t.Fatalf("down node not rendered:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSpecDefaults pins the minimal-spec contract: {"nodes": 5} is a
+// complete spec after Normalize.
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{Nodes: 5}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Landmarks != 3 || s.Replicas != 2 {
+		t.Fatalf("defaults: landmarks=%d replicas=%d", s.Landmarks, s.Replicas)
+	}
+	if s.TTL.D() != 30*time.Second || s.JoinRetry.D() != 500*time.Millisecond {
+		t.Fatalf("defaults: ttl=%v join_retry=%v", s.TTL, s.JoinRetry)
+	}
+	if s.Binary != "overlayd" {
+		t.Fatalf("default binary = %q", s.Binary)
+	}
+
+	two := Spec{Nodes: 2}
+	if err := two.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if two.Landmarks != 2 {
+		t.Fatalf("landmarks must cap at nodes, got %d", two.Landmarks)
+	}
+
+	if err := (&Spec{Nodes: 1}).Normalize(); err == nil {
+		t.Fatal("1-node spec accepted")
+	}
+}
+
+// TestLoadSpecDurationsAndRoundTrip checks the human-writable JSON
+// form: durations as strings, and a marshal → unmarshal round trip
+// preserving them.
+func TestLoadSpecDurationsAndRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	raw := `{
+		"nodes": 5, "landmarks": 2, "ttl": "3s", "refresh": "750ms",
+		"join_retry": 250000000, "proxied": true, "seed": 7
+	}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TTL.D() != 3*time.Second || spec.Refresh.D() != 750*time.Millisecond {
+		t.Fatalf("string durations mis-parsed: ttl=%v refresh=%v", spec.TTL, spec.Refresh)
+	}
+	if spec.JoinRetry.D() != 250*time.Millisecond {
+		t.Fatalf("numeric (ns) duration mis-parsed: %v", spec.JoinRetry)
+	}
+	if !spec.Proxied || spec.Seed != 7 || spec.Landmarks != 2 {
+		t.Fatalf("fields lost: %+v", spec)
+	}
+
+	out, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TTL != spec.TTL || back.Refresh != spec.Refresh {
+		t.Fatalf("round trip lost durations: %+v vs %+v", back, spec)
+	}
+
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
+func TestReserveAddrsDistinct(t *testing.T) {
+	addrs, err := ReserveAddrs(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("address %s reserved twice", a)
+		}
+		seen[a] = true
+	}
+	if len(addrs) != 10 {
+		t.Fatalf("got %d addrs", len(addrs))
+	}
+}
+
+// TestBackoffCappedAndJittered: delays grow from the base, never
+// exceed the cap, never fall under half the deterministic delay, and a
+// fixed seed replays identically.
+func TestBackoffCappedAndJittered(t *testing.T) {
+	mk := func() *Supervisor {
+		spec := Spec{Nodes: 2, Seed: 99,
+			RestartBackoffBase: Duration(100 * time.Millisecond),
+			RestartBackoffMax:  Duration(time.Second)}
+		if err := spec.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		return &Supervisor{spec: spec, rng: newBackoffRNG(spec.Seed)}
+	}
+	a, b := mk(), mk()
+	for n := 1; n <= 8; n++ {
+		da, db := a.backoff(n), b.backoff(n)
+		if da != db {
+			t.Fatalf("seeded backoff not reproducible at n=%d: %v vs %v", n, da, db)
+		}
+		want := 100 * time.Millisecond << (n - 1)
+		if want > time.Second {
+			want = time.Second
+		}
+		if da < want/2 || da > want {
+			t.Fatalf("backoff(%d) = %v outside [%v, %v]", n, da, want/2, want)
+		}
+	}
+}

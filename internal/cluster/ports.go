@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+)
+
+// ReserveAddrs binds n ephemeral localhost listeners simultaneously,
+// records their addresses, and closes them all. The addresses can then
+// be baked into peer lists before any process exists, and a restarted
+// node rebinds the same port (Go listeners set SO_REUSEADDR, so a
+// lingering TIME_WAIT does not block it). Binding all n at once —
+// instead of bind/close one at a time — guarantees the reserved set is
+// collision-free.
+func ReserveAddrs(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("reserve port %d/%d: %w", i+1, n, err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}

@@ -1,0 +1,288 @@
+// Package e2e proves self-healing outside the simulator: it replays
+// netsim.FaultPlan-style schedules — crash waves and (asymmetric)
+// partitions — against a live cluster of real overlayd processes run
+// by internal/cluster, then asserts the soft-state invariants the
+// paper promises from a client's vantage point: every member's record
+// is findable with full replication on exactly its ring owners, no
+// orphan records survive, and the cluster reports ready end to end.
+//
+// Kill steps go through the supervisor (SIGKILL, restart under
+// backoff); partition steps go through each node's wire.FaultProxy, so
+// links are cut on the wire without touching the processes. The same
+// Schedule type powers `overlayctl -chaos` and the `make e2e` gate.
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math/rand/v2"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"gsso/internal/cluster"
+	"gsso/internal/wire"
+)
+
+// StepKind names one fault primitive.
+type StepKind string
+
+const (
+	// StepKill delivers SIGKILL to each victim; the supervisor restarts
+	// them under backoff (the churn-wave analogue of netsim.ChurnWave).
+	StepKill StepKind = "kill"
+	// StepPartition cuts each victim's fault proxy for Hold, then lifts
+	// the cut (the analogue of netsim.PartitionWindow).
+	StepPartition StepKind = "partition"
+)
+
+// Step is one entry in a fault schedule. Victims are node indices;
+// when empty, Count victims are sampled from the schedule's seeded rng
+// stream, so a fixed seed replays the same cast.
+type Step struct {
+	Kind    StepKind `json:"kind"`
+	Victims []int    `json:"victims,omitempty"`
+	Count   int      `json:"count,omitempty"`
+
+	// Partition steps only: Mode is "both", "to-backend" or
+	// "from-backend" (the asymmetric one-way cuts), KillEstablished
+	// also severs connections already in flight, and Hold is how long
+	// the cut stays up before it is lifted.
+	Mode            string           `json:"mode,omitempty"`
+	KillEstablished bool             `json:"kill_established,omitempty"`
+	Hold            cluster.Duration `json:"hold,omitempty"`
+
+	// Settle pauses after the step completes, before the next one.
+	Settle cluster.Duration `json:"settle,omitempty"`
+}
+
+// Schedule is a replayable fault schedule against a live cluster.
+type Schedule struct {
+	Seed  uint64 `json:"seed"`
+	Steps []Step `json:"steps"`
+}
+
+// LoadSchedule reads a JSON fault schedule from disk (the overlayctl
+// -chaos input).
+func LoadSchedule(path string) (Schedule, error) {
+	var sc Schedule
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return sc, err
+	}
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return sc, fmt.Errorf("schedule %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// ParsePartitionMode maps a schedule's mode string onto the proxy's
+// partition modes; empty defaults to a full cut.
+func ParsePartitionMode(s string) (wire.PartitionMode, error) {
+	switch s {
+	case "", "both":
+		return wire.PartitionBoth, nil
+	case "to-backend":
+		return wire.PartitionToBackend, nil
+	case "from-backend":
+		return wire.PartitionFromBackend, nil
+	default:
+		return wire.PartitionOff, fmt.Errorf("unknown partition mode %q", s)
+	}
+}
+
+// Run replays the schedule against a supervised cluster, in order,
+// one step at a time. Partition steps require a proxied cluster.
+func (sc Schedule) Run(sup *cluster.Supervisor, logger *slog.Logger) error {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	rng := rand.New(rand.NewPCG(sc.Seed, sc.Seed^0xda3e39cb94b95bdb))
+	nodes := len(sup.NodeAddrs())
+	for i, step := range sc.Steps {
+		victims := step.Victims
+		if len(victims) == 0 {
+			victims = sampleVictims(rng, nodes, step.Count)
+		}
+		switch step.Kind {
+		case StepKill:
+			for _, v := range victims {
+				logger.Info("chaos-kill", "step", i, "node", v)
+				if err := sup.Kill(v); err != nil {
+					return fmt.Errorf("step %d: kill node %d: %w", i, v, err)
+				}
+			}
+		case StepPartition:
+			mode, err := ParsePartitionMode(step.Mode)
+			if err != nil {
+				return fmt.Errorf("step %d: %w", i, err)
+			}
+			for _, v := range victims {
+				proxy := sup.ProxyOf(v)
+				if proxy == nil {
+					return fmt.Errorf("step %d: partition needs a proxied cluster (node %d)", i, v)
+				}
+				logger.Info("chaos-partition", "step", i, "node", v,
+					"mode", mode, "kill_established", step.KillEstablished, "hold", step.Hold)
+				proxy.SetPartition(mode, step.KillEstablished)
+			}
+			if step.Hold > 0 {
+				time.Sleep(step.Hold.D())
+			}
+			for _, v := range victims {
+				logger.Info("chaos-heal", "step", i, "node", v)
+				sup.ProxyOf(v).SetPartition(wire.PartitionOff, false)
+			}
+		default:
+			return fmt.Errorf("step %d: unknown kind %q", i, step.Kind)
+		}
+		if step.Settle > 0 {
+			time.Sleep(step.Settle.D())
+		}
+	}
+	return nil
+}
+
+// sampleVictims draws count distinct node indices from the rng stream.
+func sampleVictims(rng *rand.Rand, nodes, count int) []int {
+	if count < 1 {
+		count = 1
+	}
+	if count > nodes {
+		count = nodes
+	}
+	perm := rng.Perm(nodes)
+	victims := append([]int(nil), perm[:count]...)
+	return victims
+}
+
+// Checker asserts cluster invariants from a client's vantage point.
+// Its observer node never joins the overlay — it only shares the
+// cluster's peer list, so ring ownership computed here is exactly what
+// the cluster members compute (ownership derives from the sorted
+// shared peer list, nothing else).
+type Checker struct {
+	sup      *cluster.Supervisor
+	observer *wire.Node
+	expected []string // real overlay addrs: the record Addr values
+}
+
+// NewChecker builds a checker over a running cluster.
+func NewChecker(sup *cluster.Supervisor) (*Checker, error) {
+	stub := wire.SpaceConfig{Landmarks: []string{"observer"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	obsNode, err := wire.NewNode("127.0.0.1:0", stub, sup.NodeAddrs(), time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checker{sup: sup, observer: obsNode}
+	for i := range sup.NodeAddrs() {
+		c.expected = append(c.expected, sup.OverlayAddr(i))
+	}
+	return c, nil
+}
+
+// Close releases the observer node.
+func (c *Checker) Close() { c.observer.Close() }
+
+// Converged makes one pass over the cluster and reports the first
+// violated invariant:
+//
+//  1. every node answers /readyz 200 (rejoined and republishing);
+//  2. enumerating every node's live shard, each record sits only on a
+//     ring owner of its number — no orphans;
+//  3. every member's record is present with at least the replication
+//     factor's worth of copies — full recall, replicas intact.
+//
+// Stale copies published under a crashed incarnation's old number are
+// tolerated until their TTL reaps them: they still sit on the correct
+// owners for that number, and recall is asserted on copy counts, not
+// exact totals.
+func (c *Checker) Converged(timeout time.Duration) error {
+	if err := c.sup.WaitAllReady(time.Second); err != nil {
+		return err
+	}
+	replicas := c.sup.Spec().Replicas
+	dial := c.sup.NodeAddrs()
+	expectedSet := make(map[string]bool, len(c.expected))
+	for _, a := range c.expected {
+		expectedSet[a] = true
+	}
+	copies := make(map[string]int, len(c.expected))
+	for j, addr := range dial {
+		recs, err := wire.Query(addr, 0, 1<<20, timeout)
+		if err != nil {
+			return fmt.Errorf("enumerate node %d (%s): %w", j, addr, err)
+		}
+		for _, rec := range recs {
+			if !expectedSet[rec.Addr] {
+				return fmt.Errorf("orphan on node %d: record for unknown addr %s", j, rec.Addr)
+			}
+			owners := c.observer.OwnersOf(rec.Number, replicas)
+			if !contains(owners, addr) {
+				return fmt.Errorf("orphan on node %d: record %s (number %d) owned by %v",
+					j, rec.Addr, rec.Number, owners)
+			}
+			copies[rec.Addr]++
+		}
+	}
+	for _, a := range c.expected {
+		if copies[a] < replicas {
+			return fmt.Errorf("recall hole: %s has %d/%d replicas", a, copies[a], replicas)
+		}
+	}
+	return nil
+}
+
+// WaitConverged polls Converged until it holds or the deadline lapses,
+// returning the last violation.
+func (c *Checker) WaitConverged(timeout, probeTimeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for {
+		if last = c.Converged(probeTimeout); last == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("not converged after %v: %w", timeout, last)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// OverlaydBinary builds cmd/overlayd once per process and returns the
+// path. The build output lives in a throwaway temp directory; `go
+// build` itself is cached, so repeat runs are cheap.
+func OverlaydBinary() (string, error) {
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "gsso-e2e-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtPath = filepath.Join(dir, "overlayd")
+		cmd := exec.Command("go", "build", "-o", builtPath, "gsso/cmd/overlayd")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build cmd/overlayd: %v\n%s", err, strings.TrimSpace(string(out)))
+		}
+	})
+	return builtPath, buildErr
+}
+
+var (
+	buildOnce sync.Once
+	builtPath string
+	buildErr  error
+)

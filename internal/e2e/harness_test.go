@@ -1,0 +1,101 @@
+package e2e
+
+import (
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gsso/internal/cluster"
+	"gsso/internal/monitor"
+)
+
+// requireE2E gates the chaos tests out of tier-1 runs, mirroring the
+// SOAK=1 convention: they spawn real process fleets and run for tens
+// of seconds, so they only run under `make e2e`.
+func requireE2E(t *testing.T) {
+	t.Helper()
+	if os.Getenv("E2E") == "" {
+		t.Skip("live-cluster chaos test: set E2E=1 (make e2e) to run")
+	}
+}
+
+// startCluster builds overlayd, boots the spec'd cluster, and wires
+// cleanup so that a failed test dumps its artifacts — per-node log
+// tails and an overlaymon-style JSON snapshot — before tearing the
+// processes down.
+func startCluster(t *testing.T, spec cluster.Spec) *cluster.Supervisor {
+	t.Helper()
+	bin, err := OverlaydBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Binary = bin
+	if spec.RunDir == "" {
+		spec.RunDir = filepath.Join(t.TempDir(), "run")
+	}
+	if err := os.MkdirAll(spec.RunDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	supLog, err := os.Create(filepath.Join(spec.RunDir, "supervisor.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(supLog, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	sup, err := cluster.New(spec, logger)
+	if err != nil {
+		supLog.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			dumpArtifacts(t, sup)
+		}
+		sup.Stop()
+		supLog.Close()
+	})
+	if err := sup.Start(); err != nil {
+		t.Fatalf("cluster bootstrap: %v", err)
+	}
+	return sup
+}
+
+// dumpArtifacts preserves the evidence of a failed run: it writes the
+// merged cluster snapshot (the overlaymon -json view) next to the logs
+// and echoes the tail of every per-node log into the test output.
+func dumpArtifacts(t *testing.T, sup *cluster.Supervisor) {
+	t.Helper()
+	view := monitor.BuildView(monitor.ScrapeAll(sup.MetricsAddrs(), 2*time.Second), 10)
+	if raw, err := json.MarshalIndent(view, "", "  "); err == nil {
+		path := filepath.Join(sup.RunDir(), "snapshot.json")
+		if err := os.WriteFile(path, raw, 0o644); err == nil {
+			t.Logf("cluster snapshot: %s", path)
+		}
+	}
+	t.Logf("per-node logs under %s:", sup.RunDir())
+	for _, st := range sup.Status() {
+		t.Logf("node %d: state=%s restarts=%d pid=%d", st.Index, st.State, st.Restarts, st.PID)
+		raw, err := os.ReadFile(st.LogPath)
+		if err != nil {
+			continue
+		}
+		const tail = 2048
+		if len(raw) > tail {
+			raw = raw[len(raw)-tail:]
+		}
+		t.Logf("--- %s (tail) ---\n%s", filepath.Base(st.LogPath), raw)
+	}
+}
+
+// newChecker is NewChecker with test plumbing.
+func newChecker(t *testing.T, sup *cluster.Supervisor) *Checker {
+	t.Helper()
+	ck, err := NewChecker(sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ck.Close)
+	return ck
+}

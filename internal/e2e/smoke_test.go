@@ -1,0 +1,85 @@
+package e2e
+
+import (
+	"testing"
+	"time"
+
+	"gsso/internal/cluster"
+	"gsso/internal/monitor"
+)
+
+// TestMonSmoke is scripts/mon_smoke.sh reborn in Go: boot a three-node
+// cluster of real overlayd processes (on ephemeral ports — the old
+// script's fixed 7101..9103 ports made parallel runs collide), then
+// assert the overlaymon cluster view end to end: every node healthy
+// AND ready, records present, every node traced, the publish trace
+// stitched across nodes with zero orphan spans, and store latencies in
+// the merged RPC table. Gated behind E2E=1 and run by `make e2e` (the
+// old `make mon-smoke` entry point folds into the same gate).
+func TestMonSmoke(t *testing.T) {
+	requireE2E(t)
+	spec := cluster.Spec{
+		Nodes:       3,
+		Replicas:    2,
+		TTL:         cluster.Duration(10 * time.Second),
+		Timeout:     cluster.Duration(2 * time.Second),
+		JoinRetry:   cluster.Duration(200 * time.Millisecond),
+		TraceSample: 1,
+		BootTimeout: cluster.Duration(60 * time.Second),
+	}
+	sup := startCluster(t, spec)
+	ck := newChecker(t, sup)
+	if err := ck.WaitConverged(30*time.Second, 2*time.Second); err != nil {
+		t.Fatalf("cluster never converged: %v", err)
+	}
+
+	view := monitor.BuildView(monitor.ScrapeAll(sup.MetricsAddrs(), 2*time.Second), 10)
+	if view.Healthy != 3 || view.Unreachable != 0 {
+		t.Fatalf("want 3 healthy, got healthy=%d unreachable=%d", view.Healthy, view.Unreachable)
+	}
+	if view.Ready != 3 {
+		t.Fatalf("want 3 ready, got %d: %+v", view.Ready, view.Nodes)
+	}
+	if view.TotalRecords < 3 {
+		t.Fatalf("want >=3 records cluster-wide (3 members, 2 replicas each), got %.0f", view.TotalRecords)
+	}
+	if view.TracedNodes != 3 {
+		t.Fatalf("want all 3 nodes traced, got %d", view.TracedNodes)
+	}
+
+	// The initial publishes are head-sampled 1-in-1, so the view must
+	// contain at least one publish trace stitched across the publisher
+	// and its ring owners: client store spans and server serve.store
+	// spans under one root, with every parent resolving.
+	stitched := false
+	for _, tr := range view.Traces {
+		if tr.RootOp != "publish" {
+			continue
+		}
+		if tr.Orphans != 0 {
+			t.Fatalf("publish trace has %d orphan spans: %+v", tr.Orphans, tr.Spans)
+		}
+		serves := 0
+		for _, s := range tr.Spans {
+			if s.Op == "serve.store" {
+				serves++
+			}
+		}
+		if serves > 0 {
+			stitched = true
+		}
+	}
+	if !stitched {
+		t.Fatalf("no publish trace stitched across client and owner nodes: %+v", view.Traces)
+	}
+
+	var storeCount uint64
+	for _, r := range view.RPC {
+		if r.Type == "store" {
+			storeCount = r.Count
+		}
+	}
+	if storeCount < 3 {
+		t.Fatalf("merged RPC table missing store latencies: %+v", view.RPC)
+	}
+}

@@ -1,4 +1,15 @@
-package main
+// Package monitor builds the cluster-wide health view over a set of
+// overlayd metrics endpoints: it scrapes each node's /healthz, /readyz,
+// /metrics.json and /traces and merges them into one ClusterView — per
+// node health, readiness and record counts, suspicion and breaker
+// states, ring coverage, cluster-merged RPC latency quantiles, and the
+// slowest distributed traces stitched across nodes by trace ID.
+//
+// cmd/overlaymon renders the view for humans; internal/e2e asserts
+// self-healing invariants against the same machine-readable snapshot,
+// so the chaos gate and the operator console can never disagree about
+// what "healthy" means.
+package monitor
 
 import (
 	"encoding/json"
@@ -6,47 +17,50 @@ import (
 	"io"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
-	"text/tabwriter"
 	"time"
 
 	"gsso/internal/obs"
 	"gsso/internal/obs/span"
 )
 
-// scrapeResult is one node's raw scrape: health probe, metrics snapshot,
-// and (when the node traces) its span ring dump.
-type scrapeResult struct {
-	Addr    string
-	Healthy bool
-	Err     string
-	Snap    obs.Snapshot
-	Traces  *span.Dump
+// ScrapeResult is one node's raw scrape: health and readiness probes,
+// metrics snapshot, and (when the node traces) its span ring dump.
+type ScrapeResult struct {
+	Addr           string
+	Healthy        bool
+	Ready          bool
+	NotReadyReason string
+	Err            string
+	Snap           obs.Snapshot
+	Traces         *span.Dump
 }
 
-// scrapeAll fetches every node concurrently. Order of the result matches
+// ScrapeAll fetches every node concurrently. Order of the result matches
 // the input, so renders are stable across ticks.
-func scrapeAll(addrs []string, timeout time.Duration) []scrapeResult {
+func ScrapeAll(addrs []string, timeout time.Duration) []ScrapeResult {
 	client := &http.Client{Timeout: timeout}
-	out := make([]scrapeResult, len(addrs))
+	out := make([]ScrapeResult, len(addrs))
 	var wg sync.WaitGroup
 	for i, addr := range addrs {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			out[i] = scrapeNode(client, addr)
+			out[i] = ScrapeNode(client, addr)
 		}(i, addr)
 	}
 	wg.Wait()
 	return out
 }
 
-// scrapeNode probes one node's metrics endpoint. /healthz and
+// ScrapeNode probes one node's metrics endpoint. /healthz and
 // /metrics.json are required for a healthy scrape; /traces is optional —
-// a node running with tracing disabled simply contributes no spans.
-func scrapeNode(client *http.Client, addr string) scrapeResult {
-	res := scrapeResult{Addr: addr}
+// a node running with tracing disabled simply contributes no spans — and
+// so is /readyz: an endpoint that does not expose readiness (older
+// daemons, bare obs.Handler muxes) is taken as ready-when-live rather
+// than flagged not-ready forever.
+func ScrapeNode(client *http.Client, addr string) ScrapeResult {
+	res := ScrapeResult{Addr: addr}
 	base := "http://" + addr
 	if err := getOK(client, base+"/healthz", nil); err != nil {
 		res.Err = err.Error()
@@ -57,11 +71,38 @@ func scrapeNode(client *http.Client, addr string) scrapeResult {
 		return res
 	}
 	res.Healthy = true
+	res.Ready, res.NotReadyReason = scrapeReady(client, base)
 	var dump span.Dump
 	if err := getOK(client, base+"/traces", &dump); err == nil {
 		res.Traces = &dump
 	}
 	return res
+}
+
+// scrapeReady probes /readyz: 200 is ready, 503 is explicitly
+// not-ready (the body carries the reason), anything else — a 404 from
+// an endpoint that predates the liveness/readiness split, or a
+// transport error after /healthz just succeeded — degrades to
+// ready-when-live.
+func scrapeReady(client *http.Client, base string) (bool, string) {
+	resp, err := client.Get(base + "/readyz")
+	if err != nil {
+		return true, ""
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, ""
+	case http.StatusServiceUnavailable:
+		reason := string(body)
+		if len(reason) > 0 && reason[len(reason)-1] == '\n' {
+			reason = reason[:len(reason)-1]
+		}
+		return false, reason
+	default:
+		return true, ""
+	}
 }
 
 // getOK fetches url, requires 200, and JSON-decodes into v when non-nil.
@@ -85,6 +126,8 @@ func getOK(client *http.Client, url string, v any) error {
 type NodeView struct {
 	Addr            string   `json:"addr"`
 	Healthy         bool     `json:"healthy"`
+	Ready           bool     `json:"ready"`
+	NotReadyReason  string   `json:"not_ready_reason,omitempty"`
 	Err             string   `json:"err,omitempty"`
 	Records         float64  `json:"records"`
 	Requests        float64  `json:"requests"`
@@ -127,13 +170,14 @@ type TraceView struct {
 	Spans   []SpanView `json:"spans"`
 }
 
-// ClusterView is the full health snapshot overlaymon renders: one row
-// per node, ring coverage, merged RPC latencies, and the slowest
-// stitched traces.
+// ClusterView is the full health snapshot: one row per node, readiness
+// and ring coverage, merged RPC latencies, and the slowest stitched
+// traces.
 type ClusterView struct {
 	ScrapedAt     string      `json:"scraped_at"`
 	Nodes         []NodeView  `json:"nodes"`
 	Healthy       int         `json:"healthy"`
+	Ready         int         `json:"ready"`
 	Unreachable   int         `json:"unreachable"`
 	TotalRecords  float64     `json:"total_records"`
 	CoverageNodes int         `json:"coverage_nodes"` // healthy nodes holding at least one record
@@ -155,21 +199,25 @@ func sumSeries(s obs.Snapshot, name string) float64 {
 	return total
 }
 
-// buildView aggregates raw scrapes into the cluster health snapshot.
+// BuildView aggregates raw scrapes into the cluster health snapshot.
 // top bounds how many stitched traces are kept (slowest first).
-func buildView(scrapes []scrapeResult, top int) ClusterView {
+func BuildView(scrapes []ScrapeResult, top int) ClusterView {
 	v := ClusterView{ScrapedAt: time.Now().UTC().Format(time.RFC3339)}
 	merged := map[string]*obs.HistSnapshot{} // rpc type -> merged histogram
 	errCounts := map[string]uint64{}
 	var allSpans []span.Span
 	for _, sc := range scrapes {
-		nv := NodeView{Addr: sc.Addr, Healthy: sc.Healthy, Err: sc.Err}
+		nv := NodeView{Addr: sc.Addr, Healthy: sc.Healthy, Ready: sc.Ready,
+			NotReadyReason: sc.NotReadyReason, Err: sc.Err}
 		if !sc.Healthy {
 			v.Unreachable++
 			v.Nodes = append(v.Nodes, nv)
 			continue
 		}
 		v.Healthy++
+		if sc.Ready {
+			v.Ready++
+		}
 		nv.Records = sumSeries(sc.Snap, "wire_records")
 		nv.Requests = sumSeries(sc.Snap, "wire_requests_total")
 		nv.RefreshFailures = sumSeries(sc.Snap, "wire_refresh_failures_total")
@@ -312,66 +360,4 @@ func buildTree(id uint64, group []span.Span) TraceView {
 		}
 	}
 	return tv
-}
-
-// renderText writes the human view: node table, merged RPC latencies,
-// and the slowest stitched traces as indented trees.
-func renderText(w io.Writer, v ClusterView) {
-	fmt.Fprintf(w, "cluster: %d/%d healthy, %.0f records on %d/%d nodes, %d traced\n",
-		v.Healthy, len(v.Nodes), v.TotalRecords, v.CoverageNodes, v.Healthy, v.TracedNodes)
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NODE\tHEALTH\tRECORDS\tREQUESTS\tREQ/S\tREFRESH_FAIL\tCONNS\tSUSPECTED\tOPEN_BREAKERS")
-	for _, n := range v.Nodes {
-		health := "up"
-		if !n.Healthy {
-			health = "DOWN"
-		}
-		breakers := "-"
-		if len(n.OpenBreakers) > 0 {
-			breakers = strings.Join(n.OpenBreakers, ",")
-		}
-		rps := "-"
-		if n.RequestsPerSec > 0 {
-			rps = fmt.Sprintf("%.1f", n.RequestsPerSec)
-		}
-		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%.0f\t%s\n",
-			n.Addr, health, n.Records, n.Requests, rps,
-			n.RefreshFailures, n.ConnsOpen, n.Suspected, breakers)
-	}
-	tw.Flush()
-	if len(v.RPC) > 0 {
-		fmt.Fprintln(w)
-		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "RPC\tCOUNT\tERRORS\tP50(ms)\tP90(ms)\tP99(ms)")
-		for _, r := range v.RPC {
-			fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%.2f\t%.2f\n",
-				r.Type, r.Count, r.Errors, r.P50, r.P90, r.P99)
-		}
-		tw.Flush()
-	}
-	if len(v.Traces) > 0 {
-		fmt.Fprintln(w)
-		fmt.Fprintln(w, "SLOWEST TRACES")
-		for _, t := range v.Traces {
-			fmt.Fprintf(w, "trace %s %s %s %.2fms spans=%d orphans=%d\n",
-				t.TraceID, t.RootOp, t.Outcome, t.DurMs, len(t.Spans), t.Orphans)
-			for _, s := range t.Spans {
-				marker := ""
-				if s.Orphan {
-					marker = " [orphan]"
-				}
-				attempts := ""
-				if s.Attempts > 1 {
-					attempts = fmt.Sprintf(" x%d", s.Attempts)
-				}
-				errs := ""
-				if s.Err != "" {
-					errs = " err=" + s.Err
-				}
-				fmt.Fprintf(w, "  %s%s %s->%s %s %.2fms%s%s%s\n",
-					strings.Repeat("  ", s.Depth), s.Op, s.Node, s.Peer,
-					s.Outcome, s.DurMs, attempts, marker, errs)
-			}
-		}
-	}
 }

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bufio"
+	"net"
 	"testing"
 	"time"
 )
@@ -100,5 +102,143 @@ func TestFaultProxyCloseIdempotent(t *testing.T) {
 	}
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFaultProxyPartitionBoth: a symmetric partition closes new
+// connections at accept — the client fails fast rather than hanging —
+// and lifting it restores the link.
+func TestFaultProxyPartitionBoth(t *testing.T) {
+	n := startNode(t, stubCfg(), nil)
+	p, err := NewFaultProxy(n.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetPartition(PartitionBoth, false)
+
+	if _, err := Ping(p.Addr(), testTimeout, RetryPolicy{MaxAttempts: 1}); err == nil {
+		t.Fatal("ping crossed a symmetric partition")
+	}
+	if p.Partitioned() == 0 {
+		t.Fatalf("partitioned = %d, want > 0", p.Partitioned())
+	}
+	p.SetPartition(PartitionOff, false)
+	if _, err := Ping(p.Addr(), testTimeout); err != nil {
+		t.Fatalf("ping after lifting partition: %v", err)
+	}
+}
+
+// TestFaultProxyPartitionToBackend: the inbound-severed one-way
+// partition must make requests vanish — the client times out AND the
+// backend never sees the store — while the link still dials.
+func TestFaultProxyPartitionToBackend(t *testing.T) {
+	n := startNode(t, stubCfg(), nil)
+	p, err := NewFaultProxy(n.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetPartition(PartitionToBackend, false)
+
+	rec := Record{Addr: "x:1", Number: 9, ExpiresUnixMilli: time.Now().Add(time.Minute).UnixMilli()}
+	start := time.Now()
+	err = Store(p.Addr(), rec, 150*time.Millisecond, RetryPolicy{MaxAttempts: 1})
+	if err == nil {
+		t.Fatal("store crossed a to-backend partition")
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("to-backend partition failed fast (%v); requests must vanish, not bounce", elapsed)
+	}
+	if got := n.RecordCount(); got != 0 {
+		t.Fatalf("backend stored %d records through a severed inbound direction", got)
+	}
+	if p.Partitioned() == 0 {
+		t.Fatalf("partitioned = %d, want > 0", p.Partitioned())
+	}
+}
+
+// TestFaultProxyPartitionFromBackend: the outbound-severed one-way
+// partition is the nastier half of split-brain — the backend DOES the
+// work (record stored) but the client never hears the ack and times
+// out. Retry layers must treat that as failure without double-effects
+// upstream; the soft-state model makes the duplicate store idempotent.
+func TestFaultProxyPartitionFromBackend(t *testing.T) {
+	n := startNode(t, stubCfg(), nil)
+	p, err := NewFaultProxy(n.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetPartition(PartitionFromBackend, false)
+
+	rec := Record{Addr: "x:1", Number: 9, ExpiresUnixMilli: time.Now().Add(time.Minute).UnixMilli()}
+	err = Store(p.Addr(), rec, 150*time.Millisecond, RetryPolicy{MaxAttempts: 1})
+	if err == nil {
+		t.Fatal("store acked across a from-backend partition")
+	}
+	// The request crossed: the backend holds the record even though the
+	// client saw a timeout.
+	deadline := time.Now().Add(testTimeout)
+	for n.RecordCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("backend never received the store; from-backend must sever only responses")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFaultProxyPartitionKillsEstablished: engaging a partition with
+// killEstablished must sever connections already piped through the
+// proxy, not just refuse new ones — a real cut kills in-flight
+// conversations.
+func TestFaultProxyPartitionKillsEstablished(t *testing.T) {
+	n := startNode(t, stubCfg(), nil)
+	p, err := NewFaultProxy(n.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Establish a healthy pipe and prove it works.
+	conn, err := net.DialTimeout("tcp", p.Addr(), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteMessage(bufio.NewWriter(conn), Message{Type: MsgPing, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	if resp, err := ReadMessage(br); err != nil || resp.Type != MsgPong {
+		t.Fatalf("ping on established conn = %v, %v", resp, err)
+	}
+
+	p.SetPartition(PartitionBoth, true)
+	if got := p.Killed(); got == 0 {
+		t.Fatalf("killed = %d, want > 0", got)
+	}
+	// The established connection is dead: the next round trip fails.
+	_ = conn.SetReadDeadline(time.Now().Add(testTimeout))
+	_ = WriteMessage(bufio.NewWriter(conn), Message{Type: MsgPing, Seq: 2})
+	if _, err := ReadMessage(br); err == nil {
+		t.Fatal("round trip survived a kill-established partition")
+	}
+}
+
+// TestFaultProxyPartitionModeString pins the names fault-schedule files
+// and logs use.
+func TestFaultProxyPartitionModeString(t *testing.T) {
+	want := map[PartitionMode]string{
+		PartitionOff:         "off",
+		PartitionBoth:        "both",
+		PartitionToBackend:   "to-backend",
+		PartitionFromBackend: "from-backend",
+		PartitionMode(99):    "unknown",
+	}
+	for mode, name := range want {
+		if got := mode.String(); got != name {
+			t.Fatalf("PartitionMode(%d).String() = %q, want %q", mode, got, name)
+		}
 	}
 }
