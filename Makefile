@@ -1,6 +1,6 @@
 # Developer conveniences; everything is plain `go` underneath.
 
-.PHONY: all build vet test race check soak e2e bench bench-json bench-wire mon-smoke results quick-results examples clean
+.PHONY: all build vet test race check soak e2e bench bench-json bench-wire bench-diff mon-smoke results quick-results examples clean
 
 # Worker-pool width for the experiment engine; override with `make J=8 results`.
 J ?= $(shell nproc 2>/dev/null || echo 1)
@@ -27,10 +27,11 @@ race:
 # membership machine (join/depart/crash interleavings must keep the split
 # tree invariant-clean), and of the wire codec (arbitrary frames must
 # never panic, hang, or round-trip lossily through the multiplexer).
-check: build vet race
+check: build vet race bench-diff
 	GSSO_WORKERS=4 go test -race -count=1 ./internal/experiment/... ./internal/netsim/...
 	go test -fuzz FuzzMembership -fuzztime 10s -run '^$$' ./internal/can
 	go test -fuzz FuzzReadMessage -fuzztime 10s -run '^$$' ./internal/wire
+	go test -fuzz FuzzCodecDifferential -fuzztime 10s -run '^$$' ./internal/wire
 
 # Soak gates, full scale: the ext-churn reconvergence bar (record recall
 # back above 99% within three virtual refresh intervals of the last fault
@@ -61,6 +62,17 @@ bench-json:
 # BENCH_wire.json (ns/op, allocs/op, conns/op, connection reuse ratio).
 bench-wire:
 	go run ./cmd/topobench -wire-bench BENCH_wire.json
+
+# Perf regression gate: re-run the wire benchmarks into a scratch file and
+# fail if any benchmark shared with the checked-in BENCH_wire.json
+# regressed more than 20% in ns/op. A failing run is retried once before
+# it counts — single-shot micro-benchmarks on a shared box are noisy.
+# Wired into `make check`, so perf regressions fail the pre-merge gate.
+bench-diff:
+	@go run ./cmd/topobench -wire-bench .bench_wire_head.json -wire-diff BENCH_wire.json || \
+	  { echo "bench-diff: possible regression, retrying once to rule out noise"; \
+	    go run ./cmd/topobench -wire-bench .bench_wire_head.json -wire-diff BENCH_wire.json; }
+	@rm -f .bench_wire_head.json
 
 # Live-process chaos gate: boot a real overlayd fleet under
 # cmd/overlayctl's supervisor (internal/cluster), every inter-node link

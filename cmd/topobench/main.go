@@ -58,13 +58,20 @@ func run(args []string, out io.Writer) error {
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file")
 		benchJSON  = fs.String("bench-json", "", "append per-experiment wall-clock timings to this JSON file")
 		wireBench  = fs.String("wire-bench", "", "run the wire transport benchmarks and write results to this JSON file")
+		wireDiff   = fs.String("wire-diff", "", "after -wire-bench, fail if any shared benchmark regressed more than 20% in ns/op against this baseline JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *wireBench != "" {
-		return runWireBench(*wireBench, out)
+		if err := runWireBench(*wireBench, out); err != nil {
+			return err
+		}
+		if *wireDiff != "" {
+			return diffWireBench(*wireBench, *wireDiff, 0.20, out)
+		}
+		return nil
 	}
 	if *list {
 		for _, e := range experiment.All() {

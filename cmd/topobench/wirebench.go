@@ -7,9 +7,17 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"gsso/internal/ecan"
+	"gsso/internal/landmark"
+	"gsso/internal/netsim"
+	"gsso/internal/simrand"
+	"gsso/internal/softstate"
+	"gsso/internal/topology"
 	"gsso/internal/wire"
 )
 
@@ -63,9 +71,11 @@ func runWireBench(path string, out io.Writer) error {
 	}
 
 	// poolCounters reads the client transport's cumulative dial/reuse
-	// meters; benchmarks diff them around the timed loop.
+	// meters; benchmarks diff them around the timed loop. counterSource
+	// is swapped when a benchmark drives a different client node.
+	counterSource := client
 	poolCounters := func() (dials, reuse float64) {
-		snap := client.Registry().Snapshot()
+		snap := counterSource.Registry().Snapshot()
 		dials, _ = snap.Value("wire_conn_dials_total")
 		reuse, _ = snap.Value("wire_conn_reuse_total")
 		return dials, reuse
@@ -151,8 +161,33 @@ func runWireBench(path string, out io.Writer) error {
 		}
 		return nil
 	})
+	// The same batch through a JSON-pinned client: the pre-binary wire
+	// format, kept as the codec comparison baseline. The client never
+	// advertises, so the server answers JSON and both directions ride the
+	// old newline-delimited frames.
+	jsonClient, err := wire.NewNode("127.0.0.1:0", wireBenchCfg(), nil, time.Minute,
+		wire.WithMaxCodec(wire.CodecJSON))
+	if err != nil {
+		return err
+	}
+	defer jsonClient.Close()
+	jtr := jsonClient.Transport()
+	counterSource = jsonClient
+	record("publish-batch-64-json", true, func() error {
+		resp, err := jtr.RoundTrip(addr, wire.Message{Type: wire.MsgPublishBatch, Records: batch}, time.Second)
+		if err != nil {
+			return err
+		}
+		if resp.Type != wire.MsgBatchAck {
+			return fmt.Errorf("unexpected response %q", resp.Type)
+		}
+		return nil
+	})
 	if benchErr != nil {
 		return benchErr
+	}
+	if err := runStoreScaling(&report, out); err != nil {
+		return err
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -165,4 +200,144 @@ func runWireBench(path string, out io.Writer) error {
 		}
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runStoreScaling appends the sharded soft-state store's parallel
+// publish curve to the report: four workers publishing disjoint member
+// subsets against shard counts 1 (the pre-sharding single lock), 2, 4,
+// and 8. On a multi-core box throughput scales with shards until the
+// workers are satisfied; on gomaxprocs=1 the win reduces to cheaper lock
+// handoff, so read the curve against the recorded gomaxprocs.
+func runStoreScaling(report *wireBenchReport, out io.Writer) error {
+	spec := topology.Spec{
+		TransitDomains:        3,
+		TransitNodesPerDomain: 4,
+		StubsPerTransitNode:   3,
+		NodesPerStub:          12,
+		ExtraTransitEdgeProb:  0.3,
+		ExtraStubEdgeProb:     0.2,
+		ExtraInterDomainLinks: 2,
+		Latency:               topology.GTITMLatency(),
+	}
+	net := topology.MustGenerate(spec, simrand.New(1))
+	const workers = 4
+	for _, shards := range []int{1, 2, 4, 8} {
+		env := netsim.New(net)
+		rng := simrand.New(2)
+		ov, err := ecan.BuildUniform(net, 64, 2, 0, ecan.RandomSelector{RNG: rng.Split("sel")}, rng)
+		if err != nil {
+			return err
+		}
+		set, err := landmark.Choose(net, 8, rng.Split("landmarks"))
+		if err != nil {
+			return err
+		}
+		maxRTT := landmark.EstimateMaxRTT(net, set, net.RandomStubHosts(rng.Split("est"), 30))
+		space, err := landmark.NewSpace(set, 3, 5, maxRTT)
+		if err != nil {
+			return err
+		}
+		cfg := softstate.DefaultConfig()
+		cfg.Shards = shards
+		store, err := softstate.NewStore(ov, space, env, cfg)
+		if err != nil {
+			return err
+		}
+		members := ov.CAN().Members()
+		vecs := make([]landmark.Vector, len(members))
+		for i, m := range members {
+			vecs[i] = landmark.Measure(env, m.Host, space.Set())
+			if err := store.Publish(m, vecs[i]); err != nil {
+				return err
+			}
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N/workers + 1
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						idx := (w + i*workers) % len(members)
+						if err := store.Publish(members[idx], vecs[idx]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+		if res.N == 0 {
+			return fmt.Errorf("store-parallel-publish-s%d: benchmark did not run", shards)
+		}
+		r := wireBenchResult{
+			Name:        fmt.Sprintf("store-parallel-publish-s%d", shards),
+			Ops:         res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		report.Results = append(report.Results, r)
+		fmt.Fprintf(out, "%-22s %10d ops %12.0f ns/op %6d allocs/op\n",
+			r.Name, r.Ops, r.NsPerOp, r.AllocsPerOp)
+	}
+	return nil
+}
+
+// diffWireBench compares a fresh -wire-bench run (headPath) against the
+// checked-in baseline (basePath) and fails on any shared benchmark whose
+// ns/op regressed by more than tolerance (0.20 = 20%). Benchmarks
+// present on only one side are skipped — renames and additions must not
+// wedge the gate — and improvements are reported but never fail. The
+// Makefile's bench-diff target retries one failure once before
+// believing it, since single-shot micro-benchmarks on a shared box are
+// noisy.
+func diffWireBench(headPath, basePath string, tolerance float64, out io.Writer) error {
+	load := func(path string) (map[string]wireBenchResult, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep wireBenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		byName := make(map[string]wireBenchResult, len(rep.Results))
+		for _, r := range rep.Results {
+			byName[r.Name] = r
+		}
+		return byName, nil
+	}
+	head, err := load(headPath)
+	if err != nil {
+		return err
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	var regressions []string
+	for name, b := range base {
+		h, ok := head[name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		delta := (h.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, b.NsPerOp, h.NsPerOp, delta*100))
+		}
+		fmt.Fprintf(out, "bench-diff %-24s %10.0f -> %10.0f ns/op  %+6.1f%%  %s\n",
+			name, b.NsPerOp, h.NsPerOp, delta*100, status)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("wire benchmarks regressed past %.0f%% vs %s:\n  %s",
+			tolerance*100, basePath, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }

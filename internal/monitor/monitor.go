@@ -124,18 +124,25 @@ func getOK(client *http.Client, url string, v any) error {
 
 // NodeView is one node's row in the cluster health table.
 type NodeView struct {
-	Addr            string   `json:"addr"`
-	Healthy         bool     `json:"healthy"`
-	Ready           bool     `json:"ready"`
-	NotReadyReason  string   `json:"not_ready_reason,omitempty"`
-	Err             string   `json:"err,omitempty"`
-	Records         float64  `json:"records"`
-	Requests        float64  `json:"requests"`
-	RequestsPerSec  float64  `json:"requests_per_sec,omitempty"` // watch mode only
-	RefreshFailures float64  `json:"refresh_failures"`
-	ConnsOpen       float64  `json:"conns_open"`
-	Suspected       float64  `json:"suspected"`
-	OpenBreakers    []string `json:"open_breakers,omitempty"`
+	Addr            string  `json:"addr"`
+	Healthy         bool    `json:"healthy"`
+	Ready           bool    `json:"ready"`
+	NotReadyReason  string  `json:"not_ready_reason,omitempty"`
+	Err             string  `json:"err,omitempty"`
+	Records         float64 `json:"records"`
+	Requests        float64 `json:"requests"`
+	RequestsPerSec  float64 `json:"requests_per_sec,omitempty"` // watch mode only
+	RefreshFailures float64 `json:"refresh_failures"`
+	ConnsOpen       float64 `json:"conns_open"`
+	// ConnsBinary/ConnsJSON split the node's live wire connections
+	// (client and server side) by negotiated codec version, from the
+	// wire_codec{version} gauge. During a rollout the json count drains
+	// toward zero as old peers restart onto the binary codec; nodes
+	// predating the gauge report both as zero.
+	ConnsBinary  float64  `json:"conns_binary"`
+	ConnsJSON    float64  `json:"conns_json"`
+	Suspected    float64  `json:"suspected"`
+	OpenBreakers []string `json:"open_breakers,omitempty"`
 }
 
 // RPCView is the cluster-merged client latency of one message type:
@@ -222,6 +229,19 @@ func BuildView(scrapes []ScrapeResult, top int) ClusterView {
 		nv.Requests = sumSeries(sc.Snap, "wire_requests_total")
 		nv.RefreshFailures = sumSeries(sc.Snap, "wire_refresh_failures_total")
 		nv.ConnsOpen = sumSeries(sc.Snap, "wire_conns_open")
+		if f, ok := sc.Snap.Family("wire_codec"); ok {
+			for _, se := range f.Series {
+				if len(se.LabelValues) != 1 {
+					continue
+				}
+				switch se.LabelValues[0] {
+				case "binary":
+					nv.ConnsBinary += se.Value
+				case "json":
+					nv.ConnsJSON += se.Value
+				}
+			}
+		}
 		nv.Suspected = sumSeries(sc.Snap, "core_suspected_members")
 		if f, ok := sc.Snap.Family("wire_breaker_state"); ok {
 			for _, se := range f.Series {

@@ -14,7 +14,7 @@ func RenderText(w io.Writer, v ClusterView) {
 	fmt.Fprintf(w, "cluster: %d/%d healthy, %d ready, %.0f records on %d/%d nodes, %d traced\n",
 		v.Healthy, len(v.Nodes), v.Ready, v.TotalRecords, v.CoverageNodes, v.Healthy, v.TracedNodes)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NODE\tHEALTH\tREADY\tRECORDS\tREQUESTS\tREQ/S\tREFRESH_FAIL\tCONNS\tSUSPECTED\tOPEN_BREAKERS")
+	fmt.Fprintln(tw, "NODE\tHEALTH\tREADY\tRECORDS\tREQUESTS\tREQ/S\tREFRESH_FAIL\tCONNS\tCODECS\tSUSPECTED\tOPEN_BREAKERS")
 	for _, n := range v.Nodes {
 		health := "up"
 		if !n.Healthy {
@@ -38,9 +38,15 @@ func RenderText(w io.Writer, v ClusterView) {
 		if n.RequestsPerSec > 0 {
 			rps = fmt.Sprintf("%.1f", n.RequestsPerSec)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%.0f\t%s\n",
+		// The codec mix makes rollouts visible at a glance: bin climbs and
+		// json drains as peers restart onto the binary codec.
+		codecs := "-"
+		if n.ConnsBinary > 0 || n.ConnsJSON > 0 {
+			codecs = fmt.Sprintf("bin:%.0f json:%.0f", n.ConnsBinary, n.ConnsJSON)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%s\t%.0f\t%s\n",
 			n.Addr, health, ready, n.Records, n.Requests, rps,
-			n.RefreshFailures, n.ConnsOpen, n.Suspected, breakers)
+			n.RefreshFailures, n.ConnsOpen, codecs, n.Suspected, breakers)
 	}
 	tw.Flush()
 	if len(v.RPC) > 0 {

@@ -15,12 +15,30 @@
 // widen along the curve if the local shard is thin, sort what was found by
 // full-vector distance, return the top X. The caller then RTT-probes those
 // X candidates — the hybrid landmark+RTT scheme.
+//
+// # Concurrency
+//
+// The store is sharded by landmark-number range: entries whose numbers
+// fall in different shards never share a lock, so concurrent publishes,
+// refreshes, sweeps, and repairs touching different parts of the curve
+// proceed in parallel. All of one member's entries live in the shard of
+// its current number (republishing to a new number relocates them), so
+// member-keyed operations (Remove, Purge, UpdateLoad, RefreshAll) lock
+// exactly one shard. Entries are copy-on-write — immutable once
+// inserted; refresh and load updates replace the pointer — so snapshots
+// handed out by Lookup and events stay race-free without locks. Event
+// sinks run after shard locks are released and may safely re-enter the
+// store. Configuration (SetEventSink, AddEventSink, SetPublishFilter,
+// Instrument, SetSpans) must happen before concurrent use.
 package softstate
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"gsso/internal/can"
 	"gsso/internal/ecan"
@@ -31,7 +49,9 @@ import (
 	"gsso/internal/topology"
 )
 
-// Entry is one node's record in a region map.
+// Entry is one node's record in a region map. Entries are immutable
+// after insertion: refreshes and load changes replace the map's pointer
+// with a fresh copy, so a held *Entry is a stable snapshot.
 type Entry struct {
 	// Member is the overlay member the entry describes.
 	Member *can.Member
@@ -86,6 +106,12 @@ type Event struct {
 	Entry  *Entry
 }
 
+// defaultShards is the shard count used when Config.Shards is zero.
+const defaultShards = 8
+
+// maxShardCount bounds Config.Shards.
+const maxShardCount = 1 << 10
+
 // Config tunes the store.
 type Config struct {
 	// TTL is the soft-state lifetime of a published entry.
@@ -101,11 +127,17 @@ type Config struct {
 	// visit along the curve when the first shard is thin (the paper's
 	// "define a TTL to search outside y's map content range").
 	ExpandBudget int
+	// Shards is the number of landmark-number ranges the store is split
+	// into for concurrency — a power of two up to 1024, clamped to the
+	// curve's resolution. Zero selects the default (8). One shard
+	// degenerates to a single-lock store (the old behavior, kept as the
+	// benchmark baseline).
+	Shards int
 }
 
 // DefaultConfig returns the defaults used across experiments.
 func DefaultConfig() Config {
-	return Config{TTL: 60_000, CondenseDepth: 0, MaxReturn: 10, ExpandBudget: 8}
+	return Config{TTL: 60_000, CondenseDepth: 0, MaxReturn: 10, ExpandBudget: 8, Shards: defaultShards}
 }
 
 func (c Config) validate() error {
@@ -118,46 +150,74 @@ func (c Config) validate() error {
 		return fmt.Errorf("softstate: MaxReturn = %d, need >= 1", c.MaxReturn)
 	case c.ExpandBudget < 0:
 		return fmt.Errorf("softstate: ExpandBudget = %d, need >= 0", c.ExpandBudget)
+	case c.Shards < 0 || c.Shards > maxShardCount:
+		return fmt.Errorf("softstate: Shards = %d, need in [0,%d]", c.Shards, maxShardCount)
+	case c.Shards&(c.Shards-1) != 0:
+		return fmt.Errorf("softstate: Shards = %d, need a power of two", c.Shards)
 	}
 	return nil
 }
 
-// regionMap is one region's proximity map: entries keyed by member, plus a
-// number-sorted view rebuilt lazily for curve-order expansion.
+// regionMap is one shard's slice of one region's proximity map: entries
+// keyed by member, plus a number-sorted view rebuilt lazily for
+// curve-order expansion. The rebuild allocates a fresh slice so a view
+// handed out under the shard lock stays valid after the lock drops.
 type regionMap struct {
 	entries map[*can.Member]*Entry
-	sorted  []*Entry // by Number, rebuilt when dirty
+	sorted  []*Entry // by Number, rebuilt (fresh) when dirty
 	dirty   bool
 }
 
 func (rm *regionMap) sortedEntries() []*Entry {
 	if rm.dirty {
-		rm.sorted = rm.sorted[:0]
+		sorted := make([]*Entry, 0, len(rm.entries))
 		for _, e := range rm.entries {
-			rm.sorted = append(rm.sorted, e)
+			sorted = append(sorted, e)
 		}
-		sort.Slice(rm.sorted, func(i, j int) bool {
-			if rm.sorted[i].Number != rm.sorted[j].Number {
-				return rm.sorted[i].Number < rm.sorted[j].Number
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].Number != sorted[j].Number {
+				return sorted[i].Number < sorted[j].Number
 			}
-			return rm.sorted[i].Host < rm.sorted[j].Host // deterministic tie-break
+			return sorted[i].Host < sorted[j].Host // deterministic tie-break
 		})
+		rm.sorted = sorted
 		rm.dirty = false
 	}
 	return rm.sorted
 }
 
-// Store holds every region map of one overlay plus the metadata needed to
-// place and retrieve entries. Not safe for concurrent mutation.
+// storeShard is one landmark-number range of the store: its own region
+// maps, its own lock, and a lock-free live-entry counter.
+type storeShard struct {
+	mu   sync.Mutex
+	maps map[can.Path]*regionMap
+	live atomic.Int64
+}
+
+// memberState is a member's published position, immutable once stored
+// (publishes replace the pointer), so readers need no lock.
+type memberState struct {
+	vector landmark.Vector
+	number uint64
+}
+
+// Store holds every region map of one overlay plus the metadata needed
+// to place and retrieve entries, sharded by landmark-number range (see
+// the package comment for the locking discipline).
 type Store struct {
 	overlay *ecan.Overlay
 	space   *landmark.Space
 	env     *netsim.Env
 	cfg     Config
 
-	maps    map[can.Path]*regionMap
-	vectors map[*can.Member]landmark.Vector
-	numbers map[*can.Member]uint64
+	// numShift maps a landmark number to its shard: index = number >>
+	// numShift. Shard ranges are contiguous, so the per-shard sorted
+	// slices of one region concatenate into global number order.
+	numShift uint
+	shards   []*storeShard
+
+	members sync.Map // *can.Member -> *memberState; lock-free reads
+
 	sinks   []func(Event)
 	filter  func(region can.Path, number uint64) bool
 	metrics *storeMetrics
@@ -215,18 +275,44 @@ func NewStore(ov *ecan.Overlay, space *landmark.Space, env *netsim.Env, cfg Conf
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Store{
-		overlay: ov,
-		space:   space,
-		env:     env,
-		cfg:     cfg,
-		maps:    make(map[can.Path]*regionMap),
-		vectors: make(map[*can.Member]landmark.Vector),
-		numbers: make(map[*can.Member]uint64),
-	}, nil
+	if cfg.Shards == 0 {
+		cfg.Shards = defaultShards
+	}
+	curveWidth := space.Curve().Dims() * space.Curve().Bits()
+	shardBits := bits.TrailingZeros(uint(cfg.Shards))
+	if shardBits > curveWidth {
+		// More shards than the curve has distinct numbers buys nothing.
+		shardBits = curveWidth
+		cfg.Shards = 1 << shardBits
+	}
+	s := &Store{
+		overlay:  ov,
+		space:    space,
+		env:      env,
+		cfg:      cfg,
+		numShift: uint(curveWidth - shardBits),
+		shards:   make([]*storeShard, cfg.Shards),
+	}
+	for i := range s.shards {
+		s.shards[i] = &storeShard{maps: make(map[can.Path]*regionMap)}
+	}
+	return s, nil
 }
 
-// Config returns the store's configuration.
+// shardOf maps a landmark number to its shard index.
+func (s *Store) shardOf(number uint64) int {
+	i := int(number >> s.numShift)
+	if i >= len(s.shards) {
+		i = len(s.shards) - 1
+	}
+	return i
+}
+
+// Shards reports the store's effective shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Config returns the store's configuration (Shards normalized to the
+// effective count).
 func (s *Store) Config() Config { return s.cfg }
 
 // Space returns the landmark space in use.
@@ -262,33 +348,55 @@ func (s *Store) AddEventSink(fn func(Event)) {
 // insertion: Publish skips (and meters as "publish-dropped") regions for
 // which fn returns false. Experiments use it to model unreachable map
 // owners — a write to a spot whose owner crashed cannot land until the
-// zone is taken over. A nil fn removes the gate.
+// zone is taken over. A nil fn removes the gate. The filter runs outside
+// the shard locks.
 func (s *Store) SetPublishFilter(fn func(region can.Path, number uint64) bool) {
 	s.filter = fn
 }
 
-func (s *Store) emit(ev Event) {
-	if m := s.metrics; m != nil {
-		m.events[ev.Kind].Inc()
-		switch ev.Kind {
-		case EventPublished:
-			m.live.Add(1)
-		case EventRemoved, EventExpired:
-			m.live.Add(-1)
+// emitAll delivers events collected during a locked mutation. It runs
+// with no shard lock held, so sinks may re-enter the store freely.
+func (s *Store) emitAll(evs []Event) {
+	for i := range evs {
+		ev := evs[i]
+		if m := s.metrics; m != nil {
+			m.events[ev.Kind].Inc()
+			switch ev.Kind {
+			case EventPublished:
+				m.live.Add(1)
+			case EventRemoved, EventExpired:
+				m.live.Add(-1)
+			}
 		}
-	}
-	for _, sink := range s.sinks {
-		sink(ev)
+		for _, sink := range s.sinks {
+			sink(ev)
+		}
 	}
 }
 
+// loadMember returns m's published state, if any.
+func (s *Store) loadMember(m *can.Member) (*memberState, bool) {
+	v, ok := s.members.Load(m)
+	if !ok {
+		return nil, false
+	}
+	return v.(*memberState), true
+}
+
 // Vector returns m's published landmark vector (nil if unpublished).
-func (s *Store) Vector(m *can.Member) landmark.Vector { return s.vectors[m] }
+func (s *Store) Vector(m *can.Member) landmark.Vector {
+	if st, ok := s.loadMember(m); ok {
+		return st.vector
+	}
+	return nil
+}
 
 // Number returns m's landmark number and whether m has published.
 func (s *Store) Number(m *can.Member) (uint64, bool) {
-	n, ok := s.numbers[m]
-	return n, ok
+	if st, ok := s.loadMember(m); ok {
+		return st.number, true
+	}
+	return 0, false
 }
 
 // PublishOption customizes a publication.
@@ -338,23 +446,65 @@ func (s *Store) publish(m *can.Member, vec landmark.Vector, opts ...PublishOptio
 		return 0, err
 	}
 	vcopy := append(landmark.Vector(nil), vec...)
-	s.vectors[m] = vcopy
-	s.numbers[m] = num
-	now := s.env.Clock().Now()
+	oldState, hadOld := s.loadMember(m)
+	s.members.Store(m, &memberState{vector: vcopy, number: num})
+	newShard := s.shardOf(num)
+
+	// Relocation: a republish whose number crossed a shard boundary must
+	// drag the member's entries to the new shard, or member-keyed
+	// operations (which look only in the number's shard) would miss
+	// them. The old entries move silently — the refresh events emitted
+	// on re-insertion below are the externally visible state change.
+	var prevByRegion map[can.Path]*Entry
+	if hadOld && s.shardOf(oldState.number) != newShard {
+		old := s.shards[s.shardOf(oldState.number)]
+		old.mu.Lock()
+		for region, rm := range old.maps {
+			if e, ok := rm.entries[m]; ok {
+				if prevByRegion == nil {
+					prevByRegion = make(map[can.Path]*Entry)
+				}
+				prevByRegion[region] = e
+				delete(rm.entries, m)
+				rm.dirty = true
+			}
+		}
+		old.live.Add(int64(-len(prevByRegion)))
+		old.mu.Unlock()
+	}
+
+	// The publish filter runs before the shard lock: it is caller code
+	// and must not observe the store mid-mutation.
 	regions := s.regionsOf(m)
-	stored := 0
+	kept := regions[:0]
+	dropped := 0
 	for _, region := range regions {
 		if s.filter != nil && !s.filter(region, num) {
-			s.env.CountMessages("publish-dropped", 1)
+			dropped++
 			continue
 		}
-		stored++
-		rm := s.maps[region]
+		kept = append(kept, region)
+	}
+
+	now := s.env.Clock().Now()
+	events := make([]Event, 0, len(kept))
+	added := 0
+	sh := s.shards[newShard]
+	sh.mu.Lock()
+	for _, region := range kept {
+		rm := sh.maps[region]
 		if rm == nil {
 			rm = &regionMap{entries: make(map[*can.Member]*Entry)}
-			s.maps[region] = rm
+			sh.maps[region] = rm
 		}
-		prev, existed := rm.entries[m]
+		prev, inShard := rm.entries[m]
+		if !inShard {
+			added++
+			if prev = prevByRegion[region]; prev == nil {
+				prev = nil
+			}
+		}
+		existed := prev != nil
 		e := &Entry{
 			Member:  m,
 			Host:    m.Host,
@@ -374,10 +524,17 @@ func (s *Store) publish(m *can.Member, vec landmark.Vector, opts ...PublishOptio
 		if existed {
 			kind = EventRefreshed
 		}
-		s.emit(Event{Kind: kind, Region: region, Entry: e})
+		events = append(events, Event{Kind: kind, Region: region, Entry: e})
 	}
-	s.env.CountMessages("publish", stored)
-	return stored, nil
+	sh.live.Add(int64(added))
+	sh.mu.Unlock()
+
+	s.emitAll(events)
+	if dropped > 0 {
+		s.env.CountMessages("publish-dropped", dropped)
+	}
+	s.env.CountMessages("publish", len(kept))
+	return len(kept), nil
 }
 
 // PublishMeasured measures m's landmark vector (metered probes, one per
@@ -389,39 +546,59 @@ func (s *Store) PublishMeasured(m *can.Member, opts ...PublishOption) error {
 
 // UpdateLoad changes m's load in every map it appears in without
 // refreshing expiry, emitting EventLoadChanged (the §6 statistics
-// publication path).
+// publication path). Entries are replaced copy-on-write: snapshots held
+// from earlier lookups keep the load they were taken with.
 func (s *Store) UpdateLoad(m *can.Member, load float64) {
-	updated := 0
-	for region, rm := range s.maps {
+	st, ok := s.loadMember(m)
+	if !ok {
+		return
+	}
+	sh := s.shards[s.shardOf(st.number)]
+	var events []Event
+	sh.mu.Lock()
+	for region, rm := range sh.maps {
 		if e, ok := rm.entries[m]; ok {
-			e.Load = load
-			updated++
-			s.emit(Event{Kind: EventLoadChanged, Region: region, Entry: e})
+			ne := *e
+			ne.Load = load
+			rm.entries[m] = &ne
+			rm.dirty = true
+			events = append(events, Event{Kind: EventLoadChanged, Region: region, Entry: &ne})
 		}
 	}
-	if updated > 0 {
-		s.env.CountMessages("publish", updated)
+	sh.mu.Unlock()
+	s.emitAll(events)
+	if len(events) > 0 {
+		s.env.CountMessages("publish", len(events))
 	}
 }
 
 // deleteAll removes every entry describing m from every map, emitting
 // EventRemoved per region and metering the deletions under category.
+// All of m's entries live in the shard of its current number, so one
+// shard lock covers the whole deletion.
 func (s *Store) deleteAll(m *can.Member, category string) int {
-	removed := 0
-	for region, rm := range s.maps {
+	st, ok := s.loadMember(m)
+	s.members.Delete(m)
+	if !ok {
+		return 0
+	}
+	sh := s.shards[s.shardOf(st.number)]
+	var events []Event
+	sh.mu.Lock()
+	for region, rm := range sh.maps {
 		if e, ok := rm.entries[m]; ok {
 			delete(rm.entries, m)
 			rm.dirty = true
-			removed++
-			s.emit(Event{Kind: EventRemoved, Region: region, Entry: e})
+			events = append(events, Event{Kind: EventRemoved, Region: region, Entry: e})
 		}
 	}
-	delete(s.vectors, m)
-	delete(s.numbers, m)
-	if removed > 0 {
-		s.env.CountMessages(category, removed)
+	sh.live.Add(int64(-len(events)))
+	sh.mu.Unlock()
+	s.emitAll(events)
+	if len(events) > 0 {
+		s.env.CountMessages(category, len(events))
 	}
-	return removed
+	return len(events)
 }
 
 // Remove deletes m's entries from all maps (the proactive departure
@@ -451,19 +628,28 @@ func (s *Store) Purge(m *can.Member) int {
 
 // SweepExpired deletes all entries past their TTL (the periodic-polling
 // maintenance mode) and returns how many were dropped. Instrumented
-// stores also count the drops in softstate_sweep_expired_total.
+// stores also count the drops in softstate_sweep_expired_total. Shards
+// are swept one at a time, so concurrent publishes to other shards never
+// wait on the sweep.
 func (s *Store) SweepExpired() int {
 	now := s.env.Clock().Now()
 	dropped := 0
-	for region, rm := range s.maps {
-		for m, e := range rm.entries {
-			if e.Expires < now {
-				delete(rm.entries, m)
-				rm.dirty = true
-				dropped++
-				s.emit(Event{Kind: EventExpired, Region: region, Entry: e})
+	for _, sh := range s.shards {
+		var events []Event
+		sh.mu.Lock()
+		for region, rm := range sh.maps {
+			for m, e := range rm.entries {
+				if e.Expires < now {
+					delete(rm.entries, m)
+					rm.dirty = true
+					events = append(events, Event{Kind: EventExpired, Region: region, Entry: e})
+				}
 			}
 		}
+		sh.live.Add(int64(-len(events)))
+		sh.mu.Unlock()
+		s.emitAll(events)
+		dropped += len(events)
 	}
 	if dropped > 0 && s.metrics != nil {
 		s.metrics.swept.Add(float64(dropped))
@@ -532,21 +718,28 @@ func (s *Store) OwnersOf(region can.Path, number uint64, k int) []*can.Member {
 // that is what the replicated placement buys.
 func (s *Store) LoseShards(down func(*can.Member) bool, k int) int {
 	lost := 0
-	for region, rm := range s.maps {
-		for m, e := range rm.entries {
-			allDown := true
-			for _, o := range s.OwnersOf(region, e.Number, k) {
-				if !down(o) {
-					allDown = false
-					break
+	for _, sh := range s.shards {
+		shardLost := 0
+		sh.mu.Lock()
+		for region, rm := range sh.maps {
+			for m, e := range rm.entries {
+				allDown := true
+				for _, o := range s.OwnersOf(region, e.Number, k) {
+					if !down(o) {
+						allDown = false
+						break
+					}
+				}
+				if allDown {
+					delete(rm.entries, m)
+					rm.dirty = true
+					shardLost++
 				}
 			}
-			if allDown {
-				delete(rm.entries, m)
-				rm.dirty = true
-				lost++
-			}
 		}
+		sh.live.Add(int64(-shardLost))
+		sh.mu.Unlock()
+		lost += shardLost
 	}
 	if lost > 0 && s.metrics != nil {
 		s.metrics.live.Add(float64(-lost))
@@ -560,8 +753,42 @@ type LookupCost struct {
 	// return): modeled as one request plus one reply.
 	RouteMessages int
 	// ExpandHops is the number of additional owner shards visited along
-	// the curve because the first shard was thin.
+	// the curve because the first shard is thin.
 	ExpandHops int
+}
+
+// catPos addresses one entry in the concatenation of per-shard sorted
+// slices: shard ranges are contiguous number ranges, so the
+// concatenation is globally number-sorted.
+type catPos struct{ sh, i int }
+
+// fwdPos normalizes p to the first populated position at or after it
+// (sh == len(slices) marks the back edge).
+func fwdPos(slices [][]*Entry, p catPos) catPos {
+	for p.sh < len(slices) && p.i >= len(slices[p.sh]) {
+		p.sh++
+		p.i = 0
+	}
+	return p
+}
+
+// nextPos advances one entry in concatenated order.
+func nextPos(slices [][]*Entry, p catPos) catPos {
+	p.i++
+	return fwdPos(slices, p)
+}
+
+// prevPos steps one entry back (sh < 0 marks the front edge).
+func prevPos(slices [][]*Entry, p catPos) catPos {
+	p.i--
+	for p.i < 0 {
+		p.sh--
+		if p.sh < 0 {
+			return catPos{sh: -1}
+		}
+		p.i = len(slices[p.sh]) - 1
+	}
+	return p
 }
 
 // Lookup implements Table 1: find up to MaxReturn entries of region's map
@@ -586,19 +813,30 @@ func (s *Store) lookup(region can.Path, vec landmark.Vector) ([]*Entry, LookupCo
 	cost := LookupCost{RouteMessages: 2} // request + reply
 	s.env.CountMessages("lookup", 2)
 
-	rm := s.maps[region]
-	if rm == nil {
-		return nil, cost, nil
+	// Snapshot each shard's sorted view of the region under its own
+	// lock; entries are copy-on-write, so the walk below needs no lock.
+	slices := make([][]*Entry, len(s.shards))
+	total := 0
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		if rm := sh.maps[region]; rm != nil {
+			slices[i] = rm.sortedEntries()
+		}
+		sh.mu.Unlock()
+		total += len(slices[i])
 	}
-	sorted := rm.sortedEntries()
-	if len(sorted) == 0 {
+	if total == 0 {
 		return nil, cost, nil
 	}
 	now := s.env.Clock().Now()
 
-	// Position of our number in the sorted order.
-	i := sort.Search(len(sorted), func(k int) bool { return sorted[k].Number >= num })
-	lo, hi := i-1, i
+	// Position of our number in the concatenated sorted order: hi is the
+	// first entry with Number >= num, lo the entry just before it.
+	start := s.shardOf(num)
+	sl := slices[start]
+	raw := catPos{sh: start, i: sort.Search(len(sl), func(k int) bool { return sl[k].Number >= num })}
+	hi := fwdPos(slices, raw)
+	lo := prevPos(slices, raw)
 
 	// The shard we landed on plus curve-order expansion: walk outward
 	// gathering live entries; each time the owner of the next entry
@@ -627,28 +865,32 @@ func (s *Store) lookup(region can.Path, vec landmark.Vector) ([]*Entry, LookupCo
 	// Gather up to 3*MaxReturn entries around the index position so the
 	// full-vector sort has slack to reorder curve neighbors.
 	want := 3 * s.cfg.MaxReturn
-	for len(gathered) < want && (lo >= 0 || hi < len(sorted)) {
+	loOK := lo.sh >= 0
+	hiOK := hi.sh < len(slices)
+	for len(gathered) < want && (loOK || hiOK) {
 		// Prefer the side whose number is closer to ours.
 		pickLo := false
 		switch {
-		case lo < 0:
-		case hi >= len(sorted):
+		case !loOK:
+		case !hiOK:
 			pickLo = true
 		default:
-			pickLo = num-sorted[lo].Number <= sorted[hi].Number-num
+			pickLo = num-slices[lo.sh][lo.i].Number <= slices[hi.sh][hi.i].Number-num
 		}
 		if pickLo {
-			if !visit(sorted[lo]) {
-				lo = -1
+			if !visit(slices[lo.sh][lo.i]) {
+				loOK = false
 				continue
 			}
-			lo--
+			lo = prevPos(slices, lo)
+			loOK = lo.sh >= 0
 		} else {
-			if !visit(sorted[hi]) {
-				hi = len(sorted)
+			if !visit(slices[hi.sh][hi.i]) {
+				hiOK = false
 				continue
 			}
-			hi++
+			hi = nextPos(slices, hi)
+			hiOK = hi.sh < len(slices)
 		}
 	}
 
@@ -670,39 +912,45 @@ func (s *Store) lookup(region can.Path, vec landmark.Vector) ([]*Entry, LookupCo
 // and returns the per-owner counts (Figure 16's "map entries / node").
 func (s *Store) EntriesPerOwner() map[*can.Member]int {
 	counts := make(map[*can.Member]int)
-	for region, rm := range s.maps {
-		for _, e := range rm.entries {
-			if owner := s.OwnerOf(region, e.Number); owner != nil {
-				counts[owner]++
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for region, rm := range sh.maps {
+			for _, e := range rm.entries {
+				if owner := s.OwnerOf(region, e.Number); owner != nil {
+					counts[owner]++
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return counts
 }
 
 // TotalEntries returns the number of entries across all maps (including
-// any not yet swept).
+// any not yet swept). Lock-free: it sums the per-shard atomic counters.
 func (s *Store) TotalEntries() int {
-	total := 0
-	for _, rm := range s.maps {
-		total += len(rm.entries)
+	var total int64
+	for _, sh := range s.shards {
+		total += sh.live.Load()
 	}
-	return total
+	return int(total)
 }
 
 // RegionEntries returns the live entries of one region's map (fresh
 // slice, unsorted).
 func (s *Store) RegionEntries(region can.Path) []*Entry {
-	rm := s.maps[region]
-	if rm == nil {
-		return nil
-	}
 	now := s.env.Clock().Now()
-	out := make([]*Entry, 0, len(rm.entries))
-	for _, e := range rm.entries {
-		if e.Expires >= now {
-			out = append(out, e)
+	var out []*Entry
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if rm := sh.maps[region]; rm != nil {
+			for _, e := range rm.entries {
+				if e.Expires >= now {
+					out = append(out, e)
+				}
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -714,24 +962,34 @@ func (s *Store) RegionEntries(region can.Path) []*Entry {
 // "publish" per map (what per-entry Publish would cost). EventRefreshed
 // still fires per entry so subscribers and telemetry see every touch.
 // Members behind a publish filter keep their filtered-out regions
-// unrefreshed, exactly as Publish would. Returns how many entries were
-// refreshed.
+// unrefreshed, exactly as Publish would. Each member's refresh takes
+// only its number's shard lock. Returns how many entries were refreshed.
 func (s *Store) RefreshAll() int {
 	now := s.env.Clock().Now()
 	refreshed := 0
 	batches := 0
+	var events []Event
 	for _, m := range s.overlay.CAN().Members() {
-		num, ok := s.numbers[m]
+		st, ok := s.loadMember(m)
 		if !ok {
 			continue
 		}
-		touched := 0
-		for _, region := range s.regionsOf(m) {
+		num := st.number
+		regions := s.regionsOf(m)
+		kept := regions[:0]
+		dropped := 0
+		for _, region := range regions {
 			if s.filter != nil && !s.filter(region, num) {
-				s.env.CountMessages("publish-dropped", 1)
+				dropped++
 				continue
 			}
-			rm := s.maps[region]
+			kept = append(kept, region)
+		}
+		events = events[:0]
+		sh := s.shards[s.shardOf(num)]
+		sh.mu.Lock()
+		for _, region := range kept {
+			rm := sh.maps[region]
 			if rm == nil {
 				continue
 			}
@@ -739,13 +997,20 @@ func (s *Store) RefreshAll() int {
 			if !ok {
 				continue
 			}
-			e.Expires = now + s.cfg.TTL
-			touched++
-			s.emit(Event{Kind: EventRefreshed, Region: region, Entry: e})
+			ne := *e
+			ne.Expires = now + s.cfg.TTL
+			rm.entries[m] = &ne
+			rm.dirty = true
+			events = append(events, Event{Kind: EventRefreshed, Region: region, Entry: &ne})
 		}
-		if touched > 0 {
+		sh.mu.Unlock()
+		s.emitAll(events)
+		if dropped > 0 {
+			s.env.CountMessages("publish-dropped", dropped)
+		}
+		if len(events) > 0 {
 			batches++
-			refreshed += touched
+			refreshed += len(events)
 		}
 	}
 	if batches > 0 {

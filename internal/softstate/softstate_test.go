@@ -1,6 +1,8 @@
 package softstate
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"gsso/internal/can"
@@ -67,6 +69,12 @@ func TestConfigValidate(t *testing.T) {
 		{"huge-condense", func(c *Config) { c.CondenseDepth = 33 }, false},
 		{"zero-return", func(c *Config) { c.MaxReturn = 0 }, false},
 		{"negative-expand", func(c *Config) { c.ExpandBudget = -1 }, false},
+		{"zero-shards-defaulted", func(c *Config) { c.Shards = 0 }, true},
+		{"one-shard", func(c *Config) { c.Shards = 1 }, true},
+		{"pow2-shards", func(c *Config) { c.Shards = 64 }, true},
+		{"non-pow2-shards", func(c *Config) { c.Shards = 6 }, false},
+		{"negative-shards", func(c *Config) { c.Shards = -2 }, false},
+		{"huge-shards", func(c *Config) { c.Shards = maxShardCount * 2 }, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -656,5 +664,180 @@ func TestEndToEndStretchOrdering(t *testing.T) {
 	if gapToOracle > (randomStretch-optStretch)*0.3 {
 		t.Fatalf("softstate %.3f too far from oracle %.3f (random %.3f)",
 			ssStretch, optStretch, randomStretch)
+	}
+}
+
+// TestShardEquivalence runs the same workload on a single-lock store and
+// a sharded one: lookups must return the same members in the same order
+// (shard ranges are contiguous, so concatenated order equals global
+// order).
+func TestShardEquivalence(t *testing.T) {
+	cfg1 := DefaultConfig()
+	cfg1.Shards = 1
+	cfg8 := DefaultConfig()
+	cfg8.Shards = 8
+	h1 := newHarness(t, 48, cfg1)
+	h8 := newHarness(t, 48, cfg8)
+	if err := h1.store.PublishAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h8.store.PublishAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := h1.store.TotalEntries(), h8.store.TotalEntries(); a != b {
+		t.Fatalf("TotalEntries: single-lock %d, sharded %d", a, b)
+	}
+	members := h1.overlay.CAN().Members()
+	for i := 0; i < len(members); i += 5 {
+		m := members[i]
+		vec := h1.store.Vector(m)
+		for _, region := range h1.store.regionsOf(m) {
+			e1, _, err := h1.store.Lookup(region, vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e8, _, err := h8.store.Lookup(region, vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(e1) != len(e8) {
+				t.Fatalf("region %v: single-lock returned %d, sharded %d", region, len(e1), len(e8))
+			}
+			for j := range e1 {
+				if e1[j].Host != e8[j].Host {
+					t.Fatalf("region %v result %d: single-lock host %d, sharded host %d",
+						region, j, e1[j].Host, e8[j].Host)
+				}
+			}
+		}
+	}
+}
+
+// TestShardRelocationOnRepublish republishes a member with a vector
+// landing in a different shard and checks the old shard keeps no stale
+// entries: Remove afterwards must find everything.
+func TestShardRelocationOnRepublish(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 8
+	h := newHarness(t, 16, cfg)
+	m := h.overlay.CAN().Members()[0]
+	dims := len(landmark.Measure(h.env, m.Host, h.space.Set()))
+	low := make(landmark.Vector, dims)
+	high := make(landmark.Vector, dims)
+	for i := range high {
+		high[i] = h.space.MaxRTT() * 0.9
+	}
+	if err := h.store.Publish(m, low, WithCapacity(4)); err != nil {
+		t.Fatal(err)
+	}
+	numLow, _ := h.store.Number(m)
+	if err := h.store.Publish(m, high); err != nil {
+		t.Fatal(err)
+	}
+	numHigh, _ := h.store.Number(m)
+	if h.store.shardOf(numLow) == h.store.shardOf(numHigh) {
+		t.Fatalf("test vectors landed in the same shard (%d): numbers %d vs %d",
+			h.store.shardOf(numLow), numLow, numHigh)
+	}
+	want := len(h.store.regionsOf(m))
+	if got := h.store.TotalEntries(); got != want {
+		t.Fatalf("TotalEntries after relocation = %d, want %d", got, want)
+	}
+	// Capacity must survive the move (carried from the old shard's entry).
+	for _, e := range h.store.RegionEntries(h.store.regionsOf(m)[0]) {
+		if e.Member == m && e.Capacity != 4 {
+			t.Fatalf("capacity lost in relocation: %v", e.Capacity)
+		}
+	}
+	h.store.Remove(m)
+	if got := h.store.TotalEntries(); got != 0 {
+		t.Fatalf("%d entries survive removal after relocation", got)
+	}
+}
+
+// TestStoreConcurrentHammer drives publishes, refreshes, load updates,
+// lookups, sweeps, and removals from many goroutines at once. Run under
+// -race this is the store's concurrency contract test; the final state
+// must also be internally consistent.
+func TestStoreConcurrentHammer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 8
+	h := newHarness(t, 64, cfg)
+	s := h.store
+	var eventCount atomic.Int64
+	s.SetEventSink(func(Event) { eventCount.Add(1) })
+	members := h.overlay.CAN().Members()
+	if err := s.PublishAll(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 40
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m := members[(w*rounds+i)%len(members)]
+				if err := s.PublishMeasured(m); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+				s.UpdateLoad(m, float64(i))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m := members[(w*rounds+3*i)%len(members)]
+				region := s.regionsOf(m)[0]
+				vec := landmark.Measure(h.env, m.Host, h.space.Set())
+				if _, _, err := s.Lookup(region, vec); err != nil {
+					t.Errorf("lookup: %v", err)
+					return
+				}
+				_ = s.TotalEntries()
+				_ = s.RegionEntries(region)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds/4; i++ {
+			s.RefreshAll()
+			s.SweepExpired()
+			_ = s.EntriesPerOwner()
+		}
+	}()
+	wg.Wait()
+
+	if eventCount.Load() == 0 {
+		t.Fatal("no events reached the sink")
+	}
+	// Consistency: atomic counters must agree with a full recount.
+	recount := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, rm := range sh.maps {
+			recount += len(rm.entries)
+		}
+		sh.mu.Unlock()
+	}
+	if got := s.TotalEntries(); got != recount {
+		t.Fatalf("TotalEntries = %d, recount = %d", got, recount)
+	}
+	// Every member published; nothing expired (TTL 60s, no clock advance)
+	// and nothing was removed, so exactly one entry per enclosing region
+	// per member must remain.
+	want := 0
+	for _, m := range members {
+		want += len(s.regionsOf(m))
+	}
+	if recount != want {
+		t.Fatalf("recount = %d, want %d entries", recount, want)
 	}
 }

@@ -7,12 +7,66 @@ import (
 	"testing"
 )
 
+// binFrame encodes m as one binary frame for seed corpora.
+func binFrame(m Message) []byte {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeMessage(bw, m, CodecBinary); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// sameMessage compares the semantic payload of two messages: everything
+// the dispatcher and multiplexer act on. Stats snapshots are compared by
+// family count only (they ride as embedded JSON in both codecs).
+func sameMessage(t *testing.T, what string, a, b Message) {
+	t.Helper()
+	if a.Type != b.Type || a.Seq != b.Seq || a.Number != b.Number ||
+		a.Max != b.Max || a.Addr != b.Addr || a.Err != b.Err ||
+		a.Codec != b.Codec ||
+		len(a.Records) != len(b.Records) || len(a.Errs) != len(b.Errs) {
+		t.Fatalf("%s mangled message:\n in: %+v\nout: %+v", what, a, b)
+	}
+	for i := range a.Errs {
+		if a.Errs[i] != b.Errs[i] {
+			t.Fatalf("%s mangled err %d: %q vs %q", what, i, a.Errs[i], b.Errs[i])
+		}
+	}
+	if (a.Trace == nil) != (b.Trace == nil) ||
+		(a.Trace != nil && *a.Trace != *b.Trace) {
+		t.Fatalf("%s mangled trace context:\n in: %+v\nout: %+v", what, a.Trace, b.Trace)
+	}
+	if (a.Record == nil) != (b.Record == nil) {
+		t.Fatalf("%s mangled record presence", what)
+	}
+	recs := a.Records
+	brecs := b.Records
+	if a.Record != nil {
+		recs = append([]Record{*a.Record}, recs...)
+		brecs = append([]Record{*b.Record}, brecs...)
+	}
+	for i := range recs {
+		if brecs[i].Addr != recs[i].Addr ||
+			brecs[i].Number != recs[i].Number ||
+			brecs[i].ExpiresUnixMilli != recs[i].ExpiresUnixMilli ||
+			len(brecs[i].Vector) != len(recs[i].Vector) {
+			t.Fatalf("%s mangled record %d:\n in: %+v\nout: %+v", what, i, recs[i], brecs[i])
+		}
+	}
+	if (a.Stats == nil) != (b.Stats == nil) ||
+		(a.Stats != nil && len(a.Stats.Families) != len(b.Stats.Families)) {
+		t.Fatalf("%s mangled stats snapshot", what)
+	}
+}
+
 // FuzzReadMessage fuzzes the wire codec: arbitrary byte streams must
 // never panic or hang the frame reader, every accepted frame must
-// survive a re-encode/re-read round trip unchanged, and no accepted
-// frame may exceed the size cap. The seed corpus (here and in
-// testdata/fuzz/FuzzReadMessage) covers truncated frames, oversized
-// frames, invalid JSON, batch frames, and seq edge values.
+// survive a re-encode/re-read round trip unchanged in the codec it
+// arrived in, and no accepted frame may exceed the size cap. The seed
+// corpus (here and in testdata/fuzz/FuzzReadMessage) covers truncated
+// frames, oversized frames, invalid JSON, batch frames, seq edge values,
+// and binary frames — well-formed, truncated, and corrupted.
 func FuzzReadMessage(f *testing.F) {
 	f.Add([]byte("{\"type\":\"ping\",\"seq\":1}\n"))
 	f.Add([]byte("{\"type\":\"pong\",\"seq\":18446744073709551615}\n"))
@@ -35,44 +89,103 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add([]byte("{\"type\":\"records\",\"seq\":6,\"records\":[]}\n" +
 		"{\"type\":\"ping\",\"seq\":7}\n")) // two frames back to back
 
+	// Binary frames: plain, negotiating, record-bearing, traced, batched.
+	f.Add(binFrame(Message{Type: MsgPing, Seq: 1}))
+	f.Add(binFrame(Message{Type: MsgPong, Seq: 2, Codec: CodecBinary}))
+	f.Add(binFrame(Message{Type: MsgStore, Seq: 3, Record: &Record{
+		Addr: "a:1", Vector: []float64{1.5, 2}, Number: 7, ExpiresUnixMilli: 99}}))
+	f.Add(binFrame(Message{Type: MsgQuery, Seq: 4, Number: 123, Max: -8}))
+	f.Add(binFrame(Message{Type: MsgPublishBatch, Seq: 5, Records: []Record{
+		{Addr: "a:1", Number: 1}, {Addr: "b:2", Number: 2, ExpiresUnixMilli: -2}}}))
+	f.Add(binFrame(Message{Type: MsgBatchAck, Seq: 6, Errs: []string{"", "boom"}}))
+	truncated := binFrame(Message{Type: MsgRemove, Seq: 7, Addr: "a:1"})
+	f.Add(truncated[:len(truncated)-3]) // binary frame cut mid-payload
+	corrupt := binFrame(Message{Type: MsgPing, Seq: 8})
+	corrupt[2] = 0xee // unknown type code
+	f.Add(corrupt)
+	mixed := append(binFrame(Message{Type: MsgPing, Seq: 9}),
+		[]byte("{\"type\":\"pong\",\"seq\":10}\n")...)
+	f.Add(mixed) // binary then JSON on one stream
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReader(bytes.NewReader(data))
-		m, err := ReadMessage(r)
+		var st decodeState
+		m, err := readMessageInto(r, &st)
 		if err != nil {
 			return // rejected input: the only requirement is no panic/hang
 		}
-		// An accepted frame re-encodes and re-reads to the same message:
-		// the codec cannot silently alter Seq (the multiplexer's match
-		// key), the type, or the payload shape.
+		// An accepted frame re-encodes and re-reads to the same message in
+		// the codec it arrived in: the codec cannot silently alter Seq (the
+		// multiplexer's match key), the type, or the payload shape. The
+		// binary side must hold even for payloads JSON cannot carry (NaN
+		// vector components), which is why the inbound codec is reused.
 		var buf bytes.Buffer
 		bw := bufio.NewWriter(&buf)
-		if err := WriteMessage(bw, m); err != nil {
+		if err := writeMessage(bw, m, st.codec); err != nil {
+			if err == errFrameTooLarge {
+				return // outbound writer refuses frames past the cap
+			}
 			t.Fatalf("re-encode of accepted frame failed: %v", err)
 		}
-		if buf.Len() > maxFrame {
+		if st.codec == CodecJSON && buf.Len() > maxFrame {
 			// JSON escaping can legitimately grow a near-cap frame past
 			// the limit on re-encode; the outbound writer would refuse it.
 			return
 		}
-		m2, err := ReadMessage(bufio.NewReader(&buf))
+		var st2 decodeState
+		m2, err := readMessageInto(bufio.NewReader(&buf), &st2)
 		if err != nil {
 			t.Fatalf("re-read of accepted frame failed: %v", err)
 		}
-		if m2.Type != m.Type || m2.Seq != m.Seq || m2.Number != m.Number ||
-			m2.Max != m.Max || m2.Addr != m.Addr || m2.Err != m.Err ||
-			len(m2.Records) != len(m.Records) || len(m2.Errs) != len(m.Errs) {
-			t.Fatalf("round trip mangled message:\n in: %+v\nout: %+v", m, m2)
+		sameMessage(t, "round trip", m, m2)
+	})
+}
+
+// FuzzCodecDifferential is the cross-codec oracle: any frame the JSON
+// decoder accepts must encode to binary and decode back semantically
+// identical — the two codecs may never drift apart on what a message
+// means. (The differential runs JSON-to-binary only: binary can carry
+// float payloads, like NaN vector components, that JSON cannot.)
+func FuzzCodecDifferential(f *testing.F) {
+	f.Add([]byte("{\"type\":\"ping\",\"seq\":1}\n"))
+	f.Add([]byte("{\"type\":\"pong\",\"seq\":2,\"codec\":2}\n"))
+	f.Add([]byte("{\"type\":\"store\",\"seq\":3,\"record\":{\"addr\":\"a:1\",\"vector\":[1.5,2],\"number\":7,\"expires_unix_milli\":-99}}\n"))
+	f.Add([]byte("{\"type\":\"query\",\"seq\":4,\"number\":18446744073709551615,\"max\":-8}\n"))
+	f.Add([]byte("{\"type\":\"records\",\"seq\":5,\"records\":[{\"addr\":\"a:1\",\"number\":1},{\"addr\":\"b:2\",\"vector\":[0.5],\"number\":2}]}\n"))
+	f.Add([]byte("{\"type\":\"batch-ack\",\"seq\":6,\"errs\":[\"\",\"store without addr\",\"\"]}\n"))
+	f.Add([]byte("{\"type\":\"error\",\"seq\":7,\"err\":\"boom\"}\n"))
+	f.Add([]byte("{\"type\":\"remove\",\"seq\":8,\"addr\":\"1.2.3.4:5\",\"trace\":{\"trace_id\":12345,\"span_id\":678,\"sampled\":true}}\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
 		}
-		if (m.Trace == nil) != (m2.Trace == nil) ||
-			(m.Trace != nil && *m2.Trace != *m.Trace) {
-			t.Fatalf("round trip mangled trace context:\n in: %+v\nout: %+v", m.Trace, m2.Trace)
-		}
-		for i := range m.Records {
-			if m2.Records[i].Addr != m.Records[i].Addr ||
-				m2.Records[i].Number != m.Records[i].Number ||
-				m2.Records[i].ExpiresUnixMilli != m.Records[i].ExpiresUnixMilli {
-				t.Fatalf("round trip mangled record %d:\n in: %+v\nout: %+v", i, m, m2)
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if err := writeMessage(bw, m, CodecBinary); err != nil {
+			if err == errFrameTooLarge {
+				return
 			}
+			t.Fatalf("binary encode of JSON-accepted frame failed: %v", err)
 		}
+		frame := buf.Bytes()
+		if len(frame) == 0 || frame[0] != binMagic {
+			// The encoder fell back to JSON: legal only for messages the
+			// binary layout cannot represent (unknown type strings).
+			if _, known := msgTypeCode[m.Type]; known {
+				t.Fatalf("binary encoder fell back to JSON for known type %q", m.Type)
+			}
+			return
+		}
+		var st decodeState
+		m2, err := readMessageInto(bufio.NewReader(&buf), &st)
+		if err != nil {
+			t.Fatalf("binary decode of re-encoded frame failed: %v", err)
+		}
+		if st.codec != CodecBinary {
+			t.Fatalf("re-encoded frame decoded as codec %d", st.codec)
+		}
+		sameMessage(t, "cross-codec", m, m2)
 	})
 }

@@ -81,6 +81,7 @@ type nodeOptions struct {
 	batchWindow      time.Duration
 	batchTimeout     time.Duration
 	spans            *span.Collector
+	maxCodec         uint8
 }
 
 func defaultOptions() nodeOptions {
@@ -93,6 +94,7 @@ func defaultOptions() nodeOptions {
 		logger:           slog.Default(),
 		poolSize:         2,
 		batchTimeout:     2 * time.Second,
+		maxCodec:         CodecBinary,
 	}
 }
 
@@ -189,6 +191,25 @@ func WithTracing(c *span.Collector) NodeOption {
 	return func(o *nodeOptions) { o.spans = c }
 }
 
+// WithMaxCodec caps the codec version the node negotiates, as a client
+// and as a server (default CodecBinary). CodecJSON pins the node to the
+// original JSON framing: it never advertises, never echoes, and always
+// replies in JSON — exactly how a pre-binary peer behaves, which is what
+// mixed-fleet rollout tests emulate with it. Decoding is always
+// codec-agnostic (frames self-identify), so even a JSON-pinned node
+// understands binary frames a newer peer might send.
+func WithMaxCodec(c uint8) NodeOption {
+	return func(o *nodeOptions) {
+		if c < CodecJSON {
+			c = CodecJSON
+		}
+		if c > CodecBinary {
+			c = CodecBinary
+		}
+		o.maxCodec = c
+	}
+}
+
 // WithLogger sets the node's structured logger (default slog.Default()).
 // The node logs only at debug level: refresh failures, replica store
 // failures, landmark fallbacks.
@@ -270,7 +291,7 @@ func NewNodeWithRegistry(listenAddr string, cfg SpaceConfig, peers []string, ttl
 		breakers: make(map[string]*breaker),
 		lastRTT:  make([]float64, len(cfg.Landmarks)),
 	}
-	n.tr = newTransport(opt.poolSize, n.metrics.transport)
+	n.tr = newTransport(opt.poolSize, n.metrics.transport, opt.maxCodec)
 	opt.spans.SetNode(n.addr)
 	if opt.batchWindow > 0 {
 		n.batch = newBatcher(n, opt.batchWindow)
@@ -400,16 +421,28 @@ func (n *Node) handle(conn net.Conn) {
 		delete(n.conns, conn)
 		n.mu.Unlock()
 	}()
-	br := bufio.NewReader(conn)
+	br := bufio.NewReaderSize(conn, connReadBufSize)
 	bw := bufio.NewWriter(conn)
-	var scratch []byte
+	// The serve loop fully consumes each request before reading the next
+	// frame, so the decode state may hand the same []Record backing to
+	// every batch; rs reuses the reply-side scratch the same way.
+	st := &decodeState{reuseRecords: true}
+	var rs replyScratch
+	// Track this server-side connection in wire_codec: it starts as
+	// JSON and shifts when the first binary frame arrives.
+	connCodec := uint8(CodecJSON)
+	n.metrics.transport.codecOpen(connCodec)
+	defer func() { n.metrics.transport.codecClose(connCodec) }()
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(n.opt.handleTimeout))
-		req, s, err := readMessageInto(br, scratch)
+		req, err := readMessageInto(br, st)
 		if err != nil {
 			return // EOF, idle timeout, or a broken frame: drop the conn
 		}
-		scratch = s
+		if st.codec != connCodec {
+			n.metrics.transport.codecShift(connCodec, st.codec)
+			connCodec = st.codec
+		}
 		start := time.Now()
 		// A sampled request continues the caller's trace: the serve span
 		// parents to the client RPC span named in the frame's context, so
@@ -419,7 +452,7 @@ func (n *Node) handle(conn net.Conn) {
 			sp = n.opt.spans.StartChild("serve."+string(req.Type), *req.Trace)
 			sp.SetPeer(conn.RemoteAddr().String())
 		}
-		resp := n.dispatch(req)
+		resp := n.dispatch(req, &rs)
 		n.metrics.serve.Observe(float64(time.Since(start).Microseconds()) / 1000)
 		n.metrics.request(req.Type).Inc()
 		if resp.Type == MsgError {
@@ -428,14 +461,55 @@ func (n *Node) handle(conn net.Conn) {
 		} else {
 			sp.Finish(span.OutcomeOK, 0, nil)
 		}
+		// Reply in the request's codec: a binary request gets a binary
+		// reply (when this node speaks it); a JSON request that
+		// advertised binary gets a JSON reply echoing the advertisement,
+		// which is the client's cue to upgrade the connection.
+		replyCodec := uint8(CodecJSON)
+		if n.opt.maxCodec >= CodecBinary {
+			if st.codec == CodecBinary {
+				replyCodec = CodecBinary
+			} else if req.Codec >= CodecBinary {
+				resp.Codec = CodecBinary
+			}
+		}
 		_ = conn.SetWriteDeadline(time.Now().Add(n.opt.handleTimeout))
-		if err := WriteMessage(bw, resp); err != nil {
+		if err := writeMessage(bw, resp, replyCodec); err != nil {
 			return
 		}
 	}
 }
 
-func (n *Node) dispatch(req Message) Message {
+// replyScratch holds per-connection reply buffers. The serve loop is
+// strictly read → dispatch → write, so a reply's slices are dead the
+// moment the frame is flushed and the next dispatch may reuse them —
+// the write path always copies into the frame encoder's buffer.
+type replyScratch struct {
+	recs []Record
+	errs []string
+}
+
+// errsFor returns a zeroed n-element string slice, reusing the scratch
+// backing when it is large enough.
+func (rs *replyScratch) errsFor(n int) []string {
+	if rs == nil || cap(rs.errs) < n {
+		errs := make([]string, n)
+		if rs != nil {
+			rs.errs = errs
+		}
+		return errs
+	}
+	errs := rs.errs[:n]
+	for i := range errs {
+		errs[i] = ""
+	}
+	return errs
+}
+
+// dispatch serves one request. rs may be nil (one-shot callers); the
+// serve loop passes its per-connection scratch so query and batch-ack
+// replies allocate no fresh slices in steady state.
+func (n *Node) dispatch(req Message, rs *replyScratch) Message {
 	switch req.Type {
 	case MsgPing:
 		return Message{Type: MsgPong, Seq: req.Seq}
@@ -454,7 +528,7 @@ func (n *Node) dispatch(req Message) Message {
 		if max < 1 {
 			max = 8
 		}
-		return Message{Type: MsgRecords, Seq: req.Seq, Records: n.nearest(req.Number, max)}
+		return Message{Type: MsgRecords, Seq: req.Seq, Records: n.nearest(req.Number, max, rs)}
 	case MsgRemove:
 		if req.Addr == "" {
 			return Message{Type: MsgError, Seq: req.Seq, Err: "remove without addr"}
@@ -471,7 +545,7 @@ func (n *Node) dispatch(req Message) Message {
 		}
 		// Store what is storable and report the rest per record: one bad
 		// record must not void the batch's healthy neighbors.
-		errs := make([]string, len(req.Records))
+		errs := rs.errsFor(len(req.Records))
 		failed := 0
 		n.mu.Lock()
 		for i, rec := range req.Records {
@@ -499,11 +573,18 @@ func (n *Node) dispatch(req Message) Message {
 }
 
 // nearest returns up to max live records ordered by landmark-number
-// distance, sweeping expired ones as it goes.
-func (n *Node) nearest(number uint64, max int) []Record {
+// distance, sweeping expired ones as it goes. With a reply scratch, the
+// result reuses its backing array — valid until the caller's next
+// dispatch.
+func (n *Node) nearest(number uint64, max int, rs *replyScratch) []Record {
 	now := time.Now()
 	n.mu.Lock()
-	live := make([]Record, 0, len(n.records))
+	var live []Record
+	if rs != nil {
+		live = rs.recs[:0]
+	} else {
+		live = make([]Record, 0, len(n.records))
+	}
 	for addr, rec := range n.records {
 		if rec.Expired(now) {
 			delete(n.records, addr)
@@ -527,6 +608,9 @@ func (n *Node) nearest(number uint64, max int) []Record {
 		}
 		return live[i].Addr < live[j].Addr
 	})
+	if rs != nil {
+		rs.recs = live // keep the grown backing for the next reply
+	}
 	if len(live) > max {
 		live = live[:max]
 	}

@@ -104,6 +104,13 @@ type Message struct {
 	// Compatibility is free in both directions: old decoders ignore the
 	// unknown field, and new decoders treat its absence as "unsampled".
 	Trace *span.Context `json:"trace,omitempty"`
+	// Codec advertises the highest codec version the sender can read
+	// (see CodecJSON/CodecBinary). On a JSON request it asks "may we
+	// switch this connection to binary?"; a binary-capable server echoes
+	// it on the response and the client upgrades the connection. Peers
+	// predating the binary codec ignore the unknown field and never
+	// echo, so the connection simply stays JSON. Zero means "JSON only".
+	Codec uint8 `json:"codec,omitempty"`
 	// Err describes failures on MsgError.
 	Err string `json:"err,omitempty"`
 }
@@ -119,10 +126,12 @@ var errFrameTooLarge = fmt.Errorf("wire: frame exceeds %d-byte limit", maxFrame)
 // frameEncoder pairs a reusable buffer with a JSON encoder so the
 // per-frame encode allocation is paid once per pooled encoder, not once
 // per message. json.Encoder.Encode appends the trailing newline, which
-// is exactly the wire framing.
+// is exactly the JSON wire framing. bin is the binary-codec scratch,
+// reused the same way.
 type frameEncoder struct {
 	buf bytes.Buffer
 	enc *json.Encoder
+	bin []byte
 }
 
 var encoderPool = sync.Pool{New: func() any {
@@ -131,17 +140,45 @@ var encoderPool = sync.Pool{New: func() any {
 	return fe
 }}
 
-// WriteMessage frames and sends one message.
+// WriteMessage frames and sends one message as JSON. Kept as the
+// public single-shot API: JSON is readable by every peer vintage.
 func WriteMessage(w *bufio.Writer, m Message) error {
+	return writeMessage(w, m, CodecJSON)
+}
+
+// WriteMessageCodec frames and sends one message under an explicit codec
+// version (CodecJSON or CodecBinary) — the codec-pinned counterpart of
+// WriteMessage for tools that speak a known-good version, like the bench
+// harness and corpus generators. Persistent connections negotiate
+// instead (see Transport).
+func WriteMessageCodec(w *bufio.Writer, m Message, codec uint8) error {
+	return writeMessage(w, m, codec)
+}
+
+// writeMessage frames and sends one message under the given codec.
+// Binary falls back to JSON for messages the binary layout cannot carry
+// (unknown type, unmarshalable stats) — readers auto-detect per frame,
+// so the mix is safe on one connection.
+func writeMessage(w *bufio.Writer, m Message, codec uint8) error {
 	fe := encoderPool.Get().(*frameEncoder)
+	defer encoderPool.Put(fe)
+	if codec >= CodecBinary {
+		if buf, ok := appendMessageBinary(fe.bin[:0], &m); ok {
+			fe.bin = buf[:0]
+			if len(buf)-binHeaderLen > maxFrame {
+				return errFrameTooLarge
+			}
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			return w.Flush()
+		}
+	}
 	fe.buf.Reset()
 	if err := fe.enc.Encode(m); err != nil {
-		encoderPool.Put(fe)
 		return fmt.Errorf("wire: marshal: %w", err)
 	}
-	_, err := w.Write(fe.buf.Bytes())
-	encoderPool.Put(fe)
-	if err != nil {
+	if _, err := w.Write(fe.buf.Bytes()); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -171,25 +208,39 @@ func readFrame(r *bufio.Reader, scratch []byte) ([]byte, error) {
 	}
 }
 
-// ReadMessage reads one newline-delimited frame. Frames above 1 MiB are
-// rejected mid-read to bound memory against misbehaving peers.
+// ReadMessage reads one frame of either codec — the first byte
+// classifies it (binary frames open with 0xBF, JSON frames with '{').
+// Frames above 1 MiB are rejected mid-read to bound memory against
+// misbehaving peers.
 func ReadMessage(r *bufio.Reader) (Message, error) {
-	m, _, err := readMessageInto(r, nil)
-	return m, err
+	var st decodeState
+	return readMessageInto(r, &st)
 }
 
-// readMessageInto is ReadMessage with an explicit scratch buffer, reused
-// across frames by the persistent-connection read loops.
-func readMessageInto(r *bufio.Reader, scratch []byte) (Message, []byte, error) {
-	line, err := readFrame(r, scratch)
+// readMessageInto is ReadMessage with an explicit per-connection decode
+// state (scratch buffer, intern table, last-seen codec), reused across
+// frames by the persistent-connection read loops.
+func readMessageInto(r *bufio.Reader, st *decodeState) (Message, error) {
+	first, err := r.Peek(1)
 	if err != nil {
-		return Message{}, scratch, err
+		return Message{}, err
+	}
+	if first[0] == binMagic {
+		return readMessageBinary(r, st)
+	}
+	line, err := readFrame(r, st.scratch)
+	if line != nil {
+		st.scratch = line[:0]
+	}
+	if err != nil {
+		return Message{}, err
 	}
 	var m Message
 	if err := json.Unmarshal(line, &m); err != nil {
-		return Message{}, line, fmt.Errorf("wire: unmarshal: %w", err)
+		return Message{}, fmt.Errorf("wire: unmarshal: %w", err)
 	}
-	return m, line, nil
+	st.codec = CodecJSON
+	return m, nil
 }
 
 // roundTrip dials addr, sends req, and reads one response.

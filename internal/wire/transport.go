@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,6 +30,12 @@ import (
 type Transport struct {
 	size int
 	m    *transportMetrics
+	// maxCodec is the highest codec version this side will speak. Every
+	// connection starts as JSON; while below maxCodec, outgoing frames
+	// advertise it in Message.Codec, and an echoed advertisement on a
+	// response upgrades the connection to binary for all later frames
+	// (see protocol.go). Peers that never echo keep the connection JSON.
+	maxCodec uint8
 
 	mu     sync.Mutex
 	peers  map[string]*peerPool
@@ -49,16 +56,22 @@ type peerPool struct {
 
 // NewTransport creates a standalone pool keeping up to size connections
 // per peer (minimum 1). Nodes build their own transport wired to their
-// telemetry registry; a bare one is useful for clients and tests.
+// telemetry registry; a bare one is useful for clients and tests. The
+// transport negotiates up to the binary codec; negotiation degrades to
+// JSON against peers that never echo the advertisement, so this is safe
+// against any peer vintage.
 func NewTransport(size int) *Transport {
-	return newTransport(size, nil)
+	return newTransport(size, nil, CodecBinary)
 }
 
-func newTransport(size int, m *transportMetrics) *Transport {
+func newTransport(size int, m *transportMetrics, maxCodec uint8) *Transport {
 	if size < 1 {
 		size = 1
 	}
-	return &Transport{size: size, m: m, peers: make(map[string]*peerPool)}
+	if maxCodec < CodecJSON {
+		maxCodec = CodecJSON
+	}
+	return &Transport{size: size, m: m, maxCodec: maxCodec, peers: make(map[string]*peerPool)}
 }
 
 // errTransportClosed fails calls through a closed transport.
@@ -129,15 +142,18 @@ func (t *Transport) get(addr string, timeout time.Duration) (*pconn, error) {
 		return nil, err
 	}
 	pc := &pconn{
-		t:       t,
-		addr:    addr,
-		c:       c,
-		bw:      bufio.NewWriter(c),
-		waiters: make(map[uint64]chan Message),
+		t:        t,
+		addr:     addr,
+		c:        c,
+		bw:       bufio.NewWriter(c),
+		maxCodec: t.maxCodec,
+		waiters:  make(map[uint64]chan Message),
 	}
+	pc.codec.Store(uint32(CodecJSON))
 	pp.conns = append(pp.conns, pc)
 	pp.mu.Unlock()
 	t.m.dialed()
+	t.m.codecOpen(CodecJSON)
 	go pc.readLoop()
 
 	t.mu.Lock()
@@ -163,6 +179,7 @@ func (t *Transport) drop(pc *pconn) {
 		if c == pc {
 			pp.conns = append(pp.conns[:i], pp.conns[i+1:]...)
 			t.m.dropped()
+			t.m.codecClose(uint8(pc.codec.Load()))
 			break
 		}
 	}
@@ -227,6 +244,14 @@ type pconn struct {
 	c    net.Conn
 	bw   *bufio.Writer
 
+	// Codec negotiation state. codec is the version frames are written
+	// in right now (starts at CodecJSON); maxCodec is what this side can
+	// speak. While codec < maxCodec, outgoing frames advertise maxCodec
+	// and the read loop upgrades codec when the server echoes it. Atomic
+	// because writers read it while the read loop stores it.
+	maxCodec uint8
+	codec    atomic.Uint32
+
 	wmu sync.Mutex // serializes frame writes
 
 	mu      sync.Mutex
@@ -242,15 +267,23 @@ type pconn struct {
 // are dropped. Any read error fails the connection and every request
 // still in flight on it.
 func (p *pconn) readLoop() {
-	br := bufio.NewReader(p.c)
-	var scratch []byte
+	br := bufio.NewReaderSize(p.c, connReadBufSize)
+	// Responses outlive the loop iteration (they are handed to waiters),
+	// so the decode state must not reuse record slices here.
+	st := &decodeState{}
 	for {
-		m, s, err := readMessageInto(br, scratch)
+		m, err := readMessageInto(br, st)
 		if err != nil {
 			p.fail(fmt.Errorf("wire: connection to %s lost: %w", p.addr, err))
 			return
 		}
-		scratch = s
+		// A response echoing our binary advertisement upgrades the
+		// connection: every frame written after this point is binary.
+		// The CAS makes the shift idempotent across echoed responses.
+		if m.Codec >= CodecBinary && p.maxCodec >= CodecBinary &&
+			p.codec.CompareAndSwap(uint32(CodecJSON), uint32(CodecBinary)) {
+			p.t.m.codecShift(CodecJSON, CodecBinary)
+		}
 		p.mu.Lock()
 		ch := p.waiters[m.Seq]
 		delete(p.waiters, m.Seq)
@@ -315,10 +348,16 @@ func (p *pconn) do(req Message, timeout time.Duration) (Message, time.Duration, 
 	}
 }
 
-// writeFrame writes one frame under wmu. Flush happens per frame; the
-// bufio layer still coalesces the encode into one syscall.
+// writeFrame writes one frame under wmu in the connection's negotiated
+// codec, advertising the upgrade while one is still possible. Flush
+// happens per frame; the bufio layer still coalesces the encode into
+// one syscall.
 func (p *pconn) writeFrame(m Message) error {
-	return WriteMessage(p.bw, m)
+	codec := uint8(p.codec.Load())
+	if codec < p.maxCodec {
+		m.Codec = p.maxCodec
+	}
+	return writeMessage(p.bw, m, codec)
 }
 
 // forget unregisters a waiter that gave up.

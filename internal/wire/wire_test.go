@@ -312,11 +312,11 @@ func TestDispatchUnknownType(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer node.Close()
-	resp := node.dispatch(Message{Type: "bogus", Seq: 9})
+	resp := node.dispatch(Message{Type: "bogus", Seq: 9}, nil)
 	if resp.Type != MsgError || resp.Seq != 9 {
 		t.Fatalf("dispatch = %+v", resp)
 	}
-	resp = node.dispatch(Message{Type: MsgStore, Seq: 1})
+	resp = node.dispatch(Message{Type: MsgStore, Seq: 1}, nil)
 	if resp.Type != MsgError {
 		t.Fatal("store without record accepted")
 	}
