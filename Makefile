@@ -32,6 +32,7 @@ check: build vet race bench-diff
 	go test -fuzz FuzzMembership -fuzztime 10s -run '^$$' ./internal/can
 	go test -fuzz FuzzReadMessage -fuzztime 10s -run '^$$' ./internal/wire
 	go test -fuzz FuzzCodecDifferential -fuzztime 10s -run '^$$' ./internal/wire
+	go test -fuzz FuzzClusterSpec -fuzztime 10s -run '^$$' ./internal/cluster
 
 # Soak gates, full scale: the ext-churn reconvergence bar (record recall
 # back above 99% within three virtual refresh intervals of the last fault
@@ -80,12 +81,15 @@ bench-diff:
 # wave plus one asymmetric partition — and require the cluster to heal
 # by itself: every node ready again, full record recall with replicas
 # on exactly the ring owners, zero orphans, within a bounded number of
-# refresh intervals. Also runs the observability smoke (the Go
+# refresh intervals. The reconfiguration gate then scales a second
+# fleet up by one node, down by one, and rolling-restarts every node,
+# asserting the same invariants against the live (post-reconfig) ring
+# at every quiesce point. Also runs the observability smoke (the Go
 # descendant of scripts/mon_smoke.sh, now on ephemeral ports). On
 # failure the per-node logs and an overlaymon -json snapshot are dumped
 # from the run directory.
 e2e:
-	E2E=1 go test -run 'TestE2EChaosSelfHealing|TestMonSmoke' -count=1 -v -timeout 180s ./internal/e2e
+	E2E=1 go test -run 'TestE2EChaosSelfHealing|TestE2EReconfiguration|TestMonSmoke' -count=1 -v -timeout 300s ./internal/e2e
 
 # Observability smoke only: boot a 3-node traced overlayd cluster,
 # scrape it with the overlaymon view, and assert the snapshot is

@@ -14,6 +14,17 @@
 //	    -chaos faults.json -down        # replay a fault schedule, then tear down
 //	overlayctl -spec cluster.json -print-spec   # show the normalized spec, run nothing
 //
+// With -admin ADDR the supervising overlayctl serves a reconfiguration
+// API, and a second overlayctl drives rolling operations against it —
+// live membership changes with no process restart, and full-fleet
+// restarts with at most one node down at a time:
+//
+//	overlayctl -n 5 -admin 127.0.0.1:7070       # supervise + admin API
+//	overlayctl add -admin 127.0.0.1:7070        # grow the cluster by one node
+//	overlayctl remove -admin 127.0.0.1:7070 -node 4   # drain node 4 out
+//	overlayctl rolling-restart -admin 127.0.0.1:7070  # cycle every node
+//	overlayctl status -admin 127.0.0.1:7070     # membership + node table
+//
 // Each node's stdout/stderr is appended to <run-dir>/node-<i>.log
 // (restarts extend the same file), and the launch banner prints the
 // exact overlaymon invocation for the cluster, so `overlayctl -n 5`
@@ -50,6 +61,12 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "add", "remove", "rolling-restart", "status":
+			return runAdminCmd(args[0], args[1:], out)
+		}
+	}
 	fs := flag.NewFlagSet("overlayctl", flag.ContinueOnError)
 	var (
 		specPath  = fs.String("spec", "", "JSON cluster spec (internal/cluster.Spec); overrides the quick flags")
@@ -62,6 +79,7 @@ func run(args []string, out io.Writer) error {
 		down      = fs.Bool("down", false, "tear the cluster down after the -chaos schedule instead of supervising")
 		every     = fs.Duration("status-every", 0, "print the node table at this interval while supervising")
 		printOnly = fs.Bool("print-spec", false, "print the normalized spec as JSON and exit without starting anything")
+		admin     = fs.String("admin", "", "serve the reconfiguration API on this address (host:0 picks a port); drive it with overlayctl add/remove/rolling-restart/status")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +125,14 @@ func run(args []string, out io.Writer) error {
 	printStatus(out, sup)
 	fmt.Fprintf(out, "logs: %s\nwatch: overlaymon -nodes %s -watch 2s\n",
 		sup.RunDir(), strings.Join(sup.MetricsAddrs(), ","))
+	if *admin != "" {
+		adminAddr, closeAdmin, err := sup.ServeAdmin(*admin)
+		if err != nil {
+			return err
+		}
+		defer closeAdmin()
+		fmt.Fprintf(out, "admin: overlayctl add|remove|rolling-restart|status -admin %s\n", adminAddr)
+	}
 
 	if *chaosPath != "" {
 		sched, err := e2e.LoadSchedule(*chaosPath)
@@ -142,6 +168,62 @@ func run(args []string, out io.Writer) error {
 			printStatus(out, sup)
 		}
 	}
+}
+
+// runAdminCmd is the client side of the rolling-operations surface:
+// it drives a supervising overlayctl's -admin endpoint.
+func runAdminCmd(cmd string, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("overlayctl "+cmd, flag.ContinueOnError)
+	var (
+		addr    = fs.String("admin", "", "admin address of the supervising overlayctl (required)")
+		node    = fs.Int("node", -1, "node index to remove (remove only)")
+		timeout = fs.Duration("timeout", 5*time.Minute, "operation deadline (adds and rolling restarts boot real processes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("%s needs -admin ADDR", cmd)
+	}
+	switch cmd {
+	case "add":
+		index, err := cluster.AdminAdd(*addr, *timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "added node %d\n", index)
+	case "remove":
+		if *node < 0 {
+			return fmt.Errorf("remove needs -node N")
+		}
+		if err := cluster.AdminRemove(*addr, *node, *timeout); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "removed node %d\n", *node)
+	case "rolling-restart":
+		if err := cluster.AdminRollingRestart(*addr, *timeout); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "rolling restart complete")
+	case "status":
+		st, err := cluster.AdminStatus(*addr, *timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "peers: %s\n", strings.Join(st.Peers, ","))
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "NODE\tSTATE\tPID\tRESTARTS\tOVERLAY\tDIAL\tMETRICS")
+		for _, n := range st.Nodes {
+			dial := n.DialAddr
+			if dial == n.OverlayAddr {
+				dial = "-"
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%s\t%s\t%s\n",
+				n.Index, n.State, n.PID, n.Restarts, n.OverlayAddr, dial, n.MetricsAddr)
+		}
+		tw.Flush()
+	}
+	return nil
 }
 
 func printStatus(out io.Writer, sup *cluster.Supervisor) {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"gsso/internal/cluster"
 	"gsso/internal/e2e"
@@ -19,6 +20,84 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-n", "1"}, &buf); err == nil {
 		t.Fatal("1-node cluster accepted")
+	}
+}
+
+// TestAdminSubcommandValidation covers the client-side refusals that
+// need no cluster: missing -admin, missing -node, dead endpoints.
+func TestAdminSubcommandValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"add"}, &buf); err == nil {
+		t.Fatal("add without -admin accepted")
+	}
+	if err := run([]string{"remove", "-admin", "127.0.0.1:1"}, &buf); err == nil {
+		t.Fatal("remove without -node accepted")
+	}
+	if err := run([]string{"rolling-restart", "-admin", "127.0.0.1:1", "-timeout", "200ms"}, &buf); err == nil {
+		t.Fatal("rolling-restart against a dead admin endpoint succeeded")
+	}
+}
+
+// TestAdminSubcommandsLive drives the rolling-operations CLI end to
+// end against a real supervised cluster: status shows the fleet, add
+// grows it by a live node, remove drains that node back out, and a
+// landmark removal is refused through the whole HTTP stack.
+func TestAdminSubcommandsLive(t *testing.T) {
+	bin, err := e2e.OverlaydBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.Spec{Nodes: 3, Landmarks: 3, Binary: bin,
+		RunDir: filepath.Join(t.TempDir(), "run"), JoinRetry: cluster.Duration(200 * time.Millisecond)}
+	sup, err := cluster.New(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	if err := sup.Start(); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	addr, closeAdmin, err := sup.ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAdmin()
+
+	var buf bytes.Buffer
+	if err := run([]string{"status", "-admin", addr}, &buf); err != nil {
+		t.Fatalf("status: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "peers:") || !strings.Contains(buf.String(), "running") {
+		t.Fatalf("status output incomplete:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"add", "-admin", addr}, &buf); err != nil {
+		t.Fatalf("add: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "added node 3") {
+		t.Fatalf("add output: %s", buf.String())
+	}
+	if got := len(sup.ActiveIndices()); got != 4 {
+		t.Fatalf("cluster has %d active nodes after add, want 4", got)
+	}
+
+	// Landmarks stay pinned even over the admin surface.
+	if err := run([]string{"remove", "-admin", addr, "-node", "0"}, &buf); err == nil {
+		t.Fatal("landmark removal accepted")
+	}
+
+	buf.Reset()
+	if err := run([]string{"remove", "-admin", addr, "-node", "3"}, &buf); err != nil {
+		t.Fatalf("remove: %v\n%s", err, buf.String())
+	}
+	if got := len(sup.ActiveIndices()); got != 3 {
+		t.Fatalf("cluster has %d active nodes after remove, want 3", got)
+	}
+	for _, st := range sup.Status() {
+		if st.Index == 3 && st.State != cluster.StateRemoved {
+			t.Fatalf("node 3 state = %s, want removed", st.State)
+		}
 	}
 }
 

@@ -33,6 +33,17 @@
 // its full local span chain, and -pprof mounts net/http/pprof under
 // /debug/pprof/ on the metrics listener (off by default).
 //
+// Live reconfiguration: with -peers-file PATH the peer list is read from
+// a file instead of -peers, and SIGHUP re-reads it and atomically swaps
+// the ring (new epoch, pools/breakers of removed peers evicted, records
+// re-homed to their new owners). The same swap is reachable over HTTP as
+// POST /admin/peers on the -metrics address (JSON body:
+// {"peers":["host:port",...]}; GET returns the current list and epoch).
+// While a serving node re-homes, /readyz answers 503 ("re-homing"), so
+// rolling operations gated on readiness wait for the swap to settle.
+// Applied reconfigurations count in cluster_reconfig_total, and the
+// ring epoch is exported as wire_ring_epoch.
+//
 // Resilience knobs: -retries caps attempts per wire call (with capped
 // exponential backoff and jitter between them), -replicas sets how many
 // ring owners each published record is stored on, and -handle-timeout
@@ -55,6 +66,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -130,10 +142,10 @@ func (r *readyState) get() (bool, string) {
 
 // serveMetrics exposes reg on addr — plus /traces when a span collector
 // is attached, /readyz when a readiness latch is wired (nil mirrors
-// liveness: always ready), and the net/http/pprof endpoints when
-// pprofOn — and returns the server plus its bound listener address
-// (addr may carry port 0).
-func serveMetrics(addr string, reg *obs.Registry, col *span.Collector, ready *readyState, pprofOn bool, logger *slog.Logger) (*http.Server, string, error) {
+// liveness: always ready), /admin/peers when an admin handler is wired,
+// and the net/http/pprof endpoints when pprofOn — and returns the
+// server plus its bound listener address (addr may carry port 0).
+func serveMetrics(addr string, reg *obs.Registry, col *span.Collector, ready *readyState, admin http.Handler, pprofOn bool, logger *slog.Logger) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("metrics listener: %w", err)
@@ -155,6 +167,9 @@ func serveMetrics(addr string, reg *obs.Registry, col *span.Collector, ready *re
 	})
 	if col != nil {
 		mux.Handle("/traces", span.Handler(col))
+	}
+	if admin != nil {
+		mux.Handle("/admin/peers", admin)
 	}
 	if pprofOn {
 		// Registered explicitly on this mux (not the default one): the
@@ -203,6 +218,7 @@ func run(args []string, out io.Writer) error {
 		batchWin  = fs.Duration("batch-window", 0, "coalesce refresh publishes to the same owner within this window (0 disables batching)")
 		drainTO   = fs.Duration("drain-timeout", 2*time.Second, "graceful-drain budget on SIGINT/SIGTERM: withdraw soft-state before closing (0 disables)")
 		joinRetry = fs.Duration("join-retry", 0, "retry a failed initial publish at this interval instead of exiting (0 = fail hard); the node reports not-ready on /readyz until joined")
+		peersFile = fs.String("peers-file", "", "read the peer list from this file instead of -peers; SIGHUP re-reads it and live-swaps the ring")
 
 		traceSample = fs.Int("trace-sample", 1, "head-sample 1 in N root requests into /traces (1 = all, 0 disables tracing)")
 		traceBuf    = fs.Int("trace-buf", 4096, "span ring-buffer capacity (oldest spans overwritten)")
@@ -240,7 +256,15 @@ func run(args []string, out io.Writer) error {
 	if *traceSample > 0 {
 		col = span.NewCollector(*traceBuf, *traceSample)
 	}
-	node, err := wire.NewNode(*listen, cfg, splitCSV(*peersCSV), *ttl,
+	peerList := splitCSV(*peersCSV)
+	if *peersFile != "" {
+		pl, err := readPeersFile(*peersFile)
+		if err != nil {
+			return fmt.Errorf("peers-file: %w", err)
+		}
+		peerList = pl
+	}
+	node, err := wire.NewNode(*listen, cfg, peerList, *ttl,
 		wire.WithHandleTimeout(*handleTO),
 		wire.WithReplication(*replicas),
 		wire.WithRetryPolicy(pol),
@@ -262,15 +286,72 @@ func run(args []string, out io.Writer) error {
 		})
 	}
 	logger.Info("listening", "addr", node.Addr(),
-		"landmarks", len(cfg.Landmarks), "peers", len(splitCSV(*peersCSV)))
+		"landmarks", len(cfg.Landmarks), "peers", len(peerList))
 
 	// Liveness vs readiness: the metrics listener serves /healthz as soon
 	// as it is up (the process lives), but /readyz answers 503 until the
 	// node has joined — for a publisher, until the first publish landed
 	// and the refresh loop is keeping the record alive.
 	ready := newReadyState("node starting")
+
+	// Live reconfiguration: SIGHUP re-reads -peers-file and POST
+	// /admin/peers applies a pushed list; both run the same apply path.
+	// A node that was serving flips /readyz to 503 ("re-homing") for the
+	// duration of the swap so load balancers and the supervisor's
+	// readiness barrier see the membership change settle; a node still
+	// joining keeps its original not-ready reason.
+	reconfigs := node.Registry().Counter("cluster_reconfig_total",
+		"Peer-list reconfigurations applied live (SIGHUP or /admin/peers).").With()
+	var reconfMu sync.Mutex
+	applyPeers := func(peers []string, source string) (uint64, error) {
+		reconfMu.Lock()
+		defer reconfMu.Unlock()
+		wasReady, reason := ready.get()
+		if wasReady {
+			ready.set(false, "re-homing")
+		}
+		before := node.RingEpoch()
+		epoch, err := node.SetPeers(peers, *timeout)
+		if err == nil && epoch != before {
+			reconfigs.Inc()
+			logger.Info("reconfigured", "source", source, "epoch", epoch, "peers", len(peers))
+		}
+		if wasReady {
+			ready.set(true, reason)
+		}
+		if err != nil {
+			logger.Warn("reconfig-failed", "source", source, "err", err)
+		}
+		return epoch, err
+	}
+	admin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			// Fall through to the state dump below.
+		case http.MethodPost:
+			var req struct {
+				Peers []string `json:"peers"`
+			}
+			if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+				http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if _, err := applyPeers(req.Peers, "admin"); err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"epoch": node.RingEpoch(),
+			"peers": node.Peers(),
+		})
+	})
 	if *metrics != "" {
-		srv, _, err := serveMetrics(*metrics, node.Registry(), col, ready, *pprofOn, logger)
+		srv, _, err := serveMetrics(*metrics, node.Registry(), col, ready, admin, *pprofOn, logger)
 		if err != nil {
 			return err
 		}
@@ -281,6 +362,32 @@ func run(args []string, out io.Writer) error {
 	// stopping a node that is still retrying its way in does not hang.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	// With a peers file, SIGHUP is the zero-downtime reload: re-read the
+	// file and live-swap the ring. Without one SIGHUP keeps its default
+	// terminate action — there is nothing to reload from.
+	if *peersFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		quit := make(chan struct{})
+		defer close(quit)
+		go func() {
+			for {
+				select {
+				case <-quit:
+					return
+				case <-hup:
+					peers, err := readPeersFile(*peersFile)
+					if err != nil {
+						logger.Warn("peers-file-reload-failed", "path", *peersFile, "err", err)
+						continue
+					}
+					_, _ = applyPeers(peers, "sighup")
+				}
+			}
+		}()
+	}
 
 	if *publish {
 		ready.set(false, "awaiting initial publish")
@@ -391,7 +498,7 @@ func runDemo(n int, ttl, timeout time.Duration, metricsAddr string, hold time.Du
 		// Demo nodes stay untraced: a collector is per-node (its node
 		// label is single-valued) and the demo shares one process. The
 		// nil readiness latch makes /readyz mirror /healthz.
-		srv, _, err := serveMetrics(metricsAddr, reg, nil, nil, false, logger)
+		srv, _, err := serveMetrics(metricsAddr, reg, nil, nil, nil, false, logger)
 		if err != nil {
 			return err
 		}
@@ -429,6 +536,25 @@ func runDemo(n int, ttl, timeout time.Duration, metricsAddr string, hold time.Du
 	}
 	logger.Info("demo-done")
 	return nil
+}
+
+// readPeersFile parses a peers file: addresses separated by newlines,
+// commas, or whitespace; blank lines and #-comments are ignored.
+func readPeersFile(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(b), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		out = append(out, strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == '\r'
+		})...)
+	}
+	return out, nil
 }
 
 func splitCSV(s string) []string {

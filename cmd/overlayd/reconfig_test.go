@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"gsso/internal/wire"
+)
+
+// startReconfigurableDaemon runs the daemon in-process with the given
+// extra args, waits for its metrics address and readiness, and returns
+// the metrics address plus the done channel and log buffer.
+func startReconfigurableDaemon(t *testing.T, args []string) (string, chan error, *syncBuffer) {
+	t.Helper()
+	buf := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(args, buf) }()
+
+	addrRe := regexp.MustCompile(`msg=metrics addr=(\S+)`)
+	var maddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for maddr == "" {
+		if m := addrRe.FindStringSubmatch(buf.String()); m != nil {
+			maddr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("exited early: %v\n%s", err, buf.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never logged:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for {
+		if code, _ := fetchStatus(t, "http://"+maddr+"/readyz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never became ready:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return maddr, done, buf
+}
+
+// stopDaemon SIGTERMs the in-process daemon until it exits.
+func stopDaemon(t *testing.T, done chan error, buf *syncBuffer) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, buf.String())
+			}
+			return
+		case <-time.After(100 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatalf("SIGTERM did not stop the node:\n%s", buf.String())
+			}
+		}
+	}
+}
+
+// adminState fetches GET /admin/peers.
+func adminState(t *testing.T, maddr string) (uint64, []string) {
+	t.Helper()
+	code, body := fetchStatus(t, "http://"+maddr+"/admin/peers")
+	if code != http.StatusOK {
+		t.Fatalf("GET /admin/peers = %d (%s)", code, body)
+	}
+	var st struct {
+		Epoch uint64   `json:"epoch"`
+		Peers []string `json:"peers"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("admin state: %v\n%s", err, body)
+	}
+	return st.Epoch, st.Peers
+}
+
+// TestAdminPeersEndpoint drives the HTTP control surface: a pushed peer
+// list swaps the ring (epoch bump, cluster_reconfig_total increment),
+// re-pushing the identical list is a no-op, and garbage is rejected
+// without touching the ring.
+func TestAdminPeersEndpoint(t *testing.T) {
+	cfgStub := wire.SpaceConfig{Landmarks: []string{"x"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	a, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	guard := make(chan os.Signal, 8)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	maddr, done, buf := startReconfigurableDaemon(t, []string{
+		"-listen", "127.0.0.1:0",
+		"-peers", strings.Join([]string{a.Addr(), b.Addr()}, ","),
+		"-landmarks", strings.Join([]string{a.Addr(), b.Addr()}, ","),
+		"-metrics", "127.0.0.1:0",
+		"-publish",
+		"-timeout", "2s",
+		"-drain-timeout", "1s",
+	})
+
+	if epoch, peers := adminState(t, maddr); epoch != 1 || len(peers) != 2 {
+		t.Fatalf("boot admin state = (%d, %v), want epoch 1 with 2 peers", epoch, peers)
+	}
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post("http://"+maddr+"/admin/peers", "application/json",
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(out)
+	}
+
+	next, _ := json.Marshal(map[string][]string{
+		"peers": {a.Addr(), b.Addr(), c.Addr()},
+	})
+	if code, body := post(string(next)); code != http.StatusOK {
+		t.Fatalf("POST /admin/peers = %d (%s)", code, body)
+	}
+	epoch, peers := adminState(t, maddr)
+	if epoch != 2 || len(peers) != 3 {
+		t.Fatalf("admin state after push = (%d, %v), want epoch 2 with 3 peers", epoch, peers)
+	}
+	// The swap left the node serving.
+	if code, body := fetchStatus(t, "http://"+maddr+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d (%s) after reconfig", code, body)
+	}
+	mBody := fetch(t, "http://"+maddr+"/metrics")
+	if v, ok := metricValue(mBody, "cluster_reconfig_total"); !ok || v != 1 {
+		t.Fatalf("cluster_reconfig_total = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := metricValue(mBody, "wire_ring_epoch"); !ok || v != 2 {
+		t.Fatalf("wire_ring_epoch = %v (ok=%v), want 2", v, ok)
+	}
+
+	// Identical list: epoch and counter unchanged.
+	if code, _ := post(string(next)); code != http.StatusOK {
+		t.Fatal("idempotent push rejected")
+	}
+	if epoch, _ := adminState(t, maddr); epoch != 2 {
+		t.Fatalf("no-op push bumped epoch to %d", epoch)
+	}
+	if v, _ := metricValue(fetch(t, "http://"+maddr+"/metrics"), "cluster_reconfig_total"); v != 1 {
+		t.Fatalf("no-op push counted as reconfig (%v)", v)
+	}
+
+	// An empty list must be refused and leave the ring alone.
+	if code, _ := post(`{"peers":[]}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("empty peer list accepted (%d)", code)
+	}
+	if code, _ := post(`not json`); code != http.StatusBadRequest {
+		t.Fatalf("garbage body accepted (%d)", code)
+	}
+	if epoch, _ := adminState(t, maddr); epoch != 2 {
+		t.Fatalf("rejected pushes changed the epoch to %d", epoch)
+	}
+
+	stopDaemon(t, done, buf)
+}
+
+// TestSIGHUPReloadsPeersFile drives the file-based control surface: the
+// daemon boots from -peers-file, the file grows a node, and SIGHUP
+// applies it without a restart.
+func TestSIGHUPReloadsPeersFile(t *testing.T) {
+	cfgStub := wire.SpaceConfig{Landmarks: []string{"x"}, IndexDims: 1, BitsPerDim: 4, MaxRTTMs: 50}
+	a, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := wire.NewNode("127.0.0.1:0", cfgStub, nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	peersFile := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(peersFile,
+		[]byte("# initial membership\n"+a.Addr()+"\n"+b.Addr()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Route both signals to guard channels before the daemon starts, so
+	// an early delivery cannot take the test process down with the
+	// default action.
+	guard := make(chan os.Signal, 8)
+	signal.Notify(guard, syscall.SIGTERM, syscall.SIGHUP)
+	defer signal.Stop(guard)
+
+	maddr, done, buf := startReconfigurableDaemon(t, []string{
+		"-listen", "127.0.0.1:0",
+		"-peers-file", peersFile,
+		"-landmarks", strings.Join([]string{a.Addr(), b.Addr()}, ","),
+		"-metrics", "127.0.0.1:0",
+		"-publish",
+		"-timeout", "2s",
+		"-drain-timeout", "1s",
+	})
+
+	if epoch, peers := adminState(t, maddr); epoch != 1 || len(peers) != 2 {
+		t.Fatalf("boot admin state = (%d, %v), want epoch 1 with the file's 2 peers", epoch, peers)
+	}
+
+	// Grow the membership in the file and reload.
+	if err := os.WriteFile(peersFile,
+		[]byte(a.Addr()+","+b.Addr()+" "+c.Addr()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(buf.String(), "source=sighup") {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP never applied:\n%s", buf.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	epoch, peers := adminState(t, maddr)
+	if epoch != 2 || len(peers) != 3 {
+		t.Fatalf("admin state after SIGHUP = (%d, %v), want epoch 2 with 3 peers", epoch, peers)
+	}
+	if code, _ := fetchStatus(t, "http://"+maddr+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d after SIGHUP reload", code)
+	}
+
+	stopDaemon(t, done, buf)
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The supervisor's remote-control surface. ServeAdmin exposes the
+// membership operations over HTTP so `overlayctl add/remove/
+// rolling-restart -admin ADDR` can drive a cluster another overlayctl
+// is supervising:
+//
+//	GET  /status           → {"peers": [...], "nodes": [NodeStatus...]}
+//	POST /add              → {"index": N}
+//	POST /remove           {"node": N} → {}
+//	POST /rolling-restart  → {}
+//
+// PushPeers, further down, is the client for overlayd's own
+// /admin/peers endpoint — the per-node knob the supervisor turns to
+// swap rings on a live fleet.
+
+// AdminState is the GET /status payload.
+type AdminState struct {
+	Peers []string     `json:"peers"`
+	Nodes []NodeStatus `json:"nodes"`
+}
+
+// AdminHandler returns the supervisor's admin API as an http.Handler.
+func (s *Supervisor) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, AdminState{Peers: s.NodeAddrs(), Nodes: s.Status()})
+	})
+	mux.HandleFunc("/add", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		index, err := s.Add()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"index": index})
+	})
+	mux.HandleFunc("/remove", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Node *int `json:"node"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.Node == nil {
+			http.Error(w, "body must be {\"node\": N}", http.StatusBadRequest)
+			return
+		}
+		if err := s.Remove(*req.Node); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{})
+	})
+	mux.HandleFunc("/rolling-restart", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.RollingRestart(); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{})
+	})
+	return mux
+}
+
+// ServeAdmin binds the admin API on addr (host:0 picks a port) and
+// serves it until the returned closer is called. The bound address is
+// returned so callers can print it.
+func (s *Supervisor) ServeAdmin(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("admin listen: %w", err)
+	}
+	srv := &http.Server{Handler: s.AdminHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- clients ---
+
+// AdminStatus fetches a supervisor's membership and node table.
+func AdminStatus(addr string, timeout time.Duration) (AdminState, error) {
+	var st AdminState
+	err := adminCall(addr, "/status", http.MethodGet, nil, timeout, &st)
+	return st, err
+}
+
+// AdminAdd asks a supervisor to grow the cluster by one node and
+// returns the new node's index.
+func AdminAdd(addr string, timeout time.Duration) (int, error) {
+	var out struct {
+		Index int `json:"index"`
+	}
+	err := adminCall(addr, "/add", http.MethodPost, nil, timeout, &out)
+	return out.Index, err
+}
+
+// AdminRemove asks a supervisor to drain node i out of the cluster.
+func AdminRemove(addr string, node int, timeout time.Duration) error {
+	body, _ := json.Marshal(map[string]int{"node": node})
+	return adminCall(addr, "/remove", http.MethodPost, body, timeout, nil)
+}
+
+// AdminRollingRestart asks a supervisor to cycle every node, one at a
+// time, behind its readiness barrier.
+func AdminRollingRestart(addr string, timeout time.Duration) error {
+	return adminCall(addr, "/rolling-restart", http.MethodPost, nil, timeout, nil)
+}
+
+func adminCall(addr, path, method string, body []byte, timeout time.Duration, out any) error {
+	client := &http.Client{Timeout: timeout}
+	req, err := http.NewRequest(method, "http://"+addr+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s%s: %s (%s)", addr, path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// PushPeers POSTs the peer list to one overlayd's /admin/peers control
+// endpoint (served on its metrics address) and returns the node's
+// resulting ring epoch.
+func PushPeers(metricsAddr string, peers []string, timeout time.Duration) (uint64, error) {
+	body, err := json.Marshal(map[string][]string{"peers": peers})
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := adminCall(metricsAddr, "/admin/peers", http.MethodPost, body, timeout, &out); err != nil {
+		return 0, err
+	}
+	return out.Epoch, nil
+}

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -95,6 +97,114 @@ func TestReserveAddrsDistinct(t *testing.T) {
 	}
 	if len(addrs) != 10 {
 		t.Fatalf("got %d addrs", len(addrs))
+	}
+}
+
+// TestBackoffStreakResets pins the reset contract: an incarnation that
+// survives the BackoffResetAfter window starts a fresh streak, so its
+// next delay is drawn from the base again, while a quick crash keeps
+// climbing toward the cap. The lifetime restart counter is separate
+// and never resets (see monitor).
+func TestBackoffStreakResets(t *testing.T) {
+	spec := Spec{Nodes: 2, Seed: 4,
+		RestartBackoffBase: Duration(100 * time.Millisecond),
+		RestartBackoffMax:  Duration(10 * time.Second),
+		BackoffResetAfter:  Duration(5 * time.Second)}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Supervisor{spec: spec, rng: newBackoffRNG(spec.Seed)}
+
+	if got := s.nextStreak(7, 6*time.Second); got != 1 {
+		t.Fatalf("healthy uptime kept the streak: nextStreak = %d, want 1", got)
+	}
+	if got := s.nextStreak(7, time.Second); got != 8 {
+		t.Fatalf("crash loop must extend the streak: nextStreak = %d, want 8", got)
+	}
+	if got := s.nextStreak(0, 0); got != 1 {
+		t.Fatalf("first crash: nextStreak = %d, want 1", got)
+	}
+	// The delay follows the streak, not any lifetime count: a reset
+	// streak waits at most the base delay again.
+	if d := s.backoff(s.nextStreak(7, 6*time.Second)); d > 100*time.Millisecond {
+		t.Fatalf("post-reset backoff = %v, want <= base (100ms)", d)
+	}
+	if d := s.backoff(8); d <= 5*time.Second {
+		t.Fatalf("deep-streak backoff = %v, want near the 10s cap", d)
+	}
+}
+
+// TestRemoveValidation exercises the refusal paths that need no
+// processes: landmarks are pinned, unknown indices are rejected, and
+// the cluster never shrinks below two members.
+func TestRemoveValidation(t *testing.T) {
+	spec := Spec{Nodes: 3, Landmarks: 2, Binary: "overlayd-not-on-path"}
+	sup, err := New(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	if err := sup.Remove(0); err == nil {
+		t.Fatal("removed a landmark")
+	}
+	if err := sup.Remove(99); err == nil {
+		t.Fatal("removed an unknown node")
+	}
+	if got := len(sup.ActiveIndices()); got != 3 {
+		t.Fatalf("failed removals changed membership: %d active", got)
+	}
+	if err := sup.Restart(99); err == nil {
+		t.Fatal("restarted an unknown node")
+	}
+}
+
+// TestAdminHandlerValidation drives the supervisor admin API's error
+// surface over real HTTP, again without any process: bad bodies 400,
+// refused operations 422, wrong methods 405, and /status reports the
+// reserved membership.
+func TestAdminHandlerValidation(t *testing.T) {
+	spec := Spec{Nodes: 3, Landmarks: 3, Binary: "overlayd-not-on-path"}
+	sup, err := New(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	addr, closeAdmin, err := sup.ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAdmin()
+
+	st, err := AdminStatus(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Peers) != 3 || len(st.Nodes) != 3 {
+		t.Fatalf("status = %d peers, %d nodes; want 3/3", len(st.Peers), len(st.Nodes))
+	}
+	// All three nodes are landmarks: every removal must be refused.
+	if err := AdminRemove(addr, 1, time.Second); err == nil {
+		t.Fatal("admin removed a landmark")
+	}
+	if err := AdminRemove(addr, -1, time.Second); err == nil {
+		t.Fatal("admin removed a negative index")
+	}
+	resp, err := http.Post("http://"+addr+"/remove", "application/json",
+		strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage remove body = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /add = %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzClusterSpec hammers the spec's JSON surface — the part operators
+// hand-write, including the dual-form Duration (Go duration strings or
+// bare nanosecond counts). Whatever bytes arrive, decoding must never
+// panic; and any spec that decodes and normalizes must round-trip
+// stably: marshal → unmarshal → normalize → marshal reproduces the
+// same bytes, so a spec written back to disk means what it meant.
+func FuzzClusterSpec(f *testing.F) {
+	f.Add([]byte(`{"nodes": 5}`))
+	f.Add([]byte(`{"nodes": 5, "landmarks": 2, "ttl": "3s", "refresh": "750ms",
+		"join_retry": 250000000, "proxied": true, "seed": 7}`))
+	f.Add([]byte(`{"nodes": 3, "backoff_reset_after": "1m",
+		"restart_backoff_base": "50ms", "extra_args": ["-trace-sample", "1"]}`))
+	f.Add([]byte(`{"nodes": 2, "ttl": 1e9, "drain_timeout": "0s"}`))
+	f.Add([]byte(`{"nodes": 2, "ttl": {"bad": "type"}}`))
+	f.Add([]byte(`{"nodes": -1}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var spec Spec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := spec.Normalize(); err != nil {
+			return // invalid specs are allowed to be rejected
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("normalized spec does not marshal: %v (%+v)", err, spec)
+		}
+		var back Spec
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("marshaled spec does not decode: %v\n%s", err, out)
+		}
+		if err := back.Normalize(); err != nil {
+			t.Fatalf("round-tripped spec fails Normalize: %v\n%s", err, out)
+		}
+		out2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round trip unstable:\n first: %s\nsecond: %s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"slices"
+	"time"
+
+	"gsso/internal/wire"
+)
+
+// Membership operations: Add grows the fleet by one node, Remove
+// drains one out, RollingRestart cycles every node one at a time.
+// All three push the resulting peer list to the live nodes over
+// overlayd's /admin/peers endpoint, so the running ring swaps without
+// any process restart; a node that does restart rejoins with the
+// current list anyway (nodeArgs reads it at launch time), so a missed
+// push only lasts until the node's next incarnation.
+
+// Add grows the cluster by one node: reserve a fresh overlay+metrics
+// address pair (and a fault proxy when the cluster is proxied), launch
+// the node with the enlarged peer list, wait for it to turn live, then
+// push the new membership to every incumbent and wait for the whole
+// fleet — newcomer included — to report ready. Returns the new node's
+// index.
+func (s *Supervisor) Add() (int, error) {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if s.isStopping() {
+		return 0, fmt.Errorf("supervisor stopping")
+	}
+	addrs, err := ReserveAddrs(2)
+	if err != nil {
+		return 0, err
+	}
+	s.pmu.Lock()
+	index := len(s.procs)
+	s.pmu.Unlock()
+	p := &proc{
+		index:       index,
+		overlayAddr: addrs[0],
+		metricsAddr: addrs[1],
+		dialAddr:    addrs[0],
+		logPath:     filepath.Join(s.runDir, fmt.Sprintf("node-%d.log", index)),
+		restart:     true,
+		state:       StateStopped,
+	}
+	if s.spec.Proxied {
+		proxy, err := wire.NewFaultProxy(p.overlayAddr, s.spec.Seed+uint64(index))
+		if err != nil {
+			return 0, fmt.Errorf("proxy for node %d: %w", index, err)
+		}
+		p.proxy = proxy
+		p.dialAddr = proxy.Addr()
+	}
+	s.pmu.Lock()
+	s.procs = append(s.procs, p)
+	s.peers = append(append([]string(nil), s.peers...), p.dialAddr)
+	peers := append([]string(nil), s.peers...)
+	s.pmu.Unlock()
+	if err := s.startProcess(p); err != nil {
+		return index, fmt.Errorf("node %d: %w", index, err)
+	}
+	s.startMonitor(p)
+	if err := s.waitProbe(p.metricsAddr, "/healthz", s.spec.BootTimeout.D()); err != nil {
+		return index, fmt.Errorf("node %d never turned live: %w", index, err)
+	}
+	p.setState(StateRunning)
+	s.logger.Info("node-added", "node", index, "addr", p.overlayAddr, "peers", len(peers))
+	s.pushPeers(peers, index)
+	if err := s.WaitAllReady(s.spec.BootTimeout.D()); err != nil {
+		return index, err
+	}
+	return index, nil
+}
+
+// Remove drains node i out of the cluster. The shrunken membership is
+// pushed to the victim FIRST, so it re-homes its shard (and withdraws
+// its own record from ex-owners) while it can still talk to the ring;
+// then the list goes to everyone else, and the victim is drained
+// (auto-restart off, SIGTERM, SIGKILL after the drain budget) and
+// marked removed. Landmark nodes are pinned — every node measures its
+// coordinate against them, so they can be restarted but never removed
+// — and the cluster refuses to shrink below two nodes.
+func (s *Supervisor) Remove(i int) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	p, err := s.procAt(i)
+	if err != nil {
+		return err
+	}
+	if i < s.spec.Landmarks {
+		return fmt.Errorf("node %d is a landmark; landmarks cannot be removed", i)
+	}
+	if p.isRemoved() {
+		return fmt.Errorf("node %d already removed", i)
+	}
+	if len(s.ActiveIndices()) <= 2 {
+		return fmt.Errorf("refusing to shrink below 2 nodes")
+	}
+	// Turn restarts off before anything else: a crash mid-removal must
+	// not resurrect the victim.
+	s.SetAutoRestart(i, false)
+	s.pmu.Lock()
+	if idx := slices.Index(s.peers, p.dialAddr); idx >= 0 {
+		s.peers = slices.Delete(append([]string(nil), s.peers...), idx, idx+1)
+	}
+	peers := append([]string(nil), s.peers...)
+	s.pmu.Unlock()
+	// Victim first: hand the shard off under the new ring. Best effort —
+	// a dead victim's records expire with their TTL instead.
+	if _, err := PushPeers(p.metricsAddr, peers, s.spec.Timeout.D()); err != nil {
+		s.logger.Warn("remove-rehome-failed", "node", i, "err", err)
+	}
+	s.pushPeers(peers, i)
+	s.stopProc(p)
+	p.mu.Lock()
+	mon := p.monDone
+	p.mu.Unlock()
+	if mon != nil {
+		<-mon
+	}
+	p.mu.Lock()
+	p.removed = true
+	p.state = StateRemoved
+	p.mu.Unlock()
+	s.logger.Info("node-removed", "node", i, "peers", len(peers))
+	return nil
+}
+
+// Restart gracefully restarts node i: drain the current process
+// (SIGTERM, SIGKILL after the drain budget), wait for its monitor to
+// retire, then relaunch on the same addresses with the current peer
+// list and wait for the node to turn live and ready again.
+func (s *Supervisor) Restart(i int) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	return s.restart(i)
+}
+
+func (s *Supervisor) restart(i int) error {
+	p, err := s.procAt(i)
+	if err != nil {
+		return err
+	}
+	if p.isRemoved() {
+		return fmt.Errorf("node %d was removed", i)
+	}
+	s.SetAutoRestart(i, false)
+	s.stopProc(p)
+	p.mu.Lock()
+	mon := p.monDone
+	p.mu.Unlock()
+	if mon != nil {
+		<-mon
+	}
+	s.SetAutoRestart(i, true)
+	if err := s.startProcess(p); err != nil {
+		return fmt.Errorf("node %d: %w", i, err)
+	}
+	s.startMonitor(p)
+	if err := s.waitProbe(p.metricsAddr, "/healthz", s.spec.BootTimeout.D()); err != nil {
+		return fmt.Errorf("node %d never turned live after restart: %w", i, err)
+	}
+	p.setState(StateRunning)
+	if err := s.WaitReady(i, s.spec.BootTimeout.D()); err != nil {
+		return fmt.Errorf("node %d never turned ready after restart: %w", i, err)
+	}
+	s.logger.Info("node-restarted", "node", i)
+	return nil
+}
+
+// RollingRestart restarts every active node, one at a time, gating
+// each drain on the whole fleet reporting ready first — at most one
+// node is ever down, so every shard keeps a serving replica
+// throughout and clients never see the ring go dark.
+func (s *Supervisor) RollingRestart() error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	for _, i := range s.ActiveIndices() {
+		if err := s.WaitAllReady(s.spec.BootTimeout.D()); err != nil {
+			return fmt.Errorf("before restarting node %d: %w", i, err)
+		}
+		if err := s.restart(i); err != nil {
+			return err
+		}
+	}
+	return s.WaitAllReady(s.spec.BootTimeout.D())
+}
+
+// pushPeers pushes the membership to every active node except skip
+// (-1 for none). Each node gets a few attempts; a node that still
+// misses the push rejoins with the current list at its next restart,
+// and its stale ring heals through soft-state TTL in the meantime, so
+// failures are logged rather than fatal.
+func (s *Supervisor) pushPeers(peers []string, skip int) {
+	for _, p := range s.snapshot() {
+		if p.index == skip || p.isRemoved() {
+			continue
+		}
+		var err error
+		for attempt := 0; attempt < 5; attempt++ {
+			var epoch uint64
+			if epoch, err = PushPeers(p.metricsAddr, peers, s.spec.Timeout.D()); err == nil {
+				s.logger.Debug("peers-pushed", "node", p.index, "epoch", epoch)
+				break
+			}
+			select {
+			case <-s.stopping:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		if err != nil {
+			s.logger.Warn("peers-push-failed", "node", p.index, "err", err)
+		}
+	}
+}

@@ -78,7 +78,13 @@ type Spec struct {
 	DrainTimeout       Duration `json:"drain_timeout,omitempty"`
 	RestartBackoffBase Duration `json:"restart_backoff_base,omitempty"`
 	RestartBackoffMax  Duration `json:"restart_backoff_max,omitempty"`
-	BootTimeout        Duration `json:"boot_timeout,omitempty"`
+	// BackoffResetAfter is the healthy-uptime window that earns a node
+	// a clean slate: when an incarnation stays up at least this long
+	// before exiting, its next restart waits only the base delay again
+	// instead of the streak-inflated one. Lifetime restart counts (in
+	// Status) are unaffected.
+	BackoffResetAfter Duration `json:"backoff_reset_after,omitempty"`
+	BootTimeout       Duration `json:"boot_timeout,omitempty"`
 
 	// Proxied fronts every node with a wire.FaultProxy; peer and
 	// landmark lists then carry the proxy addresses, so every
@@ -149,6 +155,9 @@ func (s *Spec) Normalize() error {
 	}
 	if s.RestartBackoffMax < s.RestartBackoffBase {
 		s.RestartBackoffMax = s.RestartBackoffBase
+	}
+	if s.BackoffResetAfter <= 0 {
+		s.BackoffResetAfter = Duration(30 * time.Second)
 	}
 	if s.BootTimeout <= 0 {
 		s.BootTimeout = Duration(30 * time.Second)

@@ -40,6 +40,10 @@ const (
 	// StateStopped: the process exited and will not be restarted
 	// (supervisor stopping, or auto-restart disabled for the node).
 	StateStopped NodeState = "stopped"
+	// StateRemoved: the node was drained out of the membership by
+	// Remove and will never run again; its row stays in Status so
+	// indices remain stable.
+	StateRemoved NodeState = "removed"
 )
 
 // NodeStatus is a point-in-time snapshot of one supervised node.
@@ -51,6 +55,7 @@ type NodeStatus struct {
 	PID         int       `json:"pid"`
 	State       NodeState `json:"state"`
 	Restarts    int       `json:"restarts"`
+	Streak      int       `json:"streak,omitempty"`
 	LogPath     string    `json:"log"`
 }
 
@@ -66,12 +71,16 @@ type proc struct {
 	proxy       *wire.FaultProxy
 	logPath     string
 
-	mu       sync.Mutex
-	cmd      *exec.Cmd
-	done     chan struct{} // closed when the current process exits
-	state    NodeState
-	restarts int
-	restart  bool // auto-restart on unexpected exit
+	mu        sync.Mutex
+	cmd       *exec.Cmd
+	done      chan struct{} // closed when the current process exits
+	monDone   chan struct{} // closed when the current monitor goroutine retires
+	state     NodeState
+	restarts  int       // lifetime crash-restart count, reported in Status
+	streak    int       // consecutive crashes without a healthy-uptime window; drives backoff
+	startedAt time.Time // launch time of the current incarnation
+	restart   bool      // auto-restart on unexpected exit
+	removed   bool      // drained out of the membership; never runs again
 }
 
 func (p *proc) setState(st NodeState) {
@@ -86,14 +95,34 @@ func (p *proc) autoRestart() bool {
 	return p.restart
 }
 
+func (p *proc) isRemoved() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.removed
+}
+
 // Supervisor runs and babysits the cluster described by its Spec.
+// Membership is dynamic: Add and Remove grow and shrink the fleet at
+// runtime, pushing the new peer list to every live node over the
+// overlayd admin endpoint, and RollingRestart cycles every node one at
+// a time behind a fleet-readiness barrier.
 type Supervisor struct {
 	spec   Spec
 	logger *slog.Logger
-	procs  []*proc
-	peers  []string // dial addresses, in node order (= sorted ring input)
-	lms    []string // first spec.Landmarks entries of peers
 	runDir string
+	lms    []string // landmark dial addresses, fixed at boot
+
+	// pmu guards procs and peers. procs is append-only (removed nodes
+	// keep their row so indices stay stable); peers is the current
+	// membership's dial addresses.
+	pmu   sync.Mutex
+	procs []*proc
+	peers []string
+
+	// opMu serializes membership operations (Add, Remove,
+	// RollingRestart) so concurrent admin calls cannot interleave
+	// half-applied peer lists.
+	opMu sync.Mutex
 
 	stopOnce sync.Once
 	stopping chan struct{}
@@ -101,6 +130,23 @@ type Supervisor struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+}
+
+// snapshot returns the current proc slice under the lock; the slice is
+// append-only, so iterating the returned value is safe.
+func (s *Supervisor) snapshot() []*proc {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.procs
+}
+
+// procAt bounds-checks i and returns its proc.
+func (s *Supervisor) procAt(i int) (*proc, error) {
+	procs := s.snapshot()
+	if i < 0 || i >= len(procs) {
+		return nil, fmt.Errorf("node %d out of range [0, %d)", i, len(procs))
+	}
+	return procs[i], nil
 }
 
 // New validates the spec, reserves every address the cluster will ever
@@ -160,7 +206,9 @@ func New(spec Spec, logger *slog.Logger) (*Supervisor, error) {
 		s.procs = append(s.procs, p)
 		s.peers = append(s.peers, p.dialAddr)
 	}
-	s.lms = s.peers[:spec.Landmarks]
+	// Clone: peers is rewritten on membership changes and must not
+	// share a backing array with the fixed landmark list.
+	s.lms = append([]string(nil), s.peers[:spec.Landmarks]...)
 	return s, nil
 }
 
@@ -176,12 +224,11 @@ func New(spec Spec, logger *slog.Logger) (*Supervisor, error) {
 //
 // On any bootstrap error the caller still owns cleanup: call Stop.
 func (s *Supervisor) Start() error {
-	for _, p := range s.procs {
+	for _, p := range s.snapshot() {
 		if err := s.startProcess(p); err != nil {
 			return fmt.Errorf("node %d: %w", p.index, err)
 		}
-		s.wg.Add(1)
-		go s.monitor(p)
+		s.startMonitor(p)
 		if err := s.waitProbe(p.metricsAddr, "/healthz", s.spec.BootTimeout.D()); err != nil {
 			return fmt.Errorf("node %d never turned live: %w", p.index, err)
 		}
@@ -191,7 +238,7 @@ func (s *Supervisor) Start() error {
 	if err := s.WaitAllReady(s.spec.BootTimeout.D()); err != nil {
 		return err
 	}
-	s.logger.Info("cluster-ready", "nodes", len(s.procs))
+	s.logger.Info("cluster-ready", "nodes", len(s.snapshot()))
 	return nil
 }
 
@@ -220,6 +267,7 @@ func (s *Supervisor) startProcess(p *proc) error {
 	p.cmd = cmd
 	p.done = done
 	p.state = StateStarting
+	p.startedAt = time.Now()
 	p.mu.Unlock()
 	s.logger.Info("node-started", "node", p.index, "pid", cmd.Process.Pid,
 		"addr", p.overlayAddr, "metrics", p.metricsAddr)
@@ -228,11 +276,16 @@ func (s *Supervisor) startProcess(p *proc) error {
 
 // nodeArgs builds one node's command line. Every node publishes: the
 // harness's invariants are about everyone's record being findable.
+// The peer list is read at call time, so a node restarted after a
+// membership change rejoins with the current ring, not the boot one.
 func (s *Supervisor) nodeArgs(p *proc) []string {
+	s.pmu.Lock()
+	peers := strings.Join(s.peers, ",")
+	s.pmu.Unlock()
 	args := []string{
 		"-listen", p.overlayAddr,
 		"-metrics", p.metricsAddr,
-		"-peers", strings.Join(s.peers, ","),
+		"-peers", peers,
 		"-landmarks", strings.Join(s.lms, ","),
 		"-publish",
 		"-ttl", s.spec.TTL.String(),
@@ -251,11 +304,30 @@ func (s *Supervisor) nodeArgs(p *proc) []string {
 	return append(args, s.spec.ExtraArgs...)
 }
 
+// startMonitor spawns the crash/restart loop for p's current
+// incarnation and arms monDone so drains (Remove, Restart) can wait
+// for the loop to retire before relaunching the node themselves.
+func (s *Supervisor) startMonitor(p *proc) {
+	monDone := make(chan struct{})
+	p.mu.Lock()
+	p.monDone = monDone
+	p.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer close(monDone)
+		s.monitor(p)
+	}()
+}
+
 // monitor owns one node's crash/restart loop: it waits for the current
 // process to exit, and unless the supervisor is stopping (or restarts
 // are disabled for the node) relaunches it after a capped, jittered
-// backoff. The restart counter resets never — it is the node's
-// lifetime crash count, reported in Status.
+// backoff. Two counters diverge here: restarts is the node's lifetime
+// crash count (reported in Status, never reset), while streak drives
+// the backoff and resets once an incarnation survives the spec's
+// BackoffResetAfter window — a node that crashed five times last week
+// but has been healthy since should not wait out the max delay for
+// today's one-off crash.
 func (s *Supervisor) monitor(p *proc) {
 	defer s.wg.Done()
 	for {
@@ -275,12 +347,14 @@ func (s *Supervisor) monitor(p *proc) {
 		}
 		p.mu.Lock()
 		p.restarts++
-		n := p.restarts
+		p.streak = s.nextStreak(p.streak, time.Since(p.startedAt))
+		n := p.streak
+		lifetime := p.restarts
 		p.state = StateBackoff
 		p.mu.Unlock()
 		delay := s.backoff(n)
 		s.logger.Warn("node-exited", "node", p.index, "status", status,
-			"restarts", n, "restart_in", delay)
+			"restarts", lifetime, "streak", n, "restart_in", delay)
 		for {
 			select {
 			case <-s.stopping:
@@ -299,7 +373,8 @@ func (s *Supervisor) monitor(p *proc) {
 				// backing off rather than abandoning the node.
 				p.mu.Lock()
 				p.restarts++
-				n = p.restarts
+				p.streak++
+				n = p.streak
 				p.mu.Unlock()
 				delay = s.backoff(n)
 				s.logger.Error("node-restart-failed", "node", p.index,
@@ -307,6 +382,17 @@ func (s *Supervisor) monitor(p *proc) {
 			}
 		}
 	}
+}
+
+// nextStreak advances the consecutive-crash counter that drives the
+// restart backoff: an incarnation that stayed up at least the spec's
+// BackoffResetAfter window earned a clean slate, so its crash counts
+// as the first of a new streak rather than extending the old one.
+func (s *Supervisor) nextStreak(streak int, uptime time.Duration) int {
+	if uptime >= s.spec.BackoffResetAfter.D() {
+		return 1
+	}
+	return streak + 1
 }
 
 // markLiveWhenProbed flips a restarted node back to StateRunning once
@@ -356,7 +442,10 @@ func (s *Supervisor) isStopping() bool {
 // harness's crash primitive. The monitor notices the exit and, if
 // auto-restart is on, relaunches the node on the same addresses.
 func (s *Supervisor) Kill(i int) error {
-	p := s.procs[i]
+	p, err := s.procAt(i)
+	if err != nil {
+		return err
+	}
 	p.mu.Lock()
 	cmd := p.cmd
 	p.mu.Unlock()
@@ -370,7 +459,10 @@ func (s *Supervisor) Kill(i int) error {
 // graceful drain the caller wants to observe without stopping the
 // whole cluster — pair with SetAutoRestart(i, false) first).
 func (s *Supervisor) Signal(i int, sig os.Signal) error {
-	p := s.procs[i]
+	p, err := s.procAt(i)
+	if err != nil {
+		return err
+	}
 	p.mu.Lock()
 	cmd := p.cmd
 	p.mu.Unlock()
@@ -382,7 +474,10 @@ func (s *Supervisor) Signal(i int, sig os.Signal) error {
 
 // SetAutoRestart toggles crash-restart for node i.
 func (s *Supervisor) SetAutoRestart(i int, on bool) {
-	p := s.procs[i]
+	p, err := s.procAt(i)
+	if err != nil {
+		return
+	}
 	p.mu.Lock()
 	p.restart = on
 	p.mu.Unlock()
@@ -392,7 +487,10 @@ func (s *Supervisor) SetAutoRestart(i int, on bool) {
 // lapses. It snapshots the done channel first, so a restart that races
 // in does not extend the wait.
 func (s *Supervisor) WaitExit(i int, timeout time.Duration) error {
-	p := s.procs[i]
+	p, err := s.procAt(i)
+	if err != nil {
+		return err
+	}
 	p.mu.Lock()
 	done := p.done
 	p.mu.Unlock()
@@ -415,8 +513,9 @@ func (s *Supervisor) WaitExit(i int, timeout time.Duration) error {
 func (s *Supervisor) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopping)
+		procs := s.snapshot()
 		var wg sync.WaitGroup
-		for _, p := range s.procs {
+		for _, p := range procs {
 			wg.Add(1)
 			go func(p *proc) {
 				defer wg.Done()
@@ -425,7 +524,7 @@ func (s *Supervisor) Stop() {
 		}
 		wg.Wait()
 		s.wg.Wait()
-		for _, p := range s.procs {
+		for _, p := range procs {
 			if p.proxy != nil {
 				p.proxy.Close()
 			}
@@ -485,13 +584,17 @@ func probe(addr, path string, timeout time.Duration) error {
 	return nil
 }
 
-// WaitAllReady blocks until every node's /readyz answers 200, naming
-// the stragglers (with their last not-ready reason) on timeout.
+// WaitAllReady blocks until every active node's /readyz answers 200,
+// naming the stragglers (with their last not-ready reason) on timeout.
+// Removed nodes are skipped: they are not members anymore.
 func (s *Supervisor) WaitAllReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		var pending []string
-		for _, p := range s.procs {
+		for _, p := range s.snapshot() {
+			if p.isRemoved() {
+				continue
+			}
 			if err := probe(p.metricsAddr, "/readyz", time.Second); err != nil {
 				pending = append(pending, fmt.Sprintf("node %d: %v", p.index, err))
 			}
@@ -512,7 +615,11 @@ func (s *Supervisor) WaitAllReady(timeout time.Duration) error {
 
 // WaitReady blocks until node i's /readyz answers 200.
 func (s *Supervisor) WaitReady(i int, timeout time.Duration) error {
-	return s.waitProbe(s.procs[i].metricsAddr, "/readyz", timeout)
+	p, err := s.procAt(i)
+	if err != nil {
+		return err
+	}
+	return s.waitProbe(p.metricsAddr, "/readyz", timeout)
 }
 
 // Spec returns the normalized spec the supervisor runs.
@@ -521,20 +628,46 @@ func (s *Supervisor) Spec() Spec { return s.spec }
 // RunDir returns the directory holding per-node logs.
 func (s *Supervisor) RunDir() string { return s.runDir }
 
-// NodeAddrs returns the dial address of every node in index order —
-// the proxy addresses when the cluster is proxied. This is exactly the
-// peer list the nodes themselves were given, so ring ownership
-// computed against it matches the cluster's.
-func (s *Supervisor) NodeAddrs() []string { return append([]string(nil), s.peers...) }
+// NodeAddrs returns the dial address of every active node — the proxy
+// addresses when the cluster is proxied. This is exactly the current
+// membership the nodes themselves hold, so ring ownership computed
+// against it matches the cluster's.
+func (s *Supervisor) NodeAddrs() []string {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return append([]string(nil), s.peers...)
+}
+
+// ActiveIndices returns the indices of nodes that are still cluster
+// members, in index order. Removed nodes keep their Status rows but
+// are excluded here.
+func (s *Supervisor) ActiveIndices() []int {
+	var out []int
+	for _, p := range s.snapshot() {
+		if !p.isRemoved() {
+			out = append(out, p.index)
+		}
+	}
+	return out
+}
 
 // OverlayAddr returns node i's real bind address (behind the proxy).
-func (s *Supervisor) OverlayAddr(i int) string { return s.procs[i].overlayAddr }
+func (s *Supervisor) OverlayAddr(i int) string {
+	p, err := s.procAt(i)
+	if err != nil {
+		return ""
+	}
+	return p.overlayAddr
+}
 
-// MetricsAddrs returns every node's metrics address in index order.
+// MetricsAddrs returns every active node's metrics address in index
+// order; removed nodes are excluded, so the list always scrapes clean.
 func (s *Supervisor) MetricsAddrs() []string {
-	out := make([]string, len(s.procs))
-	for i, p := range s.procs {
-		out[i] = p.metricsAddr
+	var out []string
+	for _, p := range s.snapshot() {
+		if !p.isRemoved() {
+			out = append(out, p.metricsAddr)
+		}
 	}
 	return out
 }
@@ -542,12 +675,20 @@ func (s *Supervisor) MetricsAddrs() []string {
 // ProxyOf returns node i's fault proxy (nil when the cluster is not
 // proxied). Partitioning it cuts node i off asymmetrically or fully,
 // depending on the mode — every other node dials i through it.
-func (s *Supervisor) ProxyOf(i int) *wire.FaultProxy { return s.procs[i].proxy }
+func (s *Supervisor) ProxyOf(i int) *wire.FaultProxy {
+	p, err := s.procAt(i)
+	if err != nil {
+		return nil
+	}
+	return p.proxy
+}
 
-// Status snapshots every node's supervision state.
+// Status snapshots every node's supervision state, removed rows
+// included (indices are stable for the cluster's lifetime).
 func (s *Supervisor) Status() []NodeStatus {
-	out := make([]NodeStatus, len(s.procs))
-	for i, p := range s.procs {
+	procs := s.snapshot()
+	out := make([]NodeStatus, len(procs))
+	for i, p := range procs {
 		p.mu.Lock()
 		st := NodeStatus{
 			Index:       p.index,
@@ -556,7 +697,11 @@ func (s *Supervisor) Status() []NodeStatus {
 			MetricsAddr: p.metricsAddr,
 			State:       p.state,
 			Restarts:    p.restarts,
+			Streak:      p.streak,
 			LogPath:     p.logPath,
+		}
+		if p.removed {
+			st.State = StateRemoved
 		}
 		if p.cmd != nil && p.cmd.Process != nil {
 			st.PID = p.cmd.Process.Pid

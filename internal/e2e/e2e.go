@@ -8,7 +8,9 @@
 //
 // Kill steps go through the supervisor (SIGKILL, restart under
 // backoff); partition steps go through each node's wire.FaultProxy, so
-// links are cut on the wire without touching the processes. The same
+// links are cut on the wire without touching the processes; membership
+// steps (add, remove, rolling-restart) drive the supervisor's live
+// reconfiguration surface, swapping rings on a running fleet. The same
 // Schedule type powers `overlayctl -chaos` and the `make e2e` gate.
 package e2e
 
@@ -20,6 +22,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -38,6 +41,17 @@ const (
 	// StepPartition cuts each victim's fault proxy for Hold, then lifts
 	// the cut (the analogue of netsim.PartitionWindow).
 	StepPartition StepKind = "partition"
+	// StepAdd grows the cluster by Count (default 1) fresh nodes; each
+	// boots with the enlarged membership, which is pushed live to every
+	// incumbent — no process restarts.
+	StepAdd StepKind = "add"
+	// StepRemove drains each victim out of the membership; when Victims
+	// is empty, Count victims are sampled from the removable set (active
+	// non-landmark nodes).
+	StepRemove StepKind = "remove"
+	// StepRollingRestart cycles every active node, one at a time,
+	// behind the fleet readiness barrier.
+	StepRollingRestart StepKind = "rolling-restart"
 )
 
 // Step is one entry in a fault schedule. Victims are node indices;
@@ -97,16 +111,18 @@ func ParsePartitionMode(s string) (wire.PartitionMode, error) {
 
 // Run replays the schedule against a supervised cluster, in order,
 // one step at a time. Partition steps require a proxied cluster.
+// Victim sampling draws from the cluster's current active membership,
+// so a schedule that adds or removes nodes keeps aiming at real ones.
 func (sc Schedule) Run(sup *cluster.Supervisor, logger *slog.Logger) error {
 	if logger == nil {
 		logger = slog.Default()
 	}
 	rng := rand.New(rand.NewPCG(sc.Seed, sc.Seed^0xda3e39cb94b95bdb))
-	nodes := len(sup.NodeAddrs())
 	for i, step := range sc.Steps {
+		active := sup.ActiveIndices()
 		victims := step.Victims
-		if len(victims) == 0 {
-			victims = sampleVictims(rng, nodes, step.Count)
+		if len(victims) == 0 && (step.Kind == StepKill || step.Kind == StepPartition) {
+			victims = sampleFrom(rng, active, step.Count)
 		}
 		switch step.Kind {
 		case StepKill:
@@ -115,6 +131,39 @@ func (sc Schedule) Run(sup *cluster.Supervisor, logger *slog.Logger) error {
 				if err := sup.Kill(v); err != nil {
 					return fmt.Errorf("step %d: kill node %d: %w", i, v, err)
 				}
+			}
+		case StepAdd:
+			count := step.Count
+			if count < 1 {
+				count = 1
+			}
+			for j := 0; j < count; j++ {
+				idx, err := sup.Add()
+				if err != nil {
+					return fmt.Errorf("step %d: add: %w", i, err)
+				}
+				logger.Info("chaos-add", "step", i, "node", idx)
+			}
+		case StepRemove:
+			if len(victims) == 0 {
+				var removable []int
+				for _, v := range active {
+					if v >= sup.Spec().Landmarks {
+						removable = append(removable, v)
+					}
+				}
+				victims = sampleFrom(rng, removable, step.Count)
+			}
+			for _, v := range victims {
+				logger.Info("chaos-remove", "step", i, "node", v)
+				if err := sup.Remove(v); err != nil {
+					return fmt.Errorf("step %d: remove node %d: %w", i, v, err)
+				}
+			}
+		case StepRollingRestart:
+			logger.Info("chaos-rolling-restart", "step", i, "nodes", len(active))
+			if err := sup.RollingRestart(); err != nil {
+				return fmt.Errorf("step %d: rolling restart: %w", i, err)
 			}
 		case StepPartition:
 			mode, err := ParsePartitionMode(step.Mode)
@@ -147,28 +196,34 @@ func (sc Schedule) Run(sup *cluster.Supervisor, logger *slog.Logger) error {
 	return nil
 }
 
-// sampleVictims draws count distinct node indices from the rng stream.
-func sampleVictims(rng *rand.Rand, nodes, count int) []int {
+// sampleFrom draws count distinct entries of pool from the rng stream.
+func sampleFrom(rng *rand.Rand, pool []int, count int) []int {
 	if count < 1 {
 		count = 1
 	}
-	if count > nodes {
-		count = nodes
+	if count > len(pool) {
+		count = len(pool)
 	}
-	perm := rng.Perm(nodes)
-	victims := append([]int(nil), perm[:count]...)
+	perm := rng.Perm(len(pool))
+	victims := make([]int, 0, count)
+	for _, p := range perm[:count] {
+		victims = append(victims, pool[p])
+	}
 	return victims
 }
 
 // Checker asserts cluster invariants from a client's vantage point.
-// Its observer node never joins the overlay — it only shares the
+// Its observer node never joins the overlay — it only mirrors the
 // cluster's peer list, so ring ownership computed here is exactly what
 // the cluster members compute (ownership derives from the sorted
-// shared peer list, nothing else).
+// shared peer list, nothing else). Membership is dynamic: each pass
+// re-reads the supervisor's active set, cross-checks it against the
+// ring every live node actually serves (the membership RPC), and only
+// then computes ownership — the checker never trusts the boot-time
+// spec.
 type Checker struct {
 	sup      *cluster.Supervisor
 	observer *wire.Node
-	expected []string // real overlay addrs: the record Addr values
 }
 
 // NewChecker builds a checker over a running cluster.
@@ -178,11 +233,7 @@ func NewChecker(sup *cluster.Supervisor) (*Checker, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Checker{sup: sup, observer: obsNode}
-	for i := range sup.NodeAddrs() {
-		c.expected = append(c.expected, sup.OverlayAddr(i))
-	}
-	return c, nil
+	return &Checker{sup: sup, observer: obsNode}, nil
 }
 
 // Close releases the observer node.
@@ -191,11 +242,17 @@ func (c *Checker) Close() { c.observer.Close() }
 // Converged makes one pass over the cluster and reports the first
 // violated invariant:
 //
-//  1. every node answers /readyz 200 (rejoined and republishing);
-//  2. enumerating every node's live shard, each record sits only on a
-//     ring owner of its number — no orphans;
-//  3. every member's record is present with at least the replication
-//     factor's worth of copies — full recall, replicas intact.
+//  1. every active node answers /readyz 200 (rejoined and
+//     republishing);
+//  2. every active node serves the supervisor's current membership
+//     over the peers RPC — the whole fleet agrees on one ring;
+//  3. enumerating every node's live shard, each record sits only on a
+//     ring owner of its number under that live membership — no
+//     orphans;
+//  4. every active member's record is present with at least the
+//     replication factor's worth of copies — full recall, replicas
+//     intact. (A just-removed member's record may linger on its owners
+//     until its TTL; it still counts as owned, not orphaned.)
 //
 // Stale copies published under a crashed incarnation's old number are
 // tolerated until their TTL reaps them: they still sit on the correct
@@ -205,31 +262,53 @@ func (c *Checker) Converged(timeout time.Duration) error {
 	if err := c.sup.WaitAllReady(time.Second); err != nil {
 		return err
 	}
-	replicas := c.sup.Spec().Replicas
+	active := c.sup.ActiveIndices()
 	dial := c.sup.NodeAddrs()
-	expectedSet := make(map[string]bool, len(c.expected))
-	for _, a := range c.expected {
-		expectedSet[a] = true
+	want := slices.Sorted(slices.Values(dial))
+	// Fleet-wide ring agreement, fetched from the live nodes — never
+	// assumed from the boot spec.
+	for j, addr := range dial {
+		peers, _, err := wire.FetchPeers(addr, timeout)
+		if err != nil {
+			return fmt.Errorf("fetch peers from node %d (%s): %w", active[j], addr, err)
+		}
+		if !slices.Equal(peers, want) {
+			return fmt.Errorf("node %d serves ring %v; supervisor membership is %v",
+				active[j], peers, want)
+		}
 	}
-	copies := make(map[string]int, len(c.expected))
+	// Ownership below is computed on that live membership.
+	if _, err := c.observer.SetPeers(want, timeout); err != nil {
+		return fmt.Errorf("observer ring swap: %w", err)
+	}
+	replicas := c.sup.Spec().Replicas
+	if len(want) < replicas {
+		replicas = len(want)
+	}
+	expectedSet := make(map[string]bool, len(active))
+	for _, i := range active {
+		expectedSet[c.sup.OverlayAddr(i)] = true
+	}
+	copies := make(map[string]int, len(active))
 	for j, addr := range dial {
 		recs, err := wire.Query(addr, 0, 1<<20, timeout)
 		if err != nil {
-			return fmt.Errorf("enumerate node %d (%s): %w", j, addr, err)
+			return fmt.Errorf("enumerate node %d (%s): %w", active[j], addr, err)
 		}
 		for _, rec := range recs {
-			if !expectedSet[rec.Addr] {
-				return fmt.Errorf("orphan on node %d: record for unknown addr %s", j, rec.Addr)
-			}
 			owners := c.observer.OwnersOf(rec.Number, replicas)
-			if !contains(owners, addr) {
+			if !slices.Contains(owners, addr) {
 				return fmt.Errorf("orphan on node %d: record %s (number %d) owned by %v",
-					j, rec.Addr, rec.Number, owners)
+					active[j], rec.Addr, rec.Number, owners)
+			}
+			if !expectedSet[rec.Addr] {
+				return fmt.Errorf("orphan on node %d: record for non-member addr %s",
+					active[j], rec.Addr)
 			}
 			copies[rec.Addr]++
 		}
 	}
-	for _, a := range c.expected {
+	for a := range expectedSet {
 		if copies[a] < replicas {
 			return fmt.Errorf("recall hole: %s has %d/%d replicas", a, copies[a], replicas)
 		}
@@ -251,15 +330,6 @@ func (c *Checker) WaitConverged(timeout, probeTimeout time.Duration) error {
 		}
 		time.Sleep(250 * time.Millisecond)
 	}
-}
-
-func contains(list []string, s string) bool {
-	for _, v := range list {
-		if v == s {
-			return true
-		}
-	}
-	return false
 }
 
 // OverlaydBinary builds cmd/overlayd once per process and returns the

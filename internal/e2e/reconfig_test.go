@@ -1,0 +1,122 @@
+package e2e
+
+import (
+	"log/slog"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"gsso/internal/cluster"
+	"gsso/internal/monitor"
+)
+
+// TestE2EReconfiguration is the rolling-operations half of the `make
+// e2e` gate: a five-node cluster of real overlayd processes scales up
+// by one node, down by one (seeded victim sampling from the removable
+// set), then rolling-restarts the whole fleet — and at every quiesce
+// point the checker proves full recall, replicas on exactly the
+// post-reconfiguration ring owners, fleet-wide agreement on the live
+// membership, and zero orphans. All reconfiguration flows through the
+// same seeded Schedule machinery as the chaos gate, so `overlayctl
+// -chaos` can replay the identical run.
+func TestE2EReconfiguration(t *testing.T) {
+	requireE2E(t)
+	const (
+		refresh  = time.Second
+		ttl      = 4 * time.Second
+		recovery = 20 * refresh // covers TTL expiry of any pre-reconfig stragglers
+	)
+	spec := cluster.Spec{
+		Nodes:        5,
+		Landmarks:    3,
+		Replicas:     2,
+		TTL:          cluster.Duration(ttl),
+		Refresh:      cluster.Duration(refresh),
+		Timeout:      cluster.Duration(time.Second),
+		JoinRetry:    cluster.Duration(300 * time.Millisecond),
+		DrainTimeout: cluster.Duration(2 * time.Second),
+		Seed:         11,
+		BootTimeout:  cluster.Duration(60 * time.Second),
+	}
+	sup := startCluster(t, spec)
+	ck := newChecker(t, sup)
+	if err := ck.WaitConverged(45*time.Second, time.Second); err != nil {
+		t.Fatalf("cluster never converged after bootstrap: %v", err)
+	}
+	quiesce := func(phase string) {
+		t.Helper()
+		if err := ck.WaitConverged(recovery, time.Second); err != nil {
+			t.Fatalf("not converged after %s: %v", phase, err)
+		}
+		t.Logf("converged after %s: %d active nodes", phase, len(sup.ActiveIndices()))
+	}
+
+	// Scale up by one: the newcomer boots with the enlarged ring, every
+	// incumbent swaps live.
+	up := Schedule{Seed: 11, Steps: []Step{{Kind: StepAdd, Settle: cluster.Duration(time.Second)}}}
+	if err := up.Run(sup, slog.Default()); err != nil {
+		t.Fatalf("scale-up schedule: %v", err)
+	}
+	if got := len(sup.ActiveIndices()); got != 6 {
+		t.Fatalf("active nodes after add = %d, want 6", got)
+	}
+	quiesce("scale-up")
+
+	// Scale down by one: the victim is sampled (seeded) from the
+	// removable set, re-homes its shard, and drains out.
+	down := Schedule{Seed: 11, Steps: []Step{{Kind: StepRemove, Settle: cluster.Duration(time.Second)}}}
+	if err := down.Run(sup, slog.Default()); err != nil {
+		t.Fatalf("scale-down schedule: %v", err)
+	}
+	if got := len(sup.ActiveIndices()); got != 5 {
+		t.Fatalf("active nodes after remove = %d, want 5", got)
+	}
+	quiesce("scale-down")
+
+	// Before the restarts wipe them, the monitoring surface must show
+	// the reconfigurations: every incumbent served at least two extra
+	// ring epochs (add + remove), and the EPOCH column is wired through.
+	view := monitor.BuildView(monitor.ScrapeAll(sup.MetricsAddrs(), 2*time.Second), 5)
+	for _, nv := range view.Nodes {
+		if nv.Epoch < 2 {
+			t.Fatalf("node %s reports ring epoch %.0f; want >= 2 after add+remove", nv.Addr, nv.Epoch)
+		}
+	}
+
+	// Full-fleet rolling restart behind the readiness barrier: at most
+	// one node down at any moment, every shard stays serveable.
+	roll := Schedule{Seed: 11, Steps: []Step{{Kind: StepRollingRestart}}}
+	if err := roll.Run(sup, slog.Default()); err != nil {
+		t.Fatalf("rolling-restart schedule: %v", err)
+	}
+	quiesce("rolling restart")
+
+	// Every active node really did restart: each log shows at least two
+	// incarnations (boot + roll), except the added node, which shows its
+	// add-time boot plus the roll.
+	for _, st := range sup.Status() {
+		if st.State == cluster.StateRemoved {
+			continue
+		}
+		raw, err := os.ReadFile(st.LogPath)
+		if err != nil {
+			t.Fatalf("node %d log: %v", st.Index, err)
+		}
+		if got := strings.Count(string(raw), "supervisor: start node"); got < 2 {
+			t.Fatalf("node %d shows %d incarnations; rolling restart missed it", st.Index, got)
+		}
+	}
+
+	// And the post-roll fleet agrees with the monitor: all active nodes
+	// healthy, ready, and carrying the records.
+	view = monitor.BuildView(monitor.ScrapeAll(sup.MetricsAddrs(), 2*time.Second), 5)
+	active := len(sup.ActiveIndices())
+	if view.Healthy != active || view.Ready != active {
+		t.Fatalf("overlaymon disagrees: healthy=%d ready=%d want %d/%d",
+			view.Healthy, view.Ready, active, active)
+	}
+	if view.TotalRecords < float64(active) {
+		t.Fatalf("snapshot shows %.0f records; want >= %d", view.TotalRecords, active)
+	}
+}

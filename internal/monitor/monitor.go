@@ -139,8 +139,16 @@ type NodeView struct {
 	// wire_codec{version} gauge. During a rollout the json count drains
 	// toward zero as old peers restart onto the binary codec; nodes
 	// predating the gauge report both as zero.
-	ConnsBinary  float64  `json:"conns_binary"`
-	ConnsJSON    float64  `json:"conns_json"`
+	ConnsBinary float64 `json:"conns_binary"`
+	ConnsJSON   float64 `json:"conns_json"`
+	// Epoch is the node's current ring epoch (wire_ring_epoch): 1 at
+	// boot, +1 per live membership swap applied. Nodes disagreeing on
+	// membership show different epochs only transiently — the peer set,
+	// not the epoch, is the agreement criterion (epochs are per-node
+	// counters and reset to 1 on restart). Reconfigs counts the swaps
+	// this incarnation applied (cluster_reconfig_total).
+	Epoch        float64  `json:"epoch"`
+	Reconfigs    float64  `json:"reconfigs"`
 	Suspected    float64  `json:"suspected"`
 	OpenBreakers []string `json:"open_breakers,omitempty"`
 }
@@ -242,6 +250,8 @@ func BuildView(scrapes []ScrapeResult, top int) ClusterView {
 				}
 			}
 		}
+		nv.Epoch = sumSeries(sc.Snap, "wire_ring_epoch")
+		nv.Reconfigs = sumSeries(sc.Snap, "cluster_reconfig_total")
 		nv.Suspected = sumSeries(sc.Snap, "core_suspected_members")
 		if f, ok := sc.Snap.Family("wire_breaker_state"); ok {
 			for _, se := range f.Series {

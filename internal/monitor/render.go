@@ -14,7 +14,7 @@ func RenderText(w io.Writer, v ClusterView) {
 	fmt.Fprintf(w, "cluster: %d/%d healthy, %d ready, %.0f records on %d/%d nodes, %d traced\n",
 		v.Healthy, len(v.Nodes), v.Ready, v.TotalRecords, v.CoverageNodes, v.Healthy, v.TracedNodes)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NODE\tHEALTH\tREADY\tRECORDS\tREQUESTS\tREQ/S\tREFRESH_FAIL\tCONNS\tCODECS\tSUSPECTED\tOPEN_BREAKERS")
+	fmt.Fprintln(tw, "NODE\tHEALTH\tREADY\tEPOCH\tRECORDS\tREQUESTS\tREQ/S\tREFRESH_FAIL\tCONNS\tCODECS\tSUSPECTED\tOPEN_BREAKERS")
 	for _, n := range v.Nodes {
 		health := "up"
 		if !n.Healthy {
@@ -44,8 +44,18 @@ func RenderText(w io.Writer, v ClusterView) {
 		if n.ConnsBinary > 0 || n.ConnsJSON > 0 {
 			codecs = fmt.Sprintf("bin:%.0f json:%.0f", n.ConnsBinary, n.ConnsJSON)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%s\t%.0f\t%s\n",
-			n.Addr, health, ready, n.Records, n.Requests, rps,
+		// Ring epoch, with the live-reconfig count when any were applied:
+		// "3 (+2)" reads as epoch 3 after 2 swaps this incarnation. Nodes
+		// predating the gauge show "-".
+		epoch := "-"
+		if n.Epoch > 0 {
+			epoch = fmt.Sprintf("%.0f", n.Epoch)
+			if n.Reconfigs > 0 {
+				epoch = fmt.Sprintf("%.0f (+%.0f)", n.Epoch, n.Reconfigs)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%s\t%.0f\t%s\n",
+			n.Addr, health, ready, epoch, n.Records, n.Requests, rps,
 			n.RefreshFailures, n.ConnsOpen, codecs, n.Suspected, breakers)
 	}
 	tw.Flush()

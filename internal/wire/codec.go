@@ -53,17 +53,22 @@ const binMagic = 0xBF
 // advertisement (uvarint), number (uvarint), max (zigzag varint), addr
 // (string), err (string), record (if flagged), records (uvarint count +
 // records), errs (uvarint count + strings), trace (8+8+1 bytes, if
-// flagged), stats (uvarint length + JSON bytes, if flagged). Strings
+// flagged), stats (uvarint length + JSON bytes, if flagged), membership
+// (epoch uvarint + uvarint peer count + strings, if flagged). Strings
 // are uvarint length + raw bytes; records are addr, number (uvarint),
 // expires (int64 LE), vector (uvarint count + float64 LE each).
 const binHeaderLen = 16
 
 // Binary header flags: presence bits for the pointer-typed fields,
-// where nil versus zero-valued matters.
+// where nil versus zero-valued matters. binFlagMembership covers the
+// Peers/Epoch pair carried by peers-reply frames; pre-membership
+// decoders never see it set by old senders, and frames without it
+// decode exactly as before.
 const (
-	binFlagRecord = 1 << 0
-	binFlagTrace  = 1 << 1
-	binFlagStats  = 1 << 2
+	binFlagRecord     = 1 << 0
+	binFlagTrace      = 1 << 1
+	binFlagStats      = 1 << 2
+	binFlagMembership = 1 << 3
 )
 
 // msgTypeCode maps message types to their binary type codes. A type
@@ -83,6 +88,8 @@ var msgTypeCode = map[MsgType]byte{
 	MsgPublishBatch: 11,
 	MsgBatchAck:     12,
 	MsgError:        13,
+	MsgPeers:        14,
+	MsgPeersReply:   15,
 }
 
 // msgTypeByCode is the reverse mapping; index 0 stays empty.
@@ -90,6 +97,7 @@ var msgTypeByCode = [...]MsgType{
 	1: MsgPing, 2: MsgPong, 3: MsgStore, 4: MsgStored, 5: MsgQuery,
 	6: MsgRecords, 7: MsgStats, 8: MsgStatsReply, 9: MsgRemove,
 	10: MsgRemoved, 11: MsgPublishBatch, 12: MsgBatchAck, 13: MsgError,
+	14: MsgPeers, 15: MsgPeersReply,
 }
 
 // appendUvarint/appendString/appendF64 are the payload field writers.
@@ -136,6 +144,9 @@ func appendMessageBinary(buf []byte, m *Message) ([]byte, bool) {
 	if statsJSON != nil {
 		flags |= binFlagStats
 	}
+	if m.Epoch != 0 || len(m.Peers) > 0 {
+		flags |= binFlagMembership
+	}
 	start := len(buf)
 	buf = append(buf, binMagic, CodecBinary, code, flags)
 	buf = append(buf, 0, 0, 0, 0) // payload length, patched below
@@ -169,6 +180,13 @@ func appendMessageBinary(buf []byte, m *Message) ([]byte, bool) {
 	if statsJSON != nil {
 		buf = binary.AppendUvarint(buf, uint64(len(statsJSON)))
 		buf = append(buf, statsJSON...)
+	}
+	if flags&binFlagMembership != 0 {
+		buf = binary.AppendUvarint(buf, m.Epoch)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Peers)))
+		for _, p := range m.Peers {
+			buf = appendString(buf, p)
+		}
 	}
 	binary.LittleEndian.PutUint32(buf[start+4:start+8], uint32(len(buf)-start-binHeaderLen))
 	return buf, true
@@ -408,6 +426,19 @@ func decodeMessageBinary(frame []byte, st *decodeState) (Message, error) {
 					return Message{}, fmt.Errorf("wire: binary stats payload: %w", err)
 				}
 				m.Stats = &snap
+			}
+		}
+	}
+	if r.err == nil && flags&binFlagMembership != 0 {
+		m.Epoch = r.uvarint("epoch")
+		np := r.uvarint("peers count")
+		if r.err == nil && np > uint64(r.remaining())+1 {
+			r.fail("peers count")
+		}
+		if r.err == nil && np > 0 {
+			m.Peers = make([]string, np)
+			for i := range m.Peers {
+				m.Peers[i] = r.internedString(st, "peers")
 			}
 		}
 	}

@@ -58,6 +58,14 @@ func sameMessage(t *testing.T, what string, a, b Message) {
 		(a.Stats != nil && len(a.Stats.Families) != len(b.Stats.Families)) {
 		t.Fatalf("%s mangled stats snapshot", what)
 	}
+	if a.Epoch != b.Epoch || len(a.Peers) != len(b.Peers) {
+		t.Fatalf("%s mangled membership:\n in: %+v\nout: %+v", what, a, b)
+	}
+	for i := range a.Peers {
+		if a.Peers[i] != b.Peers[i] {
+			t.Fatalf("%s mangled peer %d: %q vs %q", what, i, a.Peers[i], b.Peers[i])
+		}
+	}
 }
 
 // FuzzReadMessage fuzzes the wire codec: arbitrary byte streams must
@@ -106,6 +114,9 @@ func FuzzReadMessage(f *testing.F) {
 	mixed := append(binFrame(Message{Type: MsgPing, Seq: 9}),
 		[]byte("{\"type\":\"pong\",\"seq\":10}\n")...)
 	f.Add(mixed) // binary then JSON on one stream
+	f.Add(binFrame(Message{Type: MsgPeers, Seq: 11}))
+	f.Add(binFrame(Message{Type: MsgPeersReply, Seq: 12, Epoch: 3,
+		Peers: []string{"a:1", "b:2", "c:3"}}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReader(bytes.NewReader(data))
@@ -155,6 +166,9 @@ func FuzzCodecDifferential(f *testing.F) {
 	f.Add([]byte("{\"type\":\"batch-ack\",\"seq\":6,\"errs\":[\"\",\"store without addr\",\"\"]}\n"))
 	f.Add([]byte("{\"type\":\"error\",\"seq\":7,\"err\":\"boom\"}\n"))
 	f.Add([]byte("{\"type\":\"remove\",\"seq\":8,\"addr\":\"1.2.3.4:5\",\"trace\":{\"trace_id\":12345,\"span_id\":678,\"sampled\":true}}\n"))
+	f.Add([]byte("{\"type\":\"peers\",\"seq\":9}\n"))
+	f.Add([]byte("{\"type\":\"peers-reply\",\"seq\":10,\"epoch\":4,\"peers\":[\"a:1\",\"b:2\"]}\n"))
+	f.Add([]byte("{\"type\":\"peers-reply\",\"seq\":11,\"epoch\":0,\"peers\":[]}\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadMessage(bufio.NewReader(bytes.NewReader(data)))

@@ -30,6 +30,8 @@ type nodeMetrics struct {
 	refreshFailures *obs.Counter
 	vectorFallback  *obs.Counter
 	breakerState    *obs.GaugeVec // one series per peer, resolved lazily
+	ringEpoch       *obs.Gauge    // wire_ring_epoch
+	rehomed         *obs.Counter  // wire_rehome_total
 
 	// Transport pool + batching families.
 	transport    *transportMetrics
@@ -109,7 +111,7 @@ func (m *transportMetrics) codecShift(from, to uint8) {
 
 // knownRequestTypes are the request types a node serves (response types
 // never reach dispatch).
-var knownRequestTypes = []MsgType{MsgPing, MsgStore, MsgQuery, MsgStats, MsgRemove, MsgPublishBatch}
+var knownRequestTypes = []MsgType{MsgPing, MsgStore, MsgQuery, MsgStats, MsgRemove, MsgPublishBatch, MsgPeers}
 
 // msgTypeOther labels requests of unrecognized type.
 const msgTypeOther = "other"
@@ -153,6 +155,10 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 			"Landmark dimensions filled from the last known RTT because the landmark was unreachable.").With(),
 		breakerState: reg.Gauge("wire_breaker_state",
 			"Per-peer failure detector state: 0 closed, 1 half-open, 2 open.", "peer"),
+		ringEpoch: reg.Gauge("wire_ring_epoch",
+			"Peer-ring epoch this node routes on: 1 at boot, +1 per applied SetPeers. Differing epochs across a fleet expose membership drift.").With(),
+		rehomed: reg.Counter("wire_rehome_total",
+			"Locally stored records handed off to their new ring owners during a peer-ring swap.").With(),
 		transport: &transportMetrics{
 			open: reg.Gauge("wire_conns_open",
 				"Pooled client connections currently open, all peers.").With(),

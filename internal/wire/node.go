@@ -7,8 +7,10 @@ import (
 	"log/slog"
 	"math"
 	"net"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gsso/internal/hilbert"
@@ -221,13 +223,27 @@ func WithLogger(l *slog.Logger) NodeOption {
 	}
 }
 
+// peerRing is one immutable generation of the deployment's peer list:
+// the sorted addresses laying out the one-hop number ring, plus the
+// epoch that generation belongs to (1 at boot, +1 per applied SetPeers).
+// Readers load the whole generation in one atomic pointer read, so an
+// owner computation never mixes addresses from two memberships.
+type peerRing struct {
+	peers []string // sorted, deduplicated; never mutated after publish
+	epoch uint64
+}
+
 // Node is one wire participant: a TCP server holding a shard of the
 // soft-state plus a client side for measuring, publishing and querying.
 type Node struct {
-	cfg   SpaceConfig
-	peers []string // full deployment peer list, sorted; owner = number ring
-	ttl   time.Duration
-	opt   nodeOptions
+	cfg  SpaceConfig
+	ring atomic.Pointer[peerRing] // current membership; swapped by SetPeers
+	ttl  time.Duration
+	opt  nodeOptions
+
+	// reconfMu serializes SetPeers calls: concurrent swaps would race on
+	// the epoch bump and interleave their re-homing passes.
+	reconfMu sync.Mutex
 
 	ln      net.Listener
 	addr    string
@@ -279,7 +295,6 @@ func NewNodeWithRegistry(listenAddr string, cfg SpaceConfig, peers []string, ttl
 	}
 	n := &Node{
 		cfg:      cfg,
-		peers:    append([]string(nil), peers...),
 		ttl:      ttl,
 		opt:      opt,
 		ln:       ln,
@@ -301,7 +316,8 @@ func NewNodeWithRegistry(listenAddr string, cfg SpaceConfig, peers []string, ttl
 	for i := range n.lastRTT {
 		n.lastRTT[i] = math.NaN()
 	}
-	sort.Strings(n.peers)
+	n.ring.Store(&peerRing{peers: normalizePeers(peers), epoch: 1})
+	n.metrics.ringEpoch.Set(1)
 	n.wg.Add(1)
 	go n.serve()
 	return n, nil
@@ -567,6 +583,9 @@ func (n *Node) dispatch(req Message, rs *replyScratch) Message {
 	case MsgStats:
 		snap := n.metrics.reg.Snapshot()
 		return Message{Type: MsgStatsReply, Seq: req.Seq, Stats: &snap}
+	case MsgPeers:
+		r := n.ring.Load()
+		return Message{Type: MsgPeersReply, Seq: req.Seq, Peers: r.peers, Epoch: r.epoch}
 	default:
 		return Message{Type: MsgError, Seq: req.Seq, Err: fmt.Sprintf("unknown type %q", req.Type)}
 	}
@@ -847,8 +866,23 @@ func (n *Node) setLastKnownRTT(i int, ms float64) {
 	n.mu.Unlock()
 }
 
-// ownerSlot maps a landmark number to its primary slot on the peer ring.
-func (n *Node) ownerSlot(number uint64) int {
+// normalizePeers returns a sorted, deduplicated copy of a peer list.
+func normalizePeers(peers []string) []string {
+	out := append([]string(nil), peers...)
+	sort.Strings(out)
+	w := 0
+	for i, p := range out {
+		if i > 0 && p == out[w-1] {
+			continue
+		}
+		out[w] = p
+		w++
+	}
+	return out[:w]
+}
+
+// ownerSlot maps a landmark number to its primary slot on a peer ring.
+func (n *Node) ownerSlot(peers []string, number uint64) int {
 	curve, err := n.cfg.curve()
 	if err != nil {
 		return 0
@@ -856,12 +890,12 @@ func (n *Node) ownerSlot(number uint64) int {
 	span := curve.MaxIndex() + 1
 	var slot uint64
 	if span == 0 { // full 64-bit curve
-		slot = number / (^uint64(0)/uint64(len(n.peers)) + 1)
+		slot = number / (^uint64(0)/uint64(len(peers)) + 1)
 	} else {
-		slot = number * uint64(len(n.peers)) / span
+		slot = number * uint64(len(peers)) / span
 	}
-	if slot >= uint64(len(n.peers)) {
-		slot = uint64(len(n.peers)) - 1
+	if slot >= uint64(len(peers)) {
+		slot = uint64(len(peers)) - 1
 	}
 	return int(slot)
 }
@@ -870,10 +904,11 @@ func (n *Node) ownerSlot(number uint64) int {
 // are laid out on the number ring in sorted-address order, and the owner
 // is the one whose slot covers the number (a one-hop ring).
 func (n *Node) OwnerOf(number uint64) string {
-	if len(n.peers) == 0 {
+	r := n.ring.Load()
+	if len(r.peers) == 0 {
 		return n.addr
 	}
-	return n.peers[n.ownerSlot(number)]
+	return r.peers[n.ownerSlot(r.peers, number)]
 }
 
 // OwnersOf returns the k peers responsible for a landmark number: the
@@ -881,21 +916,149 @@ func (n *Node) OwnerOf(number uint64) string {
 // write to all of them; queries fail over down the same list, so records
 // survive any k-1 owner crashes until the next refresh.
 func (n *Node) OwnersOf(number uint64, k int) []string {
-	if len(n.peers) == 0 {
+	return n.ownersOn(n.ring.Load(), number, k)
+}
+
+// ownersOn is OwnersOf against an explicit ring generation, so a swap
+// can compute old- and new-ring owners side by side.
+func (n *Node) ownersOn(r *peerRing, number uint64, k int) []string {
+	if len(r.peers) == 0 {
 		return []string{n.addr}
 	}
 	if k < 1 {
 		k = 1
 	}
-	if k > len(n.peers) {
-		k = len(n.peers)
+	if k > len(r.peers) {
+		k = len(r.peers)
 	}
-	slot := n.ownerSlot(number)
+	slot := n.ownerSlot(r.peers, number)
 	out := make([]string, 0, k)
 	for i := 0; i < k; i++ {
-		out = append(out, n.peers[(slot+i)%len(n.peers)])
+		out = append(out, r.peers[(slot+i)%len(r.peers)])
 	}
 	return out
+}
+
+// Peers returns the node's current peer ring (sorted). The slice is the
+// ring's immutable backing — callers must not mutate it.
+func (n *Node) Peers() []string { return n.ring.Load().peers }
+
+// RingEpoch returns the current peer-ring epoch: 1 at boot, +1 per
+// applied SetPeers.
+func (n *Node) RingEpoch() uint64 { return n.ring.Load().epoch }
+
+// SetPeers atomically swaps the node's peer ring to a new membership and
+// re-homes state, returning the resulting ring epoch. An identical list
+// (after sorting and deduplication) is a no-op that keeps the current
+// epoch. Otherwise the swap, in order:
+//
+//  1. publishes the new ring (every owner computation from that instant
+//     uses the new membership),
+//  2. evicts pooled transport connections and breakers for peers that
+//     left (stale state for a removed peer must not linger),
+//  3. hands off locally stored records this node no longer owns to all
+//     their new ring owners and drops them locally,
+//  4. re-publishes the node's own record to its new owners when they
+//     changed, removing it best-effort from ex-owners still in the ring.
+//
+// Handoff failures are tolerated: every record's origin refreshes it
+// within one refresh interval, and copies stranded on ex-owners expire
+// with the TTL — soft-state converges, the swap only accelerates it.
+// In-flight RPCs that sampled the old ring may land one last write on an
+// ex-owner; that copy too is TTL-bounded. Concurrent SetPeers calls are
+// serialized.
+func (n *Node) SetPeers(peers []string, timeout time.Duration) (uint64, error) {
+	if len(peers) == 0 {
+		return 0, errors.New("wire: SetPeers: empty peer list")
+	}
+	next := normalizePeers(peers)
+
+	n.reconfMu.Lock()
+	defer n.reconfMu.Unlock()
+	old := n.ring.Load()
+	if slices.Equal(old.peers, next) {
+		return old.epoch, nil
+	}
+	nr := &peerRing{peers: next, epoch: old.epoch + 1}
+	n.ring.Store(nr)
+	n.metrics.ringEpoch.Set(float64(nr.epoch))
+
+	in := make(map[string]bool, len(next))
+	for _, p := range next {
+		in[p] = true
+	}
+	for _, p := range old.peers {
+		if in[p] {
+			continue
+		}
+		n.tr.Evict(p)
+		n.bmu.Lock()
+		if b, ok := n.breakers[p]; ok {
+			b.success() // park the exported gauge at closed
+			delete(n.breakers, p)
+		}
+		n.bmu.Unlock()
+	}
+
+	// Re-home: collect locally stored records whose new owner set no
+	// longer includes this node, dropping them under the lock; the wire
+	// traffic happens outside it.
+	var moved []Record
+	now := time.Now()
+	n.mu.Lock()
+	for addr, rec := range n.records {
+		if rec.Expired(now) {
+			delete(n.records, addr)
+			continue
+		}
+		if !slices.Contains(n.ownersOn(nr, rec.Number, n.opt.replication), n.addr) {
+			moved = append(moved, rec)
+			delete(n.records, addr)
+		}
+	}
+	count := len(n.records)
+	last := n.lastRec
+	n.mu.Unlock()
+	n.metrics.records.Set(float64(count))
+
+	for _, rec := range moved {
+		for _, owner := range n.ownersOn(nr, rec.Number, n.opt.replication) {
+			if owner == n.addr {
+				continue
+			}
+			if err := n.store(owner, rec, timeout); err != nil {
+				n.opt.logger.Debug("wire: re-home store failed",
+					"node", n.addr, "owner", owner, "record", rec.Addr, "err", err)
+			}
+		}
+		n.metrics.rehomed.Inc()
+	}
+
+	if last != nil {
+		oldOwners := n.ownersOn(old, last.Number, n.opt.replication)
+		newOwners := n.ownersOn(nr, last.Number, n.opt.replication)
+		if !slices.Equal(oldOwners, newOwners) {
+			rec := *last
+			rec.ExpiresUnixMilli = time.Now().Add(n.ttl).UnixMilli()
+			for _, owner := range newOwners {
+				if err := n.store(owner, rec, timeout); err != nil {
+					n.opt.logger.Debug("wire: own-record republish failed",
+						"node", n.addr, "owner", owner, "err", err)
+				}
+			}
+			n.mu.Lock()
+			if n.lastRec != nil && n.lastRec.Addr == rec.Addr {
+				n.lastRec = &rec
+			}
+			n.mu.Unlock()
+			for _, owner := range oldOwners {
+				if in[owner] && !slices.Contains(newOwners, owner) {
+					_ = n.remove(owner, n.addr, timeout) // best effort; TTL reaps stragglers
+				}
+			}
+		}
+	}
+	return nr.epoch, nil
 }
 
 // Replication returns the node's configured replication factor.

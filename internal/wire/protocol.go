@@ -54,7 +54,13 @@ const (
 	// Errs; a partially failed one carries one entry per record (empty
 	// string = stored) so the sender can account per record.
 	MsgBatchAck MsgType = "batch-ack"
-	MsgError    MsgType = "error"
+	// MsgPeers asks a node for its current peer ring; MsgPeersReply
+	// carries the sorted peer list and the ring epoch it belongs to.
+	// Operators and the e2e checker use it to learn the live membership
+	// instead of trusting a boot-time spec.
+	MsgPeers      MsgType = "peers"
+	MsgPeersReply MsgType = "peers-reply"
+	MsgError      MsgType = "error"
 )
 
 // Record is one soft-state entry: a peer's position in the landmark
@@ -104,6 +110,15 @@ type Message struct {
 	// Compatibility is free in both directions: old decoders ignore the
 	// unknown field, and new decoders treat its absence as "unsampled".
 	Trace *span.Context `json:"trace,omitempty"`
+	// Peers rides on peers-reply responses: the serving node's current
+	// peer ring, sorted. Together with Epoch it lets any client see the
+	// membership a node is actually routing on.
+	Peers []string `json:"peers,omitempty"`
+	// Epoch rides on peers-reply responses: the ring epoch the Peers
+	// list belongs to. It starts at 1 and increments on every applied
+	// SetPeers, so differing epochs across a fleet expose membership
+	// drift mid-reconfiguration.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Codec advertises the highest codec version the sender can read
 	// (see CodecJSON/CodecBinary). On a JSON request it asks "may we
 	// switch this connection to binary?"; a binary-capable server echoes
@@ -343,6 +358,27 @@ func Remove(addr, recordAddr string, timeout time.Duration, policy ...RetryPolic
 		}
 		return nil
 	})
+}
+
+// FetchPeers asks the node at addr for its current peer ring and the
+// ring epoch it belongs to. The list is the membership the node actually
+// routes on — after a reconfiguration every node converges to the same
+// list and epoch, so comparing answers across a fleet detects drift.
+func FetchPeers(addr string, timeout time.Duration, policy ...RetryPolicy) ([]string, uint64, error) {
+	var peers []string
+	var epoch uint64
+	err := withRetry(optPolicy(policy), nil, nil, func() error {
+		resp, err := roundTrip(addr, Message{Type: MsgPeers, Seq: 6}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.Type != MsgPeersReply {
+			return permanent(fmt.Errorf("wire: unexpected response %q to peers", resp.Type))
+		}
+		peers, epoch = resp.Peers, resp.Epoch
+		return nil
+	})
+	return peers, epoch, err
 }
 
 // FetchStats scrapes the telemetry snapshot of the peer at addr through

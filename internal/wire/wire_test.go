@@ -84,8 +84,9 @@ func TestRecordExpired(t *testing.T) {
 }
 
 // cluster starts n nodes on ephemeral localhost ports, the first k of
-// which double as landmarks, and returns them ready to talk.
-func cluster(t *testing.T, n, k int) []*Node {
+// which double as landmarks, and returns them ready to talk. opts apply
+// to every node.
+func cluster(t *testing.T, n, k int, opts ...NodeOption) []*Node {
 	t.Helper()
 	// First pass: start listeners to learn addresses.
 	boot := make([]*Node, n)
@@ -108,7 +109,7 @@ func cluster(t *testing.T, n, k int) []*Node {
 	real := testConfig(addrs[:k])
 	nodes := make([]*Node, n)
 	for i := range nodes {
-		node, err := NewNode(addrs[i], real, addrs, time.Minute)
+		node, err := NewNode(addrs[i], real, addrs, time.Minute, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
