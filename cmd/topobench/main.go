@@ -59,6 +59,9 @@ func run(args []string, out io.Writer) error {
 		benchJSON  = fs.String("bench-json", "", "append per-experiment wall-clock timings to this JSON file")
 		wireBench  = fs.String("wire-bench", "", "run the wire transport benchmarks and write results to this JSON file")
 		wireDiff   = fs.String("wire-diff", "", "after -wire-bench, fail if any shared benchmark regressed more than 20% in ns/op against this baseline JSON file")
+		scaleBench = fs.String("scale-bench", "", "run the ext-scale cells as a benchmark and append the nodes/wall-clock/peak-RSS trajectory to this JSON file")
+		scaleN     = fs.String("scale-n", "10000,100000", "comma-separated target node counts for -scale-bench (run in increasing order)")
+		scaleDiff  = fs.String("scale-diff", "", "after -scale-bench, fail if any shared cell regressed more than 20% in wall-clock or peak RSS against this baseline JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +73,15 @@ func run(args []string, out io.Writer) error {
 		}
 		if *wireDiff != "" {
 			return diffWireBench(*wireBench, *wireDiff, 0.20, out)
+		}
+		return nil
+	}
+	if *scaleBench != "" {
+		if err := runScaleBench(*scaleBench, *scaleN, *seed, out); err != nil {
+			return err
+		}
+		if *scaleDiff != "" {
+			return diffScaleBench(*scaleBench, *scaleDiff, 0.20, out)
 		}
 		return nil
 	}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"gsso/internal/experiment"
+)
+
+// scaleBenchCell is one node-count point of the BENCH_scale.json
+// trajectory: how long the ext-scale cell took, phase by phase, and what
+// the process peak RSS was once the cell finished. Peak RSS from getrusage
+// is a process-lifetime high-water mark, so cells always run in increasing
+// node order — each cell's reading then attributes the peak to the largest
+// topology held so far.
+type scaleBenchCell struct {
+	TargetN       int     `json:"target_n"`
+	Nodes         int     `json:"nodes"`
+	Stubs         int     `json:"stubs"`
+	GenMS         float64 `json:"gen_ms"`
+	BootstrapMS   float64 `json:"bootstrap_ms"`
+	QueryMS       float64 `json:"query_ms"`
+	TotalMS       float64 `json:"total_ms"`
+	PeakRSSKB     int64   `json:"peak_rss_kb"`
+	HybridStretch float64 `json:"hybrid_stretch"`
+	ERSStretch    float64 `json:"ers_stretch"`
+}
+
+// scaleBenchReport is one -scale-bench invocation's record.
+type scaleBenchReport struct {
+	Seed       uint64           `json:"seed"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Cells      []scaleBenchCell `json:"cells"`
+}
+
+// scaleBenchFile accumulates reports so the JSON keeps a trajectory over
+// time, mirroring BENCH.json's layout.
+type scaleBenchFile struct {
+	Runs []scaleBenchReport `json:"runs"`
+}
+
+// parseScaleN parses the -scale-n list and returns it sorted ascending
+// (required for the RSS attribution described on scaleBenchCell).
+func parseScaleN(list string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 64 {
+			return nil, fmt.Errorf("bad -scale-n entry %q (want integers >= 64)", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scale-n is empty")
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// runScaleBench drives the ext-scale experiment's tsk-large cell at each
+// requested node count and appends the wall-clock/RSS trajectory to path.
+// Cells run strictly sequentially in increasing-N order; spill streams go
+// to a temp dir discarded after aggregation, so the only artifact is the
+// JSON record.
+func runScaleBench(path, nList string, seed uint64, out io.Writer) error {
+	sweep, err := parseScaleN(nList)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "gsso-scale-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	sc := experiment.Full(seed)
+	report := scaleBenchReport{Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, n := range sweep {
+		start := time.Now()
+		cell, err := experiment.RunScaleCell(experiment.TSKLarge, n, sc, dir)
+		if err != nil {
+			return fmt.Errorf("scale-bench n=%d: %w", n, err)
+		}
+		c := scaleBenchCell{
+			TargetN:       n,
+			Nodes:         cell.Nodes,
+			Stubs:         cell.Stubs,
+			GenMS:         cell.GenMS,
+			BootstrapMS:   cell.BootstrapMS,
+			QueryMS:       cell.QueryMS,
+			TotalMS:       ms(time.Since(start)),
+			PeakRSSKB:     peakRSSKB(),
+			HybridStretch: cell.Hybrid,
+			ERSStretch:    cell.ERS,
+		}
+		report.Cells = append(report.Cells, c)
+		fmt.Fprintf(out, "scale-bench n=%-8d nodes=%-8d gen=%8.0fms bootstrap=%8.0fms query=%8.0fms total=%8.0fms rss=%dKB\n",
+			n, c.Nodes, c.GenMS, c.BootstrapMS, c.QueryMS, c.TotalMS, c.PeakRSSKB)
+	}
+
+	var file scaleBenchFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("scale-bench %s: %w", path, err)
+		}
+	}
+	file.Runs = append(file.Runs, report)
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// diffScaleBench compares the latest run in headPath against the latest
+// run in basePath and fails if any cell present in both regressed more
+// than tolerance (0.20 = 20%) in total wall-clock or peak RSS. Cells match
+// by target node count; counts present on only one side are skipped so
+// sweeping a new N never wedges the gate. Improvements are reported but
+// never fail.
+func diffScaleBench(headPath, basePath string, tolerance float64, out io.Writer) error {
+	load := func(path string) (map[int]scaleBenchCell, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var file scaleBenchFile
+		if err := json.Unmarshal(data, &file); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(file.Runs) == 0 {
+			return nil, fmt.Errorf("%s: no runs recorded", path)
+		}
+		last := file.Runs[len(file.Runs)-1]
+		byN := make(map[int]scaleBenchCell, len(last.Cells))
+		for _, c := range last.Cells {
+			byN[c.TargetN] = c
+		}
+		return byN, nil
+	}
+	head, err := load(headPath)
+	if err != nil {
+		return err
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	var regressions []string
+	check := func(n int, what string, b, h float64) {
+		if b <= 0 {
+			return
+		}
+		delta := (h - b) / b
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("n=%d %s: %.0f -> %.0f (%+.1f%%)", n, what, b, h, delta*100))
+		}
+		fmt.Fprintf(out, "scale-diff n=%-8d %-12s %12.0f -> %12.0f  %+6.1f%%  %s\n",
+			n, what, b, h, delta*100, status)
+	}
+	ns := make([]int, 0, len(base))
+	for n := range base {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		h, ok := head[n]
+		if !ok {
+			continue
+		}
+		b := base[n]
+		check(n, "total_ms", b.TotalMS, h.TotalMS)
+		check(n, "peak_rss_kb", float64(b.PeakRSSKB), float64(h.PeakRSSKB))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("scale benchmarks regressed past %.0f%% vs %s:\n  %s",
+			tolerance*100, basePath, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}

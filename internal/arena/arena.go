@@ -1,0 +1,112 @@
+// Package arena provides a generational slot arena: a flat, index-addressed
+// object store whose handles can never dangle. It is the member-bookkeeping
+// backbone for million-node simulations, replacing per-member map[pointer]
+// tables with slice indexing.
+//
+// Each slot carries a generation counter; a Handle packs (slot index,
+// generation). Freeing a slot bumps its generation, so every handle issued
+// for the old occupant is permanently invalidated — a freed slot can be
+// recycled but never resurrected under a stale handle. Generations are odd
+// while live and even while free, which makes the zero Handle (and any
+// handle into a never-allocated slot) invalid by construction.
+package arena
+
+// Handle identifies one live slot of an Arena. The zero Handle is invalid.
+type Handle uint64
+
+// None is the invalid zero handle.
+const None Handle = 0
+
+// Index returns the slot index the handle points at. Only meaningful for
+// handles that are (or were) valid.
+func (h Handle) Index() int { return int(uint32(h)) }
+
+func (h Handle) gen() uint32 { return uint32(h >> 32) }
+
+// IsZero reports whether h is the zero (invalid) handle.
+func (h Handle) IsZero() bool { return h == None }
+
+type slot[T any] struct {
+	gen uint32 // odd while the slot is live, even while free
+	val T
+}
+
+// Arena is a generational slot store. The zero value is ready to use.
+// Arena is not safe for concurrent use; callers synchronize externally
+// (core.System holds it under its own lock).
+type Arena[T any] struct {
+	slots []slot[T]
+	free  []uint32 // freed slot indices, reused LIFO
+	live  int
+}
+
+// Alloc claims a slot, returning its handle and a pointer to its (zeroed)
+// value. The pointer stays valid until the next Alloc, which may grow the
+// backing array; handles stay valid until Free.
+func (a *Arena[T]) Alloc() (Handle, *T) {
+	var idx uint32
+	if n := len(a.free); n > 0 {
+		idx = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		idx = uint32(len(a.slots))
+		a.slots = append(a.slots, slot[T]{})
+	}
+	s := &a.slots[idx]
+	s.gen++ // even -> odd: live
+	a.live++
+	return Handle(uint64(s.gen)<<32 | uint64(idx)), &s.val
+}
+
+// Free releases the slot behind h and reports whether h was live. The
+// slot's value is zeroed so the arena drops any references it held, and the
+// generation is bumped so every outstanding copy of h is dead.
+func (a *Arena[T]) Free(h Handle) bool {
+	idx := h.Index()
+	if idx >= len(a.slots) {
+		return false
+	}
+	s := &a.slots[idx]
+	if s.gen != h.gen() || s.gen&1 == 0 {
+		return false
+	}
+	var zero T
+	s.val = zero
+	s.gen++ // odd -> even: free
+	a.live--
+	a.free = append(a.free, uint32(idx))
+	return true
+}
+
+// Get returns the value behind h, or nil if h is stale, freed, or zero.
+func (a *Arena[T]) Get(h Handle) *T {
+	idx := h.Index()
+	if idx >= len(a.slots) {
+		return nil
+	}
+	s := &a.slots[idx]
+	if s.gen != h.gen() || s.gen&1 == 0 {
+		return nil
+	}
+	return &s.val
+}
+
+// Live returns the number of live slots.
+func (a *Arena[T]) Live() int { return a.live }
+
+// Cap returns the number of slots ever allocated (live + recyclable).
+func (a *Arena[T]) Cap() int { return len(a.slots) }
+
+// Range calls fn for every live slot in slot-index order, stopping early if
+// fn returns false. fn must not Alloc or Free.
+func (a *Arena[T]) Range(fn func(Handle, *T) bool) {
+	for i := range a.slots {
+		s := &a.slots[i]
+		if s.gen&1 == 0 {
+			continue
+		}
+		if !fn(Handle(uint64(s.gen)<<32|uint64(i)), &s.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package arena
+
+import (
+	"testing"
+)
+
+func TestAllocGetFree(t *testing.T) {
+	var a Arena[int]
+	h, v := a.Alloc()
+	if h.IsZero() {
+		t.Fatal("Alloc returned the zero handle")
+	}
+	*v = 42
+	if got := a.Get(h); got == nil || *got != 42 {
+		t.Fatalf("Get = %v, want 42", got)
+	}
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d", a.Live())
+	}
+	if !a.Free(h) {
+		t.Fatal("Free of a live handle returned false")
+	}
+	if a.Get(h) != nil {
+		t.Fatal("Get of a freed handle returned a value")
+	}
+	if a.Free(h) {
+		t.Fatal("double Free succeeded")
+	}
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d after free", a.Live())
+	}
+}
+
+func TestZeroHandleInvalid(t *testing.T) {
+	var a Arena[int]
+	if a.Get(None) != nil {
+		t.Fatal("Get(None) returned a value")
+	}
+	if a.Free(None) {
+		t.Fatal("Free(None) succeeded")
+	}
+	a.Alloc() // slot 0 now live; None must still be invalid (gen mismatch)
+	if a.Get(None) != nil {
+		t.Fatal("Get(None) aliased slot 0")
+	}
+}
+
+func TestNoResurrection(t *testing.T) {
+	var a Arena[string]
+	h1, v := a.Alloc()
+	*v = "first"
+	a.Free(h1)
+	h2, v2 := a.Alloc() // recycles slot 0
+	*v2 = "second"
+	if h1 == h2 {
+		t.Fatal("recycled slot reissued the same handle")
+	}
+	if h1.Index() != h2.Index() {
+		t.Fatalf("expected slot reuse: %d vs %d", h1.Index(), h2.Index())
+	}
+	if a.Get(h1) != nil {
+		t.Fatal("stale handle resurrected after slot reuse")
+	}
+	if got := a.Get(h2); got == nil || *got != "second" {
+		t.Fatal("live handle broken by stale sibling")
+	}
+}
+
+func TestFreeZeroesValue(t *testing.T) {
+	var a Arena[*int]
+	h, v := a.Alloc()
+	x := 7
+	*v = &x
+	a.Free(h)
+	h2, v2 := a.Alloc()
+	if h2.Index() != h.Index() {
+		t.Fatal("expected slot reuse")
+	}
+	if *v2 != nil {
+		t.Fatal("recycled slot leaked the previous occupant's value")
+	}
+}
+
+func TestRange(t *testing.T) {
+	var a Arena[int]
+	var hs []Handle
+	for i := 0; i < 5; i++ {
+		h, v := a.Alloc()
+		*v = i
+		hs = append(hs, h)
+	}
+	a.Free(hs[1])
+	a.Free(hs[3])
+	var seen []int
+	a.Range(func(h Handle, v *int) bool {
+		seen = append(seen, *v)
+		return true
+	})
+	want := []int{0, 2, 4}
+	if len(seen) != len(want) {
+		t.Fatalf("Range saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Range saw %v, want %v", seen, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	a.Range(func(Handle, *int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored early stop: %d visits", n)
+	}
+}
+
+// driveModel interleaves arena ops (join/depart/crash-free/republish) from
+// a byte script and checks the arena against a naive map model after every
+// op. Shared by the property test and FuzzArena.
+func driveModel(t *testing.T, script []byte) {
+	t.Helper()
+	var a Arena[uint64]
+	model := map[Handle]uint64{} // live handles -> expected value
+	var order []Handle           // live handles, allocation order
+	var dead []Handle            // every handle ever freed
+	var nextVal uint64
+
+	check := func(op string) {
+		if a.Live() != len(model) {
+			t.Fatalf("%s: Live = %d, model has %d", op, a.Live(), len(model))
+		}
+		slots := map[int]bool{}
+		for h, want := range model {
+			got := a.Get(h)
+			if got == nil || *got != want {
+				t.Fatalf("%s: Get(%v) = %v, model says %d", op, h, got, want)
+			}
+			if slots[h.Index()] {
+				t.Fatalf("%s: two live handles share slot %d", op, h.Index())
+			}
+			slots[h.Index()] = true
+		}
+		for _, h := range dead {
+			if a.Get(h) != nil {
+				t.Fatalf("%s: freed handle %v resurrected", op, h)
+			}
+			if a.Free(h) {
+				t.Fatalf("%s: freed handle %v freed again", op, h)
+			}
+		}
+		visited := 0
+		a.Range(func(h Handle, v *uint64) bool {
+			want, ok := model[h]
+			if !ok {
+				t.Fatalf("%s: Range visited non-model handle %v", op, h)
+			}
+			if *v != want {
+				t.Fatalf("%s: Range value %d, model says %d", op, *v, want)
+			}
+			visited++
+			return true
+		})
+		if visited != len(model) {
+			t.Fatalf("%s: Range visited %d, model has %d", op, visited, len(model))
+		}
+	}
+
+	for i := 0; i+1 < len(script); i += 2 {
+		op, arg := script[i]%4, int(script[i+1])
+		switch op {
+		case 0: // join
+			h, v := a.Alloc()
+			nextVal++
+			*v = nextVal
+			if _, dup := model[h]; dup {
+				t.Fatalf("Alloc reissued live handle %v", h)
+			}
+			model[h] = nextVal
+			order = append(order, h)
+		case 1: // depart
+			if len(order) == 0 {
+				continue
+			}
+			k := arg % len(order)
+			h := order[k]
+			if !a.Free(h) {
+				t.Fatalf("Free of live handle %v failed", h)
+			}
+			delete(model, h)
+			order = append(order[:k], order[k+1:]...)
+			dead = append(dead, h)
+		case 2: // crash: free a stale handle, must be a no-op
+			if len(dead) == 0 {
+				continue
+			}
+			h := dead[arg%len(dead)]
+			if a.Free(h) {
+				t.Fatalf("stale Free of %v succeeded", h)
+			}
+		case 3: // republish: rewrite a live slot through its handle
+			if len(order) == 0 {
+				continue
+			}
+			h := order[arg%len(order)]
+			nextVal++
+			*a.Get(h) = nextVal
+			model[h] = nextVal
+		}
+		check("op")
+	}
+	check("final")
+}
+
+func TestModelEquivalence(t *testing.T) {
+	// A fixed pseudo-random script long enough to cycle slots many times.
+	script := make([]byte, 4096)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range script {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		script[i] = byte(x)
+	}
+	driveModel(t, script)
+}
+
+func FuzzArena(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 2, 0})
+	f.Add([]byte{0, 0, 1, 0, 0, 0, 3, 1, 1, 1, 2, 1})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 2048 {
+			script = script[:2048]
+		}
+		driveModel(t, script)
+	})
+}

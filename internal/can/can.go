@@ -120,6 +120,10 @@ type Member struct {
 	Host topology.NodeID
 	// JoinPoint is the random point the member routed to at join time.
 	JoinPoint Point
+	// Tag is an opaque slot reference for the embedding layer (core packs
+	// an arena handle here so per-member state is a slice index away
+	// instead of a map[*Member] lookup). The overlay never reads it.
+	Tag uint64
 
 	leaf *zone
 }

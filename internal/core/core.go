@@ -114,7 +114,7 @@ type System struct {
 	store   *softstate.Store
 	bus     *pubsub.Bus
 	rng     *simrand.Source
-	kv      map[*can.Member]map[string][]byte
+	members memberStore
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -281,6 +281,11 @@ func New(opts ...Option) (*System, error) {
 		cfg: cfg, net: net, env: env, overlay: overlay,
 		space: space, store: store, bus: bus, rng: rng,
 		reg: reg, tracer: obs.NewTracer(), tm: newTelemetry(reg),
+	}
+	// Bind every bootstrap member into the arena-backed member store; later
+	// joiners bind in JoinHost.
+	for _, m := range overlay.CAN().Members() {
+		s.members.bind(m)
 	}
 	s.heal = newHealState(reg)
 	// The failure detector listens to map churn alongside the pub/sub bus:
@@ -449,7 +454,7 @@ func (s *System) nearestFromRegions(from topology.NodeID, vec landmark.Vector,
 		entry *softstate.Entry
 		dist  float64
 	}
-	seen := map[*can.Member]struct{}{}
+	s.members.beginVisit()
 	var cands []cand
 	for _, region := range regions {
 		entries, _, err := s.store.Lookup(region, vec)
@@ -460,10 +465,9 @@ func (s *System) nearestFromRegions(from topology.NodeID, vec landmark.Vector,
 			if e.Member == exclude || e.Host == from {
 				continue
 			}
-			if _, dup := seen[e.Member]; dup {
+			if s.members.seen(e.Member) {
 				continue
 			}
-			seen[e.Member] = struct{}{}
 			cands = append(cands, cand{entry: e, dist: landmark.Distance(e.Vector, vec)})
 		}
 		if len(cands) >= 3*s.cfg.probeBudget {
@@ -564,6 +568,7 @@ func (s *System) JoinHost(host topology.NodeID) (*can.Member, NearestResult, err
 	if err != nil {
 		return nil, NearestResult{}, err
 	}
+	s.members.bind(m)
 	// Membership changed: re-snapshot regions and drop cached entries.
 	s.overlay.Refresh()
 	if err := s.store.PublishMeasured(m); err != nil {
@@ -584,10 +589,11 @@ func (s *System) DepartMember(m *can.Member) error {
 	s.store.Remove(m)
 	s.bus.RemoveSubscriber(m)
 	s.bus.DropWatching(m)
-	s.heal.forget(m)
+	s.forgetSuspect(m)
 	if err := s.overlay.CAN().Depart(m); err != nil {
 		return err
 	}
+	s.members.unbind(m)
 	s.overlay.Refresh()
 	return nil
 }

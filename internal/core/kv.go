@@ -55,13 +55,9 @@ func (s *System) Put(from *can.Member, key string, value []byte) (PutResult, err
 		return PutResult{}, err
 	}
 	owner := res.Members[len(res.Members)-1]
-	if s.kv == nil {
-		s.kv = make(map[*can.Member]map[string][]byte)
-	}
-	shard := s.kv[owner]
+	shard := s.members.kvShard(owner, true)
 	if shard == nil {
-		shard = make(map[string][]byte)
-		s.kv[owner] = shard
+		return PutResult{}, errors.New("core: key owner is not a tracked member")
 	}
 	shard[key] = append([]byte(nil), value...)
 	s.env.CountMessages("kv-put", 1)
@@ -91,14 +87,12 @@ func (s *System) Get(from *can.Member, key string) (GetResult, error) {
 	owner := res.Members[len(res.Members)-1]
 	s.env.CountMessages("kv-get", 1)
 	out := GetResult{Owner: owner, Hops: res.Hops(), LatencyMs: res.Latency(s.env)}
-	if shard, ok := s.kv[owner]; ok {
-		if v, ok := shard[key]; ok {
-			out.Value = append([]byte(nil), v...)
-			out.Found = true
-		}
+	if v, ok := s.members.kvShard(owner, false)[key]; ok {
+		out.Value = append([]byte(nil), v...)
+		out.Found = true
 	}
 	return out, nil
 }
 
 // KeysAt returns how many keys a member currently stores.
-func (s *System) KeysAt(m *can.Member) int { return len(s.kv[m]) }
+func (s *System) KeysAt(m *can.Member) int { return len(s.members.kvShard(m, false)) }

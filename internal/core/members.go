@@ -1,0 +1,169 @@
+package core
+
+import (
+	"gsso/internal/arena"
+	"gsso/internal/can"
+	"gsso/internal/netsim"
+)
+
+// memberState is everything core tracks per overlay member beyond what the
+// overlay itself knows: the member's KV shard and its failure-detector
+// evidence. States live in a generational arena (one member, one slot) and
+// are addressed through the handle packed into can.Member.Tag, so every
+// lookup is a slice index instead of a map[*Member] hash — the difference
+// between O(1) pointer-chasing and O(1) arithmetic matters little at the
+// paper's 10k nodes and a great deal at 10^6.
+type memberState struct {
+	m  *can.Member
+	kv map[string][]byte // lazily allocated KV shard
+
+	// Failure-detector evidence (selfheal.go). suspected gates membership
+	// on the suspect list; count and since are only meaningful while
+	// suspected.
+	suspected bool
+	susCount  int
+	susSince  netsim.Time
+}
+
+// memberStore is the arena-backed member bookkeeping. Slots are bound at
+// join (or bootstrap) and freed at depart or confirmed crash; a freed
+// slot's generation bump guarantees a stale Tag can never reach another
+// member's state.
+type memberStore struct {
+	slots arena.Arena[memberState]
+	// suspects holds the handles of members with suspected set. Entries go
+	// stale when a suspect is acquitted, forgotten, or unbound; iteration
+	// compacts lazily, so forget/acquit stay O(1).
+	suspects  []arena.Handle
+	suspected int // live suspect count (gauge source)
+
+	// Per-slot visit stamps for query-time candidate dedup: stamp[slot] ==
+	// epoch marks the slot seen in the current query, and bumping epoch
+	// resets every mark at once — a map[*Member]{} per query becomes one
+	// flat array reused forever.
+	stamp []uint32
+	epoch uint32
+}
+
+// bind allocates m's slot and records the handle in m.Tag.
+func (ms *memberStore) bind(m *can.Member) {
+	h, st := ms.slots.Alloc()
+	st.m = m
+	m.Tag = uint64(h)
+}
+
+// unbind frees m's slot (KV shard and suspicion state included). Safe to
+// call for an already-unbound member.
+func (ms *memberStore) unbind(m *can.Member) {
+	h := arena.Handle(m.Tag)
+	if st := ms.slots.Get(h); st != nil && st.m == m {
+		if st.suspected {
+			ms.suspected--
+		}
+		ms.slots.Free(h)
+	}
+	m.Tag = uint64(arena.None)
+}
+
+// state returns m's state, or nil if m is unbound or its tag is stale.
+func (ms *memberStore) state(m *can.Member) *memberState {
+	if m == nil {
+		return nil
+	}
+	st := ms.slots.Get(arena.Handle(m.Tag))
+	if st == nil || st.m != m {
+		return nil
+	}
+	return st
+}
+
+// kvShard returns m's KV shard, allocating it if create is set.
+func (ms *memberStore) kvShard(m *can.Member, create bool) map[string][]byte {
+	st := ms.state(m)
+	if st == nil {
+		return nil
+	}
+	if st.kv == nil && create {
+		st.kv = make(map[string][]byte)
+	}
+	return st.kv
+}
+
+// beginVisit starts a fresh dedup pass; seen marks and tests in one step.
+func (ms *memberStore) beginVisit() {
+	ms.epoch++
+	if int(ms.epoch) == 0 || len(ms.stamp) < ms.slots.Cap() {
+		// Epoch wrapped or the arena grew: (re)clear the stamps so no slot
+		// carries a mark from 2^32 queries ago.
+		ms.stamp = make([]uint32, ms.slots.Cap())
+		ms.epoch = 1
+	}
+}
+
+// seen reports whether m was already visited this pass, marking it either
+// way. Unbound members are never deduped.
+func (ms *memberStore) seen(m *can.Member) bool {
+	st := ms.state(m)
+	if st == nil {
+		return false
+	}
+	idx := arena.Handle(m.Tag).Index()
+	if ms.stamp[idx] == ms.epoch {
+		return true
+	}
+	ms.stamp[idx] = ms.epoch
+	return false
+}
+
+// suspect records one suspicion signal, returning the state (nil if m is
+// unbound) and whether this was the first signal.
+func (ms *memberStore) suspect(m *can.Member, now netsim.Time) (*memberState, bool) {
+	st := ms.state(m)
+	if st == nil {
+		return nil, false
+	}
+	first := !st.suspected
+	if first {
+		st.suspected = true
+		st.susCount = 0
+		st.susSince = now
+		ms.suspects = append(ms.suspects, arena.Handle(m.Tag))
+		ms.suspected++
+	}
+	st.susCount++
+	return st, first
+}
+
+// clearSuspicion drops m from the suspect list (the slice entry goes stale
+// and is compacted on the next iteration). Reports whether m was suspected.
+func (ms *memberStore) clearSuspicion(m *can.Member) bool {
+	st := ms.state(m)
+	if st == nil || !st.suspected {
+		return false
+	}
+	st.suspected = false
+	st.susCount = 0
+	ms.suspected--
+	return true
+}
+
+// eachSuspect calls fn for every currently suspected member, compacting
+// stale handles out of the suspect list as it goes. fn may clear the
+// current suspect's suspicion but must not add new suspects.
+func (ms *memberStore) eachSuspect(fn func(m *can.Member, st *memberState)) {
+	kept := ms.suspects[:0]
+	for _, h := range ms.suspects {
+		st := ms.slots.Get(h)
+		if st == nil || !st.suspected {
+			continue
+		}
+		kept = append(kept, h)
+		fn(st.m, st)
+	}
+	// Drop references past the compacted end so freed handles don't pin.
+	tail := ms.suspects[len(kept):]
+	for i := range tail {
+		tail[i] = arena.None
+	}
+	ms.suspects = kept
+}

@@ -26,17 +26,11 @@ import (
 	"gsso/internal/softstate"
 )
 
-// suspicion is one suspected member's accumulated evidence.
-type suspicion struct {
-	count int         // independent signals seen so far
-	since netsim.Time // virtual time of the first signal
-}
-
-// healState is the failure detector: the suspicion list plus its metric
-// series.
+// healState is the failure detector's metric series. The suspicion
+// evidence itself lives inline in each member's arena slot (memberState),
+// so accumulating and clearing signals is slice indexing, not map churn.
 type healState struct {
-	suspects map[*can.Member]*suspicion
-	metrics  healMetrics
+	metrics healMetrics
 }
 
 type healMetrics struct {
@@ -49,7 +43,6 @@ type healMetrics struct {
 
 func newHealState(reg *obs.Registry) *healState {
 	return &healState{
-		suspects: make(map[*can.Member]*suspicion),
 		metrics: healMetrics{
 			takeovers: reg.Counter("core_takeover_total",
 				"Ungraceful zone takeovers performed by the self-healing loop.").With(),
@@ -66,21 +59,20 @@ func newHealState(reg *obs.Registry) *healState {
 	}
 }
 
-// forget drops m from the suspicion list without judging the suspicion
-// (used when m departs gracefully).
-func (h *healState) forget(m *can.Member) {
-	if _, ok := h.suspects[m]; ok {
-		delete(h.suspects, m)
-		h.metrics.suspected.Set(float64(len(h.suspects)))
+// forgetSuspect drops m from the suspicion list without judging the
+// suspicion (used when m departs gracefully).
+func (s *System) forgetSuspect(m *can.Member) {
+	if s.members.clearSuspicion(m) {
+		s.heal.metrics.suspected.Set(float64(s.members.suspected))
 	}
 }
 
-// acquit removes a suspect proven alive and counts the false positive.
-func (h *healState) acquit(m *can.Member) {
-	if _, ok := h.suspects[m]; ok {
-		delete(h.suspects, m)
-		h.metrics.falsePos.Inc()
-		h.metrics.suspected.Set(float64(len(h.suspects)))
+// acquitSuspect removes a suspect proven alive and counts the false
+// positive.
+func (s *System) acquitSuspect(m *can.Member) {
+	if s.members.clearSuspicion(m) {
+		s.heal.metrics.falsePos.Inc()
+		s.heal.metrics.suspected.Set(float64(s.members.suspected))
 	}
 }
 
@@ -95,7 +87,7 @@ func (s *System) observeStoreEvent(ev softstate.Event) {
 	case softstate.EventExpired:
 		s.SuspectMember(ev.Entry.Member)
 	case softstate.EventPublished, softstate.EventRefreshed:
-		s.heal.acquit(ev.Entry.Member)
+		s.acquitSuspect(ev.Entry.Member)
 	}
 }
 
@@ -108,22 +100,19 @@ func (s *System) SuspectMember(m *can.Member) {
 	if m == nil || !s.overlay.CAN().IsMember(m) {
 		return
 	}
-	sp := s.heal.suspects[m]
-	if sp == nil {
-		sp = &suspicion{since: s.env.Clock().Now()}
-		s.heal.suspects[m] = sp
-		s.heal.metrics.suspected.Set(float64(len(s.heal.suspects)))
+	_, first := s.members.suspect(m, s.env.Clock().Now())
+	if first {
+		s.heal.metrics.suspected.Set(float64(s.members.suspected))
 	}
-	sp.count++
 }
 
 // Suspects returns the current suspicion list in canonical zone-path
 // order (diagnostics and tests).
 func (s *System) Suspects() []*can.Member {
-	out := make([]*can.Member, 0, len(s.heal.suspects))
-	for m := range s.heal.suspects {
+	out := make([]*can.Member, 0, s.members.suspected)
+	s.members.eachSuspect(func(m *can.Member, _ *memberState) {
 		out = append(out, m)
-	}
+	})
 	sortByPath(out)
 	return out
 }
@@ -216,33 +205,33 @@ func (r *HealReport) add(o HealReport) {
 // deterministic signal history.
 func (s *System) HealStep() HealReport {
 	var rep HealReport
-	h := s.heal
 	var ripe []*can.Member
-	for m, sp := range h.suspects {
+	s.members.eachSuspect(func(m *can.Member, st *memberState) {
 		if !s.overlay.CAN().IsMember(m) {
-			delete(h.suspects, m)
-			continue
+			s.members.clearSuspicion(m)
+			return
 		}
-		if sp.count >= s.effectiveThreshold(m) {
+		if st.susCount >= s.effectiveThreshold(m) {
 			ripe = append(ripe, m)
 		}
-	}
+	})
 	sortByPath(ripe)
 	for _, m := range ripe {
-		sp, ok := h.suspects[m]
-		if !ok || !s.overlay.CAN().IsMember(m) {
+		st := s.members.state(m)
+		if st == nil || !st.suspected || !s.overlay.CAN().IsMember(m) {
 			continue
 		}
 		if !s.confirmDown(m) {
 			rep.FalsePositives++
-			h.acquit(m)
+			s.acquitSuspect(m)
 			continue
 		}
 		rep.Confirmed++
-		delete(h.suspects, m)
-		s.repairMember(m, sp.since, &rep)
+		since := st.susSince
+		s.members.clearSuspicion(m)
+		s.repairMember(m, since, &rep)
 	}
-	h.metrics.suspected.Set(float64(len(h.suspects)))
+	s.heal.metrics.suspected.Set(float64(s.members.suspected))
 	return rep
 }
 
@@ -296,6 +285,9 @@ func (s *System) repairMember(m *can.Member, since netsim.Time, rep *HealReport)
 	h.metrics.orphans.Add(float64(purged))
 	rep.PurgedEntries += purged
 	rep.DroppedSubs += s.bus.RemoveSubscriber(m) + s.bus.DropWatching(m)
+	// The member is out of the overlay for good: release its arena slot
+	// (KV shard included) so a stale Tag can never reach recycled state.
+	s.members.unbind(m)
 
 	// Routing: re-snapshot the region index and invalidate exactly the
 	// cached entries pointing at the dead member or a relocated one.

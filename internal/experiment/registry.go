@@ -48,6 +48,7 @@ func All() []Experiment {
 		{"ext-pastry", "§7", "Proximity-neighbor selection on Pastry", RunExtPastry},
 		{"ext-svd", "§5.4", "SVD denoising of noisy landmark vectors", RunExtSVD},
 		{"ext-ordering", "§2", "Landmark-ordering clustering baseline", RunExtOrdering},
+		{"ext-scale", "ROADMAP 1", "Figures 3-6 trends at 10^5-10^6 nodes, flat topology", RunExtScale},
 	}
 }
 

@@ -43,6 +43,10 @@ type Scale struct {
 	CondenseSweep []int
 	// CANDims is the dimensionality axis of Figure 2's basic-CAN curves.
 	CANDims []int
+	// ScaleSweep is the physical-node-count axis of the ext-scale
+	// experiment (overridable with GSSO_SCALE_N). Full targets 10^5; the
+	// bench-scale harness pushes the same cells to 10^6.
+	ScaleSweep []int
 }
 
 // Full is the paper-scale configuration.
@@ -62,6 +66,7 @@ func Full(seed uint64) Scale {
 		ERSSweep:      []int{10, 30, 100, 300, 1000, 2000, 4000},
 		CondenseSweep: []int{0, 1, 2, 3, 4, 6},
 		CANDims:       []int{2, 3, 4, 5},
+		ScaleSweep:    []int{100_000},
 	}
 }
 
@@ -83,6 +88,7 @@ func Quick(seed uint64) Scale {
 		ERSSweep:      []int{10, 30, 100, 300, 1000, 2000},
 		CondenseSweep: []int{0, 1, 2, 4},
 		CANDims:       []int{2, 3, 4},
+		ScaleSweep:    []int{1024, 2048},
 	}
 }
 

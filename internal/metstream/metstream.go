@@ -1,0 +1,243 @@
+// Package metstream streams per-sample experiment metrics to disk instead
+// of accumulating full result matrices in RAM. At the paper's 10k nodes an
+// in-memory [queries][methods]float64 matrix is noise; at 10^6 nodes a
+// fleet of them is the difference between fitting in memory and not.
+//
+// The format is an append-only sequence of binary records behind a magic
+// header. Each record carries a monotonically non-decreasing timestamp
+// (virtual time or sample sequence — the writer rejects regressions), a
+// short series key, and one float64 value. Readers decode incrementally
+// and aggregates are computed by streaming re-read, so neither side ever
+// holds the full series.
+package metstream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// magic identifies a metric stream file (format version 1).
+var magic = [8]byte{'G', 'S', 'S', 'M', 'E', 'T', '0', '1'}
+
+// Record is one metric sample.
+type Record struct {
+	// T is the sample's timestamp. Units are the producer's business
+	// (virtual ms, sample index); the stream only requires that T never
+	// decreases.
+	T uint64
+	// Key names the series ("hybrid-stretch", "ers-probes", ...).
+	Key string
+	// V is the sample value.
+	V float64
+}
+
+// Writer appends records to an underlying stream. Not safe for concurrent
+// use.
+type Writer struct {
+	w      *bufio.Writer
+	c      io.Closer // nil when wrapping a plain io.Writer
+	lastT  uint64
+	wrote  bool
+	n      int64
+	failed error
+}
+
+// NewWriter writes a stream header onto w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if c, ok := w.(io.Closer); ok {
+		return &Writer{w: bw, c: c}, nil
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Create creates (truncating) the file at path and writes the header.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Append writes one record. Timestamps must be non-decreasing; a
+// regression is an error and poisons the writer.
+func (w *Writer) Append(t uint64, key string, v float64) error {
+	if w.failed != nil {
+		return w.failed
+	}
+	if w.wrote && t < w.lastT {
+		w.failed = fmt.Errorf("metstream: timestamp regression %d after %d", t, w.lastT)
+		return w.failed
+	}
+	if len(key) > math.MaxUint16 {
+		return fmt.Errorf("metstream: key length %d exceeds %d", len(key), math.MaxUint16)
+	}
+	var buf [18]byte
+	binary.LittleEndian.PutUint64(buf[0:], t)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(v))
+	binary.LittleEndian.PutUint16(buf[16:], uint16(len(key)))
+	if _, err := w.w.Write(buf[:]); err != nil {
+		w.failed = err
+		return err
+	}
+	if _, err := w.w.WriteString(key); err != nil {
+		w.failed = err
+		return err
+	}
+	w.lastT, w.wrote = t, true
+	w.n++
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Close flushes and closes the underlying stream (when it is closable).
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.c != nil {
+		return w.c.Close()
+	}
+	return nil
+}
+
+// Reader decodes a stream incrementally.
+type Reader struct {
+	r     *bufio.Reader
+	c     io.Closer
+	lastT uint64
+	read  bool
+}
+
+// NewReader validates the header of r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("metstream: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("metstream: bad magic %q", hdr[:])
+	}
+	rd := &Reader{r: br}
+	if c, ok := r.(io.Closer); ok {
+		rd.c = c
+	}
+	return rd, nil
+}
+
+// Open opens the stream file at path.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Next returns the next record, io.EOF at a clean end of stream, and a
+// decoding error otherwise (a truncated record is an error, not EOF). The
+// reader re-verifies timestamp monotonicity on the way in.
+func (r *Reader) Next() (Record, error) {
+	var buf [18]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("metstream: truncated record: %w", err)
+	}
+	rec := Record{
+		T: binary.LittleEndian.Uint64(buf[0:]),
+		V: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+	}
+	klen := int(binary.LittleEndian.Uint16(buf[16:]))
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r.r, key); err != nil {
+		return Record{}, fmt.Errorf("metstream: truncated key: %w", err)
+	}
+	rec.Key = string(key)
+	if r.read && rec.T < r.lastT {
+		return Record{}, fmt.Errorf("metstream: timestamp regression %d after %d", rec.T, r.lastT)
+	}
+	r.lastT, r.read = rec.T, true
+	return rec, nil
+}
+
+// Close closes the underlying stream (when it is closable).
+func (r *Reader) Close() error {
+	if r.c != nil {
+		return r.c.Close()
+	}
+	return nil
+}
+
+// Agg is the streaming aggregate of one series.
+type Agg struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns Sum/Count (NaN for an empty aggregate).
+func (a Agg) Mean() float64 {
+	if a.Count == 0 {
+		return math.NaN()
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// add folds one value in.
+func (a *Agg) add(v float64) {
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Count++
+	a.Sum += v
+}
+
+// Aggregate streams the whole file through per-series aggregates. Memory
+// is O(series), independent of record count.
+func Aggregate(path string) (map[string]Agg, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	out := make(map[string]Agg)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		a := out[rec.Key]
+		a.add(rec.V)
+		out[rec.Key] = a
+	}
+}

@@ -1,0 +1,157 @@
+package metstream
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bin")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{T: 0, Key: "a", V: 1.5},
+		{T: 0, Key: "b", V: -2},
+		{T: 3, Key: "a", V: math.Pi},
+		{T: 7, Key: "", V: 0},
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec.T, rec.Key, rec.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("tail read err = %v, want EOF", err)
+	}
+}
+
+func TestWriterRejectsRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bin")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, "a", 2); err != nil {
+		t.Fatalf("equal timestamp rejected: %v", err)
+	}
+	if err := w.Append(4, "a", 3); err == nil {
+		t.Fatal("timestamp regression accepted")
+	}
+	// Writer is poisoned after a regression.
+	if err := w.Append(9, "a", 4); err == nil {
+		t.Fatal("poisoned writer accepted a record")
+	}
+	w.Close()
+}
+
+func TestReaderDetectsBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bin")
+	if err := os.WriteFile(path, []byte("NOTMAGIC and then some"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bin")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, "series", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record read err = %v, want decode error", err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bin")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][]float64{
+		"x": {3, -1, 4, 1, 5},
+		"y": {2.5},
+	}
+	ts := uint64(0)
+	for i := 0; i < 5; i++ {
+		for key, vs := range map[string][]float64{"x": vals["x"], "y": vals["y"]} {
+			if i < len(vs) {
+				if err := w.Append(ts, key, vs[i]); err != nil {
+					t.Fatal(err)
+				}
+				ts++
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := Aggregate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := aggs["x"]
+	if x.Count != 5 || x.Sum != 12 || x.Min != -1 || x.Max != 5 {
+		t.Fatalf("x agg = %+v", x)
+	}
+	if x.Mean() != 12.0/5 {
+		t.Fatalf("x mean = %v", x.Mean())
+	}
+	y := aggs["y"]
+	if y.Count != 1 || y.Sum != 2.5 || y.Min != 2.5 || y.Max != 2.5 {
+		t.Fatalf("y agg = %+v", y)
+	}
+	if !math.IsNaN((Agg{}).Mean()) {
+		t.Fatal("empty mean should be NaN")
+	}
+}

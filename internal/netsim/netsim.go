@@ -11,6 +11,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -86,7 +87,11 @@ type Env struct {
 	mu       sync.Mutex
 	messages map[string]int64
 	mirrors  map[string]*obs.Counter // global-registry series, cached per category
-	down     map[topology.NodeID]struct{}
+	// Down hosts are tracked in a flat bitset indexed by the dense NodeID
+	// space rather than a map: at 10^6 hosts the bitset is 128 KB, cheap
+	// enough to size once and index without hashing on every probe.
+	down      []uint64
+	downCount int
 }
 
 // New returns an Env over net with a fresh clock and no perturbation,
@@ -181,12 +186,16 @@ func (e *Env) SetDown(host topology.NodeID, down bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.down == nil {
-		e.down = make(map[topology.NodeID]struct{})
+		e.down = make([]uint64, (e.net.Len()+63)/64)
 	}
-	if down {
-		e.down[host] = struct{}{}
-	} else {
-		delete(e.down, host)
+	w, bit := int(host)/64, uint64(1)<<(uint(host)%64)
+	was := e.down[w]&bit != 0
+	if down && !was {
+		e.down[w] |= bit
+		e.downCount++
+	} else if !down && was {
+		e.down[w] &^= bit
+		e.downCount--
 	}
 }
 
@@ -194,8 +203,10 @@ func (e *Env) SetDown(host topology.NodeID, down bool) {
 func (e *Env) IsDown(host topology.NodeID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	_, down := e.down[host]
-	return down
+	if e.down == nil {
+		return false
+	}
+	return e.down[int(host)/64]&(uint64(1)<<(uint(host)%64)) != 0
 }
 
 // DownHosts returns the hosts currently marked down via SetDown, in
@@ -203,12 +214,14 @@ func (e *Env) IsDown(host topology.NodeID) bool {
 // included; use Crashed per host for the union at the current instant.
 func (e *Env) DownHosts() []topology.NodeID {
 	e.mu.Lock()
-	out := make([]topology.NodeID, 0, len(e.down))
-	for h := range e.down {
-		out = append(out, h)
+	defer e.mu.Unlock()
+	out := make([]topology.NodeID, 0, e.downCount)
+	for w, word := range e.down {
+		for word != 0 {
+			out = append(out, topology.NodeID(w*64+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
 	}
-	e.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

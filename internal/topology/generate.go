@@ -71,14 +71,17 @@ func Generate(spec Spec, rng *simrand.Source) (*Network, error) {
 		}
 	}
 
-	// Stub domains.
+	// Stub domains. Oversized stubs (see Spec.HubStubThreshold) take the
+	// factored hub-and-spoke path; preset-sized stubs keep the exact dense
+	// path, bit-identical to the pre-threshold implementation.
 	stubTotal := spec.TotalStubs()
+	hub := spec.NodesPerStub > spec.hubThreshold()
 	net.stubs = make([]stubDomain, 0, stubTotal)
+	ids := make([]NodeID, spec.NodesPerStub)
 	for t := 0; t < transitCount; t++ {
 		for k := 0; k < spec.StubsPerTransitNode; k++ {
 			stubIdx := len(net.stubs)
 			first := next
-			ids := make([]NodeID, spec.NodesPerStub)
 			for i := range ids {
 				ids[i] = next
 				net.nodes[next] = Node{
@@ -89,10 +92,35 @@ func Generate(spec Spec, rng *simrand.Source) (*Network, error) {
 				}
 				next++
 			}
-			local := NewGraph(spec.NodesPerStub)
-			if err := net.randomConnectedLocal(local, ids, first, spec.ExtraStubEdgeProb,
-				spec.Latency.IntraStub, wireRNG, latRNG); err != nil {
-				return nil, err
+			sd := stubDomain{
+				first:   first,
+				size:    spec.NodesPerStub,
+				gateway: NodeID(t),
+			}
+			if hub {
+				// Hub-and-spoke: every host wired straight to the stub's
+				// local hub (host 0), one intra-stub latency draw per
+				// spoke. The factored egress array IS the distance
+				// structure; no local Dijkstra, no dense matrix.
+				sd.egress = make([]float64, spec.NodesPerStub)
+				for i := 1; i < spec.NodesPerStub; i++ {
+					w := spec.Latency.IntraStub.Draw(latRNG)
+					if err := net.graph.AddEdge(ids[0], ids[i], w); err != nil {
+						return nil, err
+					}
+					net.edgeCounts[LinkIntraStub]++
+					sd.egress[i] = w
+				}
+			} else {
+				local := NewGraph(spec.NodesPerStub)
+				if err := net.randomConnectedLocal(local, ids, first, spec.ExtraStubEdgeProb,
+					spec.Latency.IntraStub, wireRNG, latRNG); err != nil {
+					return nil, err
+				}
+				sd.dist = make([]float64, spec.NodesPerStub*spec.NodesPerStub)
+				for i := 0; i < spec.NodesPerStub; i++ {
+					local.DijkstraInto(NodeID(i), sd.dist[i*spec.NodesPerStub:(i+1)*spec.NodesPerStub], &scratch)
+				}
 			}
 			// Gateway uplink: stub host 0 <-> sponsoring transit node.
 			gwLat := spec.Latency.TransitStub.Draw(latRNG)
@@ -100,17 +128,7 @@ func Generate(spec Spec, rng *simrand.Source) (*Network, error) {
 				return nil, err
 			}
 			net.edgeCounts[LinkTransitStub]++
-
-			sd := stubDomain{
-				first:     first,
-				size:      spec.NodesPerStub,
-				gateway:   NodeID(t),
-				gwLatency: gwLat,
-				dist:      make([]float64, spec.NodesPerStub*spec.NodesPerStub),
-			}
-			for i := 0; i < spec.NodesPerStub; i++ {
-				local.DijkstraInto(NodeID(i), sd.dist[i*spec.NodesPerStub:(i+1)*spec.NodesPerStub], &scratch)
-			}
+			sd.gwLatency = gwLat
 			net.stubs = append(net.stubs, sd)
 		}
 	}
@@ -134,17 +152,15 @@ func MustGenerate(spec Spec, rng *simrand.Source) *Network {
 // a random attachment tree guarantees connectivity, then every remaining
 // pair receives an edge with probability extraProb. Edges are mirrored
 // into both the full graph and the backbone graph (same IDs).
+//
+// Duplicate suppression needs no per-pair map: the extra-edge double loop
+// visits each unordered pair at most once, so the only possible duplicate
+// is an extra edge re-proposing a tree edge — detected in O(1) against the
+// flat parent index. A suppressed pair draws no latency, exactly like the
+// map-based seed implementation.
 func (n *Network) randomConnected(backbone *Graph, ids []NodeID, extraProb float64,
 	dist Dist, class LinkClass, wireRNG, latRNG *simrand.Source) error {
-	present := make(map[[2]NodeID]bool)
 	add := func(u, v NodeID) error {
-		if u > v {
-			u, v = v, u
-		}
-		if present[[2]NodeID{u, v}] {
-			return nil
-		}
-		present[[2]NodeID{u, v}] = true
 		w := dist.Draw(latRNG)
 		if err := n.graph.AddEdge(u, v, w); err != nil {
 			return err
@@ -152,15 +168,19 @@ func (n *Network) randomConnected(backbone *Graph, ids []NodeID, extraProb float
 		n.edgeCounts[class]++
 		return backbone.AddEdge(u, v, w)
 	}
+	parent := make([]int32, len(ids)) // parent[i]: tree parent of ids[i], by index
+	parent[0] = -1
 	for i := 1; i < len(ids); i++ {
-		if err := add(ids[i], ids[wireRNG.Intn(i)]); err != nil {
+		p := wireRNG.Intn(i)
+		parent[i] = int32(p)
+		if err := add(ids[i], ids[p]); err != nil {
 			return err
 		}
 	}
 	if extraProb > 0 {
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
-				if wireRNG.Bool(extraProb) {
+				if wireRNG.Bool(extraProb) && int(parent[j]) != i {
 					if err := add(ids[i], ids[j]); err != nil {
 						return err
 					}
@@ -175,15 +195,7 @@ func (n *Network) randomConnected(backbone *Graph, ids []NodeID, extraProb float
 // mirrored into a stub-local graph indexed from 0 (id - first).
 func (n *Network) randomConnectedLocal(local *Graph, ids []NodeID, first NodeID,
 	extraProb float64, dist Dist, wireRNG, latRNG *simrand.Source) error {
-	present := make(map[[2]NodeID]bool)
 	add := func(u, v NodeID) error {
-		if u > v {
-			u, v = v, u
-		}
-		if present[[2]NodeID{u, v}] {
-			return nil
-		}
-		present[[2]NodeID{u, v}] = true
 		w := dist.Draw(latRNG)
 		if err := n.graph.AddEdge(u, v, w); err != nil {
 			return err
@@ -191,15 +203,19 @@ func (n *Network) randomConnectedLocal(local *Graph, ids []NodeID, first NodeID,
 		n.edgeCounts[LinkIntraStub]++
 		return local.AddEdge(u-first, v-first, w)
 	}
+	parent := make([]int32, len(ids))
+	parent[0] = -1
 	for i := 1; i < len(ids); i++ {
-		if err := add(ids[i], ids[wireRNG.Intn(i)]); err != nil {
+		p := wireRNG.Intn(i)
+		parent[i] = int32(p)
+		if err := add(ids[i], ids[p]); err != nil {
 			return err
 		}
 	}
 	if extraProb > 0 {
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
-				if wireRNG.Bool(extraProb) {
+				if wireRNG.Bool(extraProb) && int(parent[j]) != i {
 					if err := add(ids[i], ids[j]); err != nil {
 						return err
 					}

@@ -35,15 +35,41 @@ type Node struct {
 // stubDomain holds the precomputed structure of one stub domain. Member
 // IDs are contiguous, members[0] is the gateway host that owns the single
 // transit-stub uplink.
+//
+// Intra-stub distances come in two flat representations, chosen at
+// generation time by Spec.HubStubThreshold:
+//
+//   - exact: dist is the dense size×size all-pairs matrix over the stub's
+//     random local graph (the paper's presets — O(size²) memory, fine for
+//     stubs of tens to hundreds of hosts);
+//   - factored: dist is nil and egress holds each host's latency to the
+//     stub-local hub (host 0). The stub was wired hub-and-spoke, so
+//     d(a,b) = egress[a] + egress[b] is the exact shortest path on the raw
+//     graph — O(size) memory, which is what makes million-node topologies
+//     fit in RAM (a size² matrix is the dominant RSS term at large
+//     NodesPerStub).
+//
+// Both paths are O(1) per latency query.
 type stubDomain struct {
 	first     NodeID  // ID of members[0]
 	size      int     // number of hosts
 	gateway   NodeID  // transit node the stub attaches to
 	gwLatency float64 // latency of the transit-stub link
 	dist      []float64
+	egress    []float64 // factored mode; egress[0] == 0
 }
 
-func (s *stubDomain) d(pa, pb int) float64 { return s.dist[pa*s.size+pb] }
+func (s *stubDomain) d(pa, pb int) float64 {
+	if s.dist != nil {
+		return s.dist[pa*s.size+pb]
+	}
+	if pa == pb {
+		return 0
+	}
+	// (egress[pa] + egress[pb]) is commutative, so the factored path stays
+	// exactly symmetric in its arguments, like the dense matrix.
+	return s.egress[pa] + s.egress[pb]
+}
 
 // Network is a generated transit-stub topology with O(1) shortest-path
 // latency queries. It is immutable after generation and safe for
@@ -72,6 +98,13 @@ func (n *Network) StubCount() int { return len(n.stubs) }
 
 // Node returns the descriptor for id.
 func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+// StubGateway returns the transit node stub si attaches to and the latency
+// of the stub's single uplink.
+func (n *Network) StubGateway(si int) (NodeID, float64) {
+	s := &n.stubs[si]
+	return s.gateway, s.gwLatency
+}
 
 // Graph exposes the underlying raw graph (read-only) for validation and
 // diagnostics.

@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"gsso/internal/simrand"
+)
+
+// hubSpec is a spec whose stubs exceed the hub threshold, forcing the
+// factored hub-and-spoke path.
+func hubSpec() Spec {
+	return Spec{
+		TransitDomains:        2,
+		TransitNodesPerDomain: 2,
+		StubsPerTransitNode:   1,
+		NodesPerStub:          DefaultHubStubThreshold + 44,
+		ExtraTransitEdgeProb:  0.3,
+		ExtraStubEdgeProb:     0.1, // ignored on the hub path, deliberately nonzero
+		ExtraInterDomainLinks: 1,
+		Latency:               GTITMLatency(),
+	}
+}
+
+// TestHubStubLatencyMatchesDijkstra extends the load-bearing O(1)-vs-truth
+// validation to the factored path: a star-wired stub's egress-sum distance
+// must equal true shortest paths on the raw graph, not approximate them.
+func TestHubStubLatencyMatchesDijkstra(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-pairs Dijkstra on 1200 hosts")
+	}
+	net := MustGenerate(hubSpec(), simrand.New(11))
+	var scratch DijkstraScratch
+	truth := make([]float64, net.Len())
+	// Sample sources: all transit nodes plus a spread of stub hosts from
+	// each stub (full all-pairs over 1200 hosts is wasteful; per-source
+	// verification against every destination already covers all pair kinds).
+	sources := []NodeID{0, 1, 2, 3}
+	for si := 0; si < net.StubCount(); si++ {
+		first := NodeID(net.TransitCount() + si*net.Spec().NodesPerStub)
+		sources = append(sources, first, first+1, first+57, first+NodeID(net.Spec().NodesPerStub-1))
+	}
+	for _, src := range sources {
+		net.Graph().DijkstraInto(src, truth, &scratch)
+		for dst := NodeID(0); int(dst) < net.Len(); dst++ {
+			got := net.Latency(src, dst)
+			if math.Abs(got-truth[dst]) > 1e-9 {
+				t.Fatalf("Latency(%d,%d) = %v, Dijkstra = %v", src, dst, got, truth[dst])
+			}
+		}
+	}
+}
+
+func TestHubStubUsesFactoredStorage(t *testing.T) {
+	net := MustGenerate(hubSpec(), simrand.New(1))
+	for si := 0; si < net.StubCount(); si++ {
+		s := &net.stubs[si]
+		if s.dist != nil {
+			t.Fatalf("stub %d carries a dense matrix on the hub path", si)
+		}
+		if len(s.egress) != s.size {
+			t.Fatalf("stub %d egress len = %d, want %d", si, len(s.egress), s.size)
+		}
+		if s.egress[0] != 0 {
+			t.Fatalf("stub %d hub egress = %v, want 0", si, s.egress[0])
+		}
+		for i := 1; i < s.size; i++ {
+			if s.egress[i] <= 0 {
+				t.Fatalf("stub %d egress[%d] = %v, want > 0", si, i, s.egress[i])
+			}
+		}
+	}
+}
+
+func TestHubThresholdBoundary(t *testing.T) {
+	at := hubSpec()
+	at.NodesPerStub = DefaultHubStubThreshold
+	net := MustGenerate(at, simrand.New(1))
+	if net.stubs[0].dist == nil {
+		t.Fatal("stub exactly at threshold should keep the dense path")
+	}
+	over := hubSpec()
+	over.NodesPerStub = DefaultHubStubThreshold + 1
+	net = MustGenerate(over, simrand.New(1))
+	if net.stubs[0].dist != nil {
+		t.Fatal("stub over threshold should take the factored path")
+	}
+	// Explicit threshold overrides the default.
+	low := hubSpec()
+	low.NodesPerStub = 10
+	low.HubStubThreshold = 5
+	net = MustGenerate(low, simrand.New(1))
+	if net.stubs[0].dist != nil {
+		t.Fatal("explicit HubStubThreshold ignored")
+	}
+	if err := (Spec{TransitDomains: 1, TransitNodesPerDomain: 1, HubStubThreshold: -1}).Validate(); err == nil {
+		t.Fatal("negative HubStubThreshold accepted")
+	}
+}
+
+func TestScaledWideAndSizedWide(t *testing.T) {
+	base := TSKLarge(GTITMLatency())
+	wide := base.ScaledWide(3)
+	if wide.StubsPerTransitNode != 12 {
+		t.Fatalf("ScaledWide StubsPerTransitNode = %d, want 12", wide.StubsPerTransitNode)
+	}
+	if wide.NodesPerStub != base.NodesPerStub {
+		t.Fatal("ScaledWide must not touch stub depth")
+	}
+	if base.ScaledWide(0.001).StubsPerTransitNode != 1 {
+		t.Fatal("ScaledWide floor of 1 violated")
+	}
+
+	sized := base.SizedWide(100_000)
+	if got := sized.TotalNodes(); got < 100_000 || got > 110_000 {
+		t.Fatalf("SizedWide(1e5) yields %d nodes, want [100000,110000]", got)
+	}
+	if sized.NodesPerStub != base.NodesPerStub {
+		t.Fatal("SizedWide must preserve stub density")
+	}
+	tiny := base.SizedWide(1)
+	if tiny.StubsPerTransitNode != 1 {
+		t.Fatalf("SizedWide floor = %d stubs, want 1", tiny.StubsPerTransitNode)
+	}
+	// Stubless spec passes through untouched.
+	stubless := Spec{TransitDomains: 1, TransitNodesPerDomain: 2, Latency: ManualLatency()}
+	if stubless.SizedWide(100).StubsPerTransitNode != 0 {
+		t.Fatal("SizedWide mutated a stubless spec")
+	}
+}
+
+// TestGenerateAllocBudget is the regression gate for the quadratic
+// stubDomain.dist fix: generating a ~10^5-host topology must stay under a
+// fixed allocation budget. Before the factored path, a single 1000-host
+// stub's matrix alone was 8 MB (size² float64s), and a wide 10^5 topology
+// allocated gigabytes across its stubs plus per-pair dedup maps; the flat
+// layout keeps the whole generate under 128 MB cumulative.
+func TestGenerateAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a 10^5-node topology")
+	}
+	spec := TSKLarge(GTITMLatency()).Scaled(10) // 400 hosts/stub -> hub path
+	spec.StubsPerTransitNode = 4
+	if n := spec.TotalNodes(); n < 100_000 {
+		t.Fatalf("spec yields %d nodes, want >= 1e5", n)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	net := MustGenerate(spec, simrand.New(1))
+	runtime.ReadMemStats(&after)
+	alloc := after.TotalAlloc - before.TotalAlloc
+	const budget = 128 << 20
+	if alloc > budget {
+		t.Fatalf("generating %d nodes allocated %d MB cumulative, budget %d MB",
+			net.Len(), alloc>>20, budget>>20)
+	}
+	if net.Len() != spec.TotalNodes() {
+		t.Fatalf("Len = %d, want %d", net.Len(), spec.TotalNodes())
+	}
+	// The latency path must stay O(1) and well-formed at this scale.
+	hosts := net.RandomStubHosts(simrand.New(2), 64)
+	for _, a := range hosts {
+		for _, b := range hosts {
+			d := net.Latency(a, b)
+			if a != b && (d <= 0 || math.IsInf(d, 0) || math.IsNaN(d)) {
+				t.Fatalf("Latency(%d,%d) = %v", a, b, d)
+			}
+			if d != net.Latency(b, a) {
+				t.Fatalf("asymmetric latency at scale (%d,%d)", a, b)
+			}
+		}
+	}
+}

@@ -124,6 +124,30 @@ type Spec struct {
 	ExtraInterDomainLinks int
 	// Latency assigns link latencies.
 	Latency LatencyModel
+	// HubStubThreshold bounds the per-stub all-pairs distance matrix:
+	// stubs with more than this many hosts are generated hub-and-spoke
+	// (every host wired straight to the stub's gateway host), so their
+	// intra-stub distances factor into one egress latency per host —
+	// O(size) memory instead of the O(size²) matrix that dominates RSS at
+	// million-node scale. Stubs at or under the threshold keep the exact
+	// random-graph wiring and dense matrix of the paper's presets. Zero
+	// selects DefaultHubStubThreshold; both preset sizes (40 and 160) stay
+	// under any sane threshold, so preset topologies are bit-identical to
+	// the pre-threshold implementation.
+	HubStubThreshold int
+}
+
+// DefaultHubStubThreshold is the stub size above which generation switches
+// to the factored hub-and-spoke layout. 256 keeps both paper presets
+// (tsk-large: 40 hosts/stub, tsk-small: 160) on the exact dense path.
+const DefaultHubStubThreshold = 256
+
+// hubThreshold resolves the effective threshold.
+func (s Spec) hubThreshold() int {
+	if s.HubStubThreshold == 0 {
+		return DefaultHubStubThreshold
+	}
+	return s.HubStubThreshold
 }
 
 // Validate reports whether the spec is generateable.
@@ -143,6 +167,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("topology: ExtraStubEdgeProb = %v, need in [0,1]", s.ExtraStubEdgeProb)
 	case s.ExtraInterDomainLinks < 0:
 		return fmt.Errorf("topology: ExtraInterDomainLinks = %d, need >= 0", s.ExtraInterDomainLinks)
+	case s.HubStubThreshold < 0:
+		return fmt.Errorf("topology: HubStubThreshold = %d, need >= 0", s.HubStubThreshold)
 	}
 	return nil
 }
@@ -202,5 +228,40 @@ func (s Spec) Scaled(f float64) Spec {
 		n = 1
 	}
 	out.NodesPerStub = n
+	return out
+}
+
+// ScaledWide returns a copy of the spec with StubsPerTransitNode scaled by
+// f (minimum one stub per transit node). Where Scaled deepens each stub,
+// ScaledWide multiplies the number of edge networks — the realistic way an
+// internet grows — so stub density, and with it the preset's landmark
+// behavior, is preserved at any total size. The ext-scale experiment uses
+// it to push preset-shaped topologies to 10^5–10^6 hosts.
+func (s Spec) ScaledWide(f float64) Spec {
+	out := s
+	n := int(float64(s.StubsPerTransitNode)*f + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	out.StubsPerTransitNode = n
+	return out
+}
+
+// SizedWide returns the spec wide-scaled so TotalNodes is as close as
+// possible to (and at least) targetNodes, holding the backbone and stub
+// density fixed.
+func (s Spec) SizedWide(targetNodes int) Spec {
+	transit := s.TransitDomains * s.TransitNodesPerDomain
+	perStubNode := transit * s.NodesPerStub
+	if perStubNode <= 0 {
+		return s
+	}
+	want := targetNodes - transit
+	stubs := (want + perStubNode - 1) / perStubNode
+	if stubs < 1 {
+		stubs = 1
+	}
+	out := s
+	out.StubsPerTransitNode = stubs
 	return out
 }
